@@ -1,0 +1,1 @@
+"""Benchmark harness package (pytest-benchmark)."""

@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+The benchmarks time the *analysis* stage of each artifact (selection,
+cross validation, correlation …) on the shared cached campaign, and
+print the regenerated table/figure next to the paper's published
+values.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+reports inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import data as expdata
+
+
+@pytest.fixture(scope="session")
+def full_dataset():
+    return expdata.full_dataset()
+
+
+@pytest.fixture(scope="session")
+def selection_dataset():
+    return expdata.selection_dataset()
+
+
+@pytest.fixture(scope="session")
+def selected_counters():
+    return expdata.selected_counters()
+
+
+def report(name: str, text: str) -> None:
+    """Print a regenerated artifact under a clear banner."""
+    print()
+    print("=" * 72)
+    print(name)
+    print("=" * 72)
+    print(text)

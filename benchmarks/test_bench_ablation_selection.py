@@ -1,0 +1,77 @@
+"""Ablation: alternative selection criteria (the paper's future work).
+
+Section VI: "The future work of this project will focus on analyzing
+different statistical algorithms and heuristic criterions for selecting
+PMC events".  This bench runs the greedy driver with each registered
+criterion plus a VIF-constrained variant and compares the resulting
+counter sets by cross-validated MAPE on the full campaign.
+"""
+
+from benchmarks.conftest import report
+from repro.core import render_table, scenario_cv_all, select_events
+from repro.stats.selection_criteria import CRITERIA
+
+
+def _ablation(selection_dataset, full_dataset):
+    rows = []
+    for criterion in sorted(CRITERIA):
+        sel = select_events(selection_dataset, 6, criterion=criterion)
+        cv = scenario_cv_all(full_dataset, sel.selected)
+        rows.append(
+            (
+                criterion,
+                ", ".join(sel.selected),
+                sel.steps[-1].rsquared,
+                sel.steps[-1].mean_vif,
+                cv.mape,
+            )
+        )
+    sel = select_events(selection_dataset, 6, criterion="r2", max_vif=5.0)
+    cv = scenario_cv_all(full_dataset, sel.selected)
+    rows.append(
+        (
+            "r2+vif<=5",
+            ", ".join(sel.selected),
+            sel.steps[-1].rsquared,
+            sel.steps[-1].mean_vif,
+            cv.mape,
+        )
+    )
+    # Embedded selection via the lasso path (no greedy wrapper).
+    from repro.core import select_events_lasso
+
+    sel = select_events_lasso(selection_dataset, 6)
+    cv = scenario_cv_all(full_dataset, sel.selected)
+    rows.append(
+        (
+            "lasso-path",
+            ", ".join(sel.selected),
+            sel.steps[-1].rsquared,
+            sel.steps[-1].mean_vif,
+            cv.mape,
+        )
+    )
+    return rows
+
+
+def test_bench_selection_criteria_ablation(
+    benchmark, selection_dataset, full_dataset
+):
+    rows = benchmark.pedantic(
+        lambda: _ablation(selection_dataset, full_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Ablation — selection criterion vs resulting model quality",
+        render_table(
+            ["criterion", "selected counters", "R2@2400", "mean VIF", "CV MAPE %"],
+            rows,
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Every criterion must produce a healthy model.
+    for name, row in by_name.items():
+        assert row[4] < 12.0, f"criterion {name} produced a bad model"
+    # The VIF-constrained variant must respect its bound.
+    assert by_name["r2+vif<=5"][3] <= 5.0

@@ -1,0 +1,50 @@
+"""Performance benchmarks of the pipeline itself.
+
+These time the actual hot paths — the simulated acquisition campaign
+(platform execution + tracing + phase profiling + merging) and the OLS
+machinery the greedy selection hammers — so regressions in the
+substrate's throughput are visible.
+"""
+
+import numpy as np
+
+from repro.acquisition import run_campaign
+from repro.core import PowerModel
+from repro.hardware import Platform
+from repro.stats import fit_ols, mean_vif
+from repro.workloads import get_workload
+
+
+def test_bench_campaign_throughput(benchmark):
+    """One full experiment (13 multiplexed runs, traced and merged)."""
+    platform = Platform()
+    workload = get_workload("compute")
+
+    def one_experiment():
+        return run_campaign(platform, [workload], [2400], thread_counts=[24])
+
+    ds = benchmark.pedantic(one_experiment, rounds=3, iterations=1)
+    assert ds.n_samples == 1
+
+
+def test_bench_equation1_fit(benchmark, full_dataset, selected_counters):
+    """A single Equation 1 OLS fit with HC3 — the greedy inner loop."""
+    model = PowerModel(selected_counters)
+    fitted = benchmark(lambda: model.fit(full_dataset))
+    assert fitted.rsquared > 0.9
+
+
+def test_bench_hc3_ols(benchmark):
+    """Raw OLS+HC3 on a selection-sized problem (650 x 10)."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(650, 10))
+    y = x @ rng.normal(size=10) + rng.normal(size=650)
+    res = benchmark(lambda: fit_ols(y, x, cov_type="HC3"))
+    assert res.nobs == 650
+
+
+def test_bench_mean_vif(benchmark, full_dataset, selected_counters):
+    """The stage-2 VIF sweep on the selected rate columns."""
+    matrix = full_dataset.counter_matrix(list(selected_counters))
+    value = benchmark(lambda: mean_vif(matrix))
+    assert value >= 1.0

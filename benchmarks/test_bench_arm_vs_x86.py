@@ -1,0 +1,65 @@
+"""Reproduce the paper's ARM-vs-x86 accuracy comparison.
+
+Section IV-B: "Compared to the implementation on ARM, which has a MAPE
+of 2.8 % and 3.8 %, our results on Intel with the comparable scenario 3
+turn out to be less accurate (7.54 %)."
+
+The identical pipeline (acquisition → Algorithm 1 → Equation 1 →
+10-fold CV) runs on the simulated Cortex-A15 board and on the simulated
+Haswell-EP node; the accuracy ordering and rough ratio must match the
+paper's observation, for the paper's reason (less unobserved
+power-relevant state on the simple RISC core).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.acquisition import run_campaign
+from repro.core import render_table, scenario_cv_all, select_events
+from repro.experiments.paper_values import PAPER_ARM_MAPE, PAPER_CV_MAPE
+from repro.hardware import CORTEX_A15_CONFIG, CORTEX_A15_POWER, Platform
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def arm_dataset():
+    # Sensor noise floor scaled to the watt-level board.
+    platform = Platform(
+        CORTEX_A15_CONFIG, CORTEX_A15_POWER, power_offset_sigma_w=0.05
+    )
+    return run_campaign(
+        platform,
+        all_workloads(),
+        [600, 1000, 1400, 1800],
+        thread_counts=[1, 2, 4],
+    )
+
+
+def test_bench_arm_vs_x86_accuracy(
+    benchmark, arm_dataset, full_dataset, selected_counters
+):
+    def run_comparison():
+        arm_sel = select_events(arm_dataset.filter(frequency_mhz=1400), 6)
+        arm_cv = scenario_cv_all(arm_dataset, arm_sel.selected)
+        x86_cv = scenario_cv_all(full_dataset, selected_counters)
+        return arm_sel, arm_cv, x86_cv
+
+    arm_sel, arm_cv, x86_cv = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    rows = [
+        ("ARM Cortex-A15 (ours)", arm_cv.mape),
+        ("ARM (Walker et al., paper)", PAPER_ARM_MAPE[0]),
+        ("ARM (Walker et al., paper)", PAPER_ARM_MAPE[1]),
+        ("x86 Haswell-EP (ours)", x86_cv.mape),
+        ("x86 Haswell-EP (paper)", PAPER_CV_MAPE),
+    ]
+    report(
+        "ARM vs x86 — same methodology, different architectures",
+        render_table(["platform", "CV MAPE %"], rows)
+        + f"\nARM-selected counters: {', '.join(arm_sel.selected)}",
+    )
+    # The paper's ordering: ARM clearly more accurate than x86.
+    assert arm_cv.mape < 0.7 * x86_cv.mape
+    # And in the paper's ARM band (2.8-3.8 %), loosely.
+    assert 1.5 < arm_cv.mape < 5.5

@@ -1,0 +1,70 @@
+"""Extension: cluster-scale estimation (the paper's exa-scale outlook).
+
+Builds a simulated cluster with per-die manufacturing variation and
+compares deploying one shared model against per-node calibration, for
+node-level and aggregate power estimation.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.cluster import build_cluster, estimate_cluster_power
+from repro.core import render_table
+from repro.workloads import get_workload
+
+
+def _study():
+    cluster = build_cluster(8, seed=11)
+    names = (
+        "compute", "memory_read", "md", "busywait",
+        "swim", "matmul", "nab", "sinus",
+    )
+    assignment = {
+        node.hostname: get_workload(name)
+        for node, name in zip(cluster, names)
+    }
+    training = [
+        get_workload(n)
+        for n in ("idle", "busywait", "compute", "memory_read", "matmul")
+    ]
+    counters = ("CA_SNP", "TOT_CYC", "PRF_DM", "STL_ICY")
+    shared = estimate_cluster_power(
+        cluster, assignment, counters=counters,
+        training_workloads=training, strategy="shared",
+    )
+    per_node = estimate_cluster_power(
+        cluster, assignment, counters=counters,
+        training_workloads=training, strategy="per-node",
+    )
+    return shared, per_node
+
+
+def test_bench_cluster_estimation(benchmark):
+    shared, per_node = benchmark.pedantic(_study, rounds=1, iterations=1)
+    rows = [
+        (
+            s.hostname,
+            s.workload,
+            s.true_power_w,
+            s.estimated_w,
+            s.ape_percent,
+        )
+        for s in shared.nodes
+    ]
+    report(
+        "Extension — cluster power estimation (8 nodes, shared model)",
+        render_table(
+            ["node", "workload", "true W", "est W", "APE %"], rows
+        )
+        + (
+            f"\nshared:   total {shared.estimated_total_w:.0f} W vs "
+            f"{shared.true_total_w:.0f} W "
+            f"(error {shared.total_error_percent:.2f} %, "
+            f"mean node APE {shared.mean_node_ape_percent:.2f} %)"
+            f"\nper-node: total error {per_node.total_error_percent:.2f} %, "
+            f"mean node APE {per_node.mean_node_ape_percent:.2f} %"
+        ),
+    )
+    # Aggregation cancels per-node bias.
+    assert shared.total_error_percent <= shared.mean_node_ape_percent + 1.0
+    assert per_node.total_error_percent < 15.0

@@ -1,0 +1,54 @@
+"""Ablation: how many counters does the model actually need?
+
+The paper fixes #Events = 6 by judgement.  This bench sweeps the
+budget from 1 to 10 and reports the selection-frequency fit and the
+cross-DVFS CV MAPE at each size — showing the knee the paper's choice
+sits on, and that more counters eventually buy nothing (or cost
+stability).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core import render_table, scenario_cv_all, select_events
+
+
+def _study(selection_dataset, full_dataset, max_events=10):
+    extended = select_events(selection_dataset, max_events)
+    rows = []
+    for k in range(1, max_events + 1):
+        counters = extended.selected[:k]
+        cv = scenario_cv_all(full_dataset, counters)
+        step = extended.steps[k - 1]
+        rows.append(
+            (
+                k,
+                step.counter,
+                step.rsquared,
+                step.mean_vif,
+                cv.mape,
+            )
+        )
+    return rows
+
+
+def test_bench_counter_budget(benchmark, selection_dataset, full_dataset):
+    rows = benchmark.pedantic(
+        lambda: _study(selection_dataset, full_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Ablation — model quality vs counter budget (#Events)",
+        render_table(
+            ["#", "adds", "R2@2400", "mean VIF", "CV MAPE %"], rows
+        ),
+    )
+    mapes = [r[4] for r in rows]
+    # More counters help a lot early…
+    assert mapes[3] < mapes[0]
+    # …but the returns flatten: the last four counters together move
+    # MAPE by less than the first three did.
+    early_gain = mapes[0] - mapes[2]
+    late_gain = mapes[5] - mapes[9]
+    assert late_gain < early_gain

@@ -1,0 +1,67 @@
+"""Extension: cross-generation transfer (the paper's future work).
+
+"To strengthen the general validity of the approach, more experiments
+should be performed on different generations of x86 processors."
+
+The bench trains Equation 1 on the simulated Haswell-EP node and
+evaluates it on the simulated Skylake-SP node (and vice versa,
+re-running the methodology natively there).  Expected shape: the
+*methodology* transfers (native selection + fit works on both
+machines) while the *coefficients* do not (cross-machine MAPE is many
+times the native CV MAPE).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.acquisition import run_campaign
+from repro.core import PowerModel, render_table, scenario_cv_all, select_events
+from repro.hardware import Platform, SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def skylake_dataset():
+    platform = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER)
+    return run_campaign(platform, all_workloads(), [1200, 1600, 2000, 2400])
+
+
+def _transfer_study(full_dataset, skylake_dataset, selected_counters):
+    rows = []
+    # Native Haswell model.
+    hw_model = PowerModel(selected_counters).fit(full_dataset)
+    hw_cv = scenario_cv_all(full_dataset, selected_counters)
+    rows.append(("haswell -> haswell (CV)", hw_cv.mape))
+    # Haswell model applied to Skylake measurements.
+    cross = hw_model.evaluate(skylake_dataset)
+    rows.append(("haswell -> skylake", cross["mape"]))
+    # Methodology re-run natively on Skylake.
+    sk_sel = select_events(skylake_dataset.filter(frequency_mhz=2000), 6)
+    sk_cv = scenario_cv_all(skylake_dataset, sk_sel.selected)
+    rows.append(("skylake -> skylake (CV)", sk_cv.mape))
+    sk_model = PowerModel(sk_sel.selected).fit(skylake_dataset)
+    back = sk_model.evaluate(full_dataset)
+    rows.append(("skylake -> haswell", back["mape"]))
+    return rows, sk_sel.selected
+
+
+def test_bench_cross_platform_transfer(
+    benchmark, full_dataset, selected_counters, skylake_dataset
+):
+    rows, sk_counters = benchmark.pedantic(
+        lambda: _transfer_study(full_dataset, skylake_dataset, selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Extension — cross-generation coefficient transfer",
+        render_table(["direction", "MAPE %"], rows)
+        + f"\nSkylake-native selection: {', '.join(sk_counters)}",
+    )
+    by_name = dict(rows)
+    # Native modeling works on both generations…
+    assert by_name["haswell -> haswell (CV)"] < 10.0
+    assert by_name["skylake -> skylake (CV)"] < 12.0
+    # …but coefficients do not transfer across generations.
+    assert by_name["haswell -> skylake"] > 2.0 * by_name["haswell -> haswell (CV)"]
+    assert by_name["skylake -> haswell"] > 2.0 * by_name["skylake -> skylake (CV)"]

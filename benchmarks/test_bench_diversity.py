@@ -1,0 +1,58 @@
+"""Ablation: how much training-set diversity is enough?
+
+The paper's central stability finding is that the hand-written
+synthetic kernels are "not diverse enough to create a stable model that
+can be applied to more realistic benchmarks".  This bench quantifies
+the claim with the randomized workload generator: train Equation 1 on
+N generated workloads (narrow and wide characterization spaces) and
+validate on the SPEC OMP2012 simulation.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.acquisition import run_campaign
+from repro.core import PowerModel, render_table
+from repro.hardware import Platform
+from repro.workloads import DEFAULT_SPACE, WIDE_SPACE, generate_workloads
+
+
+def _diversity_study(full_dataset, selected_counters):
+    platform = Platform()
+    spec = full_dataset.filter(suite="spec_omp2012")
+    roco = full_dataset.filter(suite="roco2")
+    rows = []
+    baseline = PowerModel(selected_counters).fit(roco)
+    rows.append(
+        ("roco2 kernels (10)", baseline.evaluate(spec)["mape"])
+    )
+    for label, space, n in (
+        ("generated narrow (8)", DEFAULT_SPACE, 8),
+        ("generated narrow (24)", DEFAULT_SPACE, 24),
+        ("generated wide (24)", WIDE_SPACE, 24),
+    ):
+        workloads = generate_workloads(
+            n, space=space, seed=1234, thread_counts=(1, 8, 24)
+        )
+        train = run_campaign(platform, workloads, [1200, 2000, 2600])
+        fitted = PowerModel(selected_counters).fit(train)
+        rows.append((label, fitted.evaluate(spec)["mape"]))
+    return rows
+
+
+def test_bench_training_diversity(benchmark, full_dataset, selected_counters):
+    rows = benchmark.pedantic(
+        lambda: _diversity_study(full_dataset, selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Ablation — synthetic training diversity vs SPEC validation MAPE",
+        render_table(["training set", "MAPE on SPEC %"], rows),
+    )
+    by_name = dict(rows)
+    # More random workloads beat fewer…
+    assert by_name["generated narrow (24)"] <= by_name["generated narrow (8)"] * 1.2
+    # …and covering the latent dimensions (wide space) helps further,
+    # confirming the paper's diversity conclusion.
+    assert by_name["generated wide (24)"] < by_name["roco2 kernels (10)"]

@@ -1,0 +1,110 @@
+"""Error budget: which mechanism causes which error?  (Simulation-only.)
+
+The paper can only report *that* its model reaches 7.54 % CV MAPE and
+15.1 % on the synthetic→SPEC scenario; a simulated substrate can ask
+*why*.  This bench re-runs the evaluation with individual error
+mechanisms switched off in the ground truth, holding the counter set
+fixed to the baseline selection so the comparison isolates the error
+source, and reports both the CV MAPE and the scenario-2 MAPE.
+
+Measured decomposition (asserted below):
+
+* **CV error** is dominated by *model-form error* — the thermal
+  feedback, bandwidth-saturation and issue-width nonlinearities that
+  six linear counter terms cannot express.  Removing latents or
+  measurement noise barely moves it.
+* **Scenario-2 error** splits two ways: the latent efficiency shift
+  between suites contributes a measurable share, but the larger part
+  is *structural extrapolation* — SPEC workloads exercise counter-space
+  regions (TLB walks, flushes, NUMA traffic, saturation regimes) that
+  the roco2 training set never pins down, so the coefficients are
+  wrong there even with every latent channel closed.  That is exactly
+  the paper's conclusion: "only using a limited set of micro workloads
+  is not sufficient […] Such limited workloads do not cover the vast
+  range of states a complex modern architecture comprises."
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.acquisition import run_campaign
+from repro.core import (
+    render_table,
+    scenario_cv_all,
+    scenario_synthetic_to_spec,
+    select_events,
+)
+from repro.hardware import PAPER_FREQUENCIES_MHZ, Platform
+from repro.hardware.power import PowerModelParams
+from repro.workloads import all_workloads
+
+
+def _evaluate(platform, counters):
+    ds = run_campaign(platform, all_workloads(), PAPER_FREQUENCIES_MHZ)
+    cv = scenario_cv_all(ds, counters).mape
+    s2 = scenario_synthetic_to_spec(ds, counters).mape
+    return cv, s2
+
+
+def _study(selected_counters):
+    configs = [
+        ("full simulation (baseline)", Platform()),
+        (
+            "- latent efficiency off",
+            Platform(power_params=PowerModelParams(latent_sensitivity=0.0)),
+        ),
+        (
+            "- measurement noise off",
+            Platform(
+                run_jitter_sigma=0.0,
+                power_jitter_sigma=0.0,
+                power_offset_sigma_w=0.0,
+            ),
+        ),
+        (
+            "- both off (model-form error only)",
+            Platform(
+                power_params=PowerModelParams(latent_sensitivity=0.0),
+                run_jitter_sigma=0.0,
+                power_jitter_sigma=0.0,
+                power_offset_sigma_w=0.0,
+            ),
+        ),
+    ]
+    rows = []
+    for label, platform in configs:
+        cv, s2 = _evaluate(platform, selected_counters)
+        rows.append((label, cv, s2))
+    return rows
+
+
+def test_bench_error_budget(benchmark, selected_counters):
+    rows = benchmark.pedantic(
+        lambda: _study(selected_counters), rounds=1, iterations=1
+    )
+    report(
+        "Error budget — what causes the CV error vs the scenario-2 error?",
+        render_table(
+            ["configuration", "CV MAPE %", "scen2 MAPE %"], rows
+        ),
+    )
+    by_name = {r[0]: (r[1], r[2]) for r in rows}
+    base_cv, base_s2 = by_name["full simulation (baseline)"]
+    nl_cv, nl_s2 = by_name["- latent efficiency off"]
+    nn_cv, nn_s2 = by_name["- measurement noise off"]
+    floor_cv, floor_s2 = by_name["- both off (model-form error only)"]
+
+    # CV error: model-form dominated — removing latents or noise moves
+    # it by far less than its absolute size.
+    assert abs(base_cv - nl_cv) < 0.4 * base_cv
+    assert abs(base_cv - nn_cv) < 0.4 * base_cv
+    assert floor_cv > 0.6 * base_cv
+    # Scenario 2: latents contribute measurably…
+    assert nl_s2 < base_s2 - 1.0
+    # …measurement noise does not…
+    assert abs(nn_s2 - base_s2) < 1.0
+    # …and the dominant share is structural extrapolation: even with
+    # every stochastic channel closed, synthetic-only training remains
+    # far worse than CV (the paper's coverage conclusion).
+    assert floor_s2 > 1.5 * floor_cv

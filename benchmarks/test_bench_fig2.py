@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 2 (R²/Adj.R² selection trajectory)."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig2
+
+
+def test_bench_fig2_trajectory(benchmark, selection_dataset):
+    result = benchmark.pedantic(
+        lambda: fig2.run(selection_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 2 — R2 / Adj.R2 vs selected counters (ours vs paper)",
+           result.render())
+    assert result.is_monotone()
+    assert result.max_r2_adj_gap() < 0.01

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 3 (per-workload MAPE across DVFS)."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig3
+
+
+def test_bench_fig3_per_workload_mape(benchmark, full_dataset, selected_counters):
+    result = benchmark.pedantic(
+        lambda: fig3.run(full_dataset, counters=selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 3 — per-workload MAPE across DVFS states (ours vs paper)",
+           result.render())
+    _, worst = result.worst()
+    _, best = result.best()
+    assert worst > 3.0 * best

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 4 (the four training scenarios)."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig4
+
+
+def test_bench_fig4_scenarios(benchmark, full_dataset, selected_counters):
+    result = benchmark.pedantic(
+        lambda: fig4.run(full_dataset, counters=selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 4 — MAPE per training scenario (ours vs paper)",
+           result.render())
+    assert result.ordering_matches_paper()
+    assert 1.5 < result.scenario2_over_cv_ratio() < 3.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 5 (actual vs estimated power scatters)."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig5
+
+
+def test_bench_fig5_scatters(benchmark, full_dataset, selected_counters):
+    result = benchmark.pedantic(
+        lambda: fig5.run(full_dataset, counters=selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 5 — actual vs estimated power (ours vs paper)",
+           result.render())
+    biased = result.systematic_bias_workloads()
+    assert biased.get("md", 0.0) > 0.0 and biased.get("nab", 0.0) > 0.0
+    assert result.heteroscedasticity_correlation() > 0.1

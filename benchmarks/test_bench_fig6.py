@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 6 (PCC of all PAPI counters)."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig6
+
+
+def test_bench_fig6_all_counter_pcc(benchmark, selection_dataset, selected_counters):
+    result = benchmark.pedantic(
+        lambda: fig6.run(selection_dataset, counters=selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 6 — PCC of all PAPI counters with power", result.render())
+    assert len(result.pcc) == 54
+    assert max(result.selected_rank_by_pcc().values()) > 6

@@ -1,0 +1,55 @@
+"""Extension: online estimation throughput and fidelity.
+
+Times the streaming estimator's per-sample update (the path a
+power-management loop would call at ~10 Hz–1 kHz) and reports how well
+the streamed estimate tracks the sensors over a phase-structured run.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core import OnlineEstimator, PowerModel, estimate_run
+from repro.hardware import Platform
+from repro.workloads import get_workload
+
+
+def test_bench_online_update_rate(benchmark, full_dataset, selected_counters):
+    """Single streaming update — must be microseconds, not millis."""
+    fitted = PowerModel(selected_counters).fit(full_dataset)
+    estimator = OnlineEstimator(fitted)
+    cycles = 2.4e9 * 0.1
+    deltas = {
+        c: float(full_dataset.column(c)[0]) * cycles
+        for c in selected_counters
+    }
+
+    result = benchmark(
+        lambda: estimator.update(
+            deltas, interval_s=0.1, voltage_v=0.97, frequency_mhz=2400
+        )
+    )
+    assert result.power_w > 0
+
+
+def test_bench_online_timeline_fidelity(
+    benchmark, full_dataset, selected_counters
+):
+    platform = Platform()
+    fitted = PowerModel(selected_counters).fit(full_dataset)
+    run = platform.execute(get_workload("mgrid331"), 2400, 24)
+
+    timeline = benchmark.pedantic(
+        lambda: estimate_run(platform, run, fitted, interval_s=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Extension — online estimation vs sensors (mgrid331, 0.5 s cadence)",
+        f"samples: {timeline.times_s.size}\n"
+        f"streamed MAPE vs sensors: {timeline.mape():.2f} %\n"
+        f"tracks phase transitions: {timeline.tracks_phase_changes()}\n"
+        f"measured range: {timeline.measured_w.min():.1f} - "
+        f"{timeline.measured_w.max():.1f} W",
+    )
+    assert timeline.mape() < 15.0
+    assert timeline.times_s.size > 50

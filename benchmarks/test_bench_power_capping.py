@@ -1,0 +1,65 @@
+"""Extension: model-driven power capping (the motivation, closed-loop).
+
+Sweeps the power cap and reports how much performance (frequency) the
+governor retains and how well it holds the cap on a heavy workload —
+the "balance performance and power consumption" use case the paper's
+introduction motivates PMC models with.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core import PowerModel, render_table
+from repro.core.governor import govern_workload
+from repro.hardware import Platform
+from repro.workloads import get_workload
+
+
+def _sweep(full_dataset, selected_counters):
+    platform = Platform()
+    fitted = PowerModel(selected_counters).fit(full_dataset)
+    workload = get_workload("compute")
+    uncapped = govern_workload(
+        platform, workload, 24, fitted, cap_w=10_000.0
+    )
+    rows = [
+        (
+            "uncapped",
+            uncapped.mean_frequency_mhz(),
+            float(uncapped.true_power_w.mean()),
+            0.0,
+        )
+    ]
+    for cap in (200.0, 170.0, 140.0, 110.0):
+        tl = govern_workload(platform, workload, 24, fitted, cap_w=cap)
+        rows.append(
+            (
+                f"cap {cap:.0f} W",
+                tl.mean_frequency_mhz(),
+                float(tl.true_power_w[1:].mean()),
+                tl.violation_fraction(tolerance_w=5.0),
+            )
+        )
+    return rows
+
+
+def test_bench_power_capping(benchmark, full_dataset, selected_counters):
+    rows = benchmark.pedantic(
+        lambda: _sweep(full_dataset, selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Extension — model-driven power capping (compute, 24 threads)",
+        render_table(
+            ["cap", "mean f [MHz]", "mean power [W]", "violations"],
+            rows,
+        ),
+    )
+    freqs = [r[1] for r in rows]
+    powers = [r[2] for r in rows]
+    # Tighter caps: monotonically lower frequency and power.
+    assert all(b <= a + 1e-9 for a, b in zip(freqs, freqs[1:]))
+    assert all(b <= a + 2.0 for a, b in zip(powers, powers[1:]))
+    # Caps mostly held (steady state).
+    assert all(r[3] < 0.25 for r in rows[1:])

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table I (counter selection on all workloads).
+
+Times Algorithm 1's greedy selection — the computational core of the
+methodology: O(#candidates × #selected) Equation 1 fits plus the VIF
+sweep per accepted counter.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import table1
+
+
+def test_bench_table1_selection(benchmark, selection_dataset):
+    result = benchmark.pedantic(
+        lambda: table1.run(selection_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report("Table I — selected performance counters (ours vs paper)",
+           result.render())
+    assert len(result.steps) == 6
+    assert result.steps[-1].rsquared > 0.985

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (10-fold cross validation)."""
+
+from benchmarks.conftest import report
+from repro.experiments import table2
+
+
+def test_bench_table2_cross_validation(benchmark, full_dataset, selected_counters):
+    result = benchmark.pedantic(
+        lambda: table2.run(full_dataset, counters=selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report("Table II — 10-fold cross validation (ours vs paper)",
+           result.render())
+    summary = result.summary()
+    assert 5.0 < summary["MAPE"][2] < 9.5
+    assert summary["R2"][2] > 0.94

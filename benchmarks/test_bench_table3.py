@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table III (PCC of selected counters)."""
+
+from benchmarks.conftest import report
+from repro.experiments import table3
+
+
+def test_bench_table3_pcc(benchmark, selection_dataset, selected_counters):
+    result = benchmark.pedantic(
+        lambda: table3.run(selection_dataset, counters=selected_counters),
+        rounds=1,
+        iterations=1,
+    )
+    report("Table III — PCC of selected counters with power (ours vs paper)",
+           result.render())
+    assert result.first_counter_pcc() > 0.7

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table IV (synthetic-only counter selection)."""
+
+from benchmarks.conftest import report
+from repro.experiments import table4
+
+
+def test_bench_table4_synthetic_selection(benchmark, selection_dataset):
+    result = benchmark.pedantic(
+        lambda: table4.run(selection_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report("Table IV — counters selected on synthetic workloads (ours vs paper)",
+           result.render())
+    assert result.differs_from_all_workloads()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""DVFS sweep: the full Section IV evaluation at paper scale.
+
+Acquires the complete campaign (all 20 workloads, five frequencies,
+full PMU multiplexing — the cache makes re-runs instant), reruns the
+counter selection, and reports how estimation accuracy behaves per
+DVFS state, including the voltage readings the model consumes instead
+of a voltage model.
+
+    python examples/dvfs_sweep.py
+"""
+
+import numpy as np
+
+from repro import PAPER_FREQUENCIES_MHZ, PowerModel
+from repro.core import cv_out_of_fold_predictions
+from repro.experiments import full_dataset, selected_counters
+from repro.stats import mape
+
+
+def main() -> None:
+    print("Building (or loading) the full measurement campaign…")
+    dataset = full_dataset()
+    counters = selected_counters()
+    print(
+        f"  {dataset.n_samples} phase profiles, "
+        f"{len(set(dataset.workloads))} workloads, "
+        f"{len(set(map(int, dataset.frequency_mhz)))} DVFS states"
+    )
+    print(f"  selected counters: {', '.join(counters)}")
+
+    print()
+    print("Average measured voltage and power per DVFS state:")
+    print(f"  {'f [MHz]':>8s} {'V [V]':>8s} {'P min':>8s} {'P max':>8s}")
+    for f in PAPER_FREQUENCIES_MHZ:
+        sub = dataset.filter(frequency_mhz=f)
+        print(
+            f"  {f:>8d} {sub.voltage_v.mean():>8.3f} "
+            f"{sub.power_w.min():>8.1f} {sub.power_w.max():>8.1f}"
+        )
+
+    print()
+    print("Cross-validated estimation error per DVFS state:")
+    preds, fold_mapes, _ = cv_out_of_fold_predictions(dataset, counters)
+    print(f"  overall MAPE: {np.mean(fold_mapes):.2f} %")
+    for f in PAPER_FREQUENCIES_MHZ:
+        mask = dataset.frequency_mhz == f
+        err = mape(dataset.power_w[mask], preds[mask])
+        print(f"  {f:>6d} MHz: {err:5.2f} %")
+
+    print()
+    print("Fit across all DVFS states (single model, Equation 1):")
+    fitted = PowerModel(counters).fit(dataset)
+    print(
+        f"  R2={fitted.rsquared:.4f}  Adj.R2={fitted.rsquared_adj:.4f}  "
+        f"beta={fitted.beta:.2f} W/(V^2*GHz)  "
+        f"static @0.97V = {fitted.gamma * 0.97 + fitted.delta:.1f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Deploying the model: calibrate once, save, monitor live.
+
+The full deployment story: fit Equation 1 against the calibrated
+reference instrumentation, persist the model to JSON, restore it on a
+"production" host (same machine, no sensors needed), and stream power
+estimates from counter samples at sub-second cadence — the "real-time
+power information" of the paper's introduction.
+
+    python examples/online_monitoring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Platform, PowerModel, get_workload
+from repro.core import estimate_run, load_model, save_model
+from repro.experiments import full_dataset, selected_counters
+
+
+def main() -> None:
+    # --- calibration site: fit against reference sensors --------------
+    dataset = full_dataset()
+    counters = selected_counters()
+    fitted = PowerModel(counters).fit(dataset)
+    model_file = Path(tempfile.gettempdir()) / "haswell_power_model.json"
+    save_model(fitted, model_file)
+    print(f"Calibrated model saved to {model_file}")
+    print(f"  counters: {', '.join(counters)}")
+    print(f"  fit: R2={fitted.rsquared:.4f}")
+
+    # --- production site: restore and monitor -------------------------
+    deployed = load_model(model_file)
+    platform = Platform()
+    run = platform.execute(get_workload("mgrid331"), 2400, 24)
+    timeline = estimate_run(
+        platform, run, deployed, interval_s=0.5, smoothing=0.4
+    )
+
+    print()
+    print("Live monitoring of mgrid331 (0.5 s cadence), estimate vs sensor:")
+    step = max(len(timeline.times_s) // 18, 1)
+    peak = timeline.measured_w.max()
+    for i in range(0, len(timeline.times_s), step):
+        bar = "#" * int(timeline.smoothed_w[i] / peak * 40)
+        print(
+            f"  t={timeline.times_s[i]:6.1f}s  est={timeline.smoothed_w[i]:6.1f} W"
+            f"  sensor={timeline.measured_w[i]:6.1f} W  {bar}"
+        )
+    print()
+    print(
+        f"streamed estimate vs reference sensors: "
+        f"MAPE {timeline.mape():.2f} % over {timeline.times_s.size} samples; "
+        f"phase transitions tracked: {timeline.tracks_phase_changes()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a PMC power model in five steps.
+
+Runs the paper's complete methodology — data acquisition, PMC event
+selection, Equation 1 formulation, and 10-fold cross validation — on a
+reduced campaign (six workloads, two DVFS states) so it finishes in a
+few seconds.
+
+    python examples/quickstart.py
+"""
+
+from repro import get_workload, run_workflow
+
+
+def main() -> None:
+    workloads = [
+        get_workload(name)
+        for name in ("idle", "busywait", "compute", "memory_read", "md", "swim")
+    ]
+
+    print("Running the modeling workflow (acquire -> select -> fit -> CV)…")
+    result = run_workflow(
+        workloads=workloads,
+        frequencies_mhz=(1200, 2400),
+        selection_frequency_mhz=2400,
+        n_events=4,
+    )
+
+    print()
+    print(result.summary())
+
+    print()
+    print("Selected counters (Algorithm 1):")
+    for step in result.selection.steps:
+        vif = "n/a" if step.mean_vif != step.mean_vif else f"{step.mean_vif:.2f}"
+        print(
+            f"  {step.counter:<8s}  R2={step.rsquared:.3f}  "
+            f"Adj.R2={step.rsquared_adj:.3f}  mean VIF={vif}"
+        )
+
+    print()
+    print("Equation 1 coefficients (P = sum a_n*E_n*V^2*f + b*V^2*f + c*V + d):")
+    print(result.model.summary())
+
+    print()
+    print("Per-workload MAPE of the cross-validated model:")
+    for workload, mape in sorted(
+        result.validation.per_workload_mape().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {workload:<12s} {mape:6.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Data acquisition & post-processing: campaigns, run merging, and the
+regression dataset."""
+
+from repro.acquisition.campaign import Campaign, CampaignPlan, run_campaign
+from repro.acquisition.dataset import ExperimentKey, PowerDataset
+from repro.acquisition.postprocess import MergedPhase, build_dataset, merge_runs
+
+__all__ = [
+    "Campaign",
+    "CampaignPlan",
+    "run_campaign",
+    "PowerDataset",
+    "ExperimentKey",
+    "MergedPhase",
+    "merge_runs",
+    "build_dataset",
+]

@@ -1,0 +1,156 @@
+"""Measurement campaigns: the outer loop of data acquisition.
+
+A campaign executes every (workload, frequency, thread count)
+experiment the number of times the PMU scheduling demands (one run per
+programmable counter group), traces each run with the Score-P plugins,
+extracts phase profiles, and merges everything into a
+:class:`~repro.acquisition.dataset.PowerDataset`.
+
+This is the simulated equivalent of the multi-day measurement sessions
+behind the paper's Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.acquisition.dataset import PowerDataset
+from repro.acquisition.postprocess import build_dataset, merge_runs
+from repro.hardware.counters import COUNTER_NAMES
+from repro.hardware.platform import Platform
+from repro.hardware.pmu import EventSet, schedule_events
+from repro.tracing.phases import PhaseProfile, haecsim_profiles, postprocess_profiles
+from repro.tracing.scorep import trace_multiplexed_run, trace_run
+from repro.workloads.base import Workload
+
+__all__ = ["CampaignPlan", "Campaign", "run_campaign"]
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What a campaign will measure."""
+
+    workloads: Tuple[Workload, ...]
+    frequencies_mhz: Tuple[int, ...]
+    events: Tuple[str, ...] = COUNTER_NAMES
+    sampling_interval_s: float = 0.1
+    thread_counts_override: Optional[Tuple[int, ...]] = None
+    """If set, used for every workload instead of its defaults."""
+    multiplexing: str = "multi-run"
+    """``multi-run`` (the paper's approach: one run per PMU counter
+    group) or ``time-division`` (single run, counters rotated through
+    the slots — cheaper but noisier)."""
+
+    def experiments(self) -> List[Tuple[Workload, int, int]]:
+        """All (workload, frequency, threads) combinations."""
+        out = []
+        for w in self.workloads:
+            threads_list = self.thread_counts_override or w.default_thread_counts
+            for f in self.frequencies_mhz:
+                for t in threads_list:
+                    out.append((w, f, t))
+        return out
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("campaign needs at least one workload")
+        if not self.frequencies_mhz:
+            raise ValueError("campaign needs at least one frequency")
+        if self.sampling_interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        if self.multiplexing not in ("multi-run", "time-division"):
+            raise ValueError(
+                f"multiplexing must be 'multi-run' or 'time-division', "
+                f"got {self.multiplexing!r}"
+            )
+
+
+class Campaign:
+    """Executes a :class:`CampaignPlan` on a platform."""
+
+    def __init__(self, platform: Platform, plan: CampaignPlan) -> None:
+        self.platform = platform
+        self.plan = plan
+        self.event_sets: List[EventSet] = schedule_events(
+            plan.events, platform.cfg
+        )
+
+    @property
+    def runs_per_experiment(self) -> int:
+        """Run count imposed by the acquisition mode."""
+        if self.plan.multiplexing == "time-division":
+            return 1
+        return len(self.event_sets)
+
+    def collect_profiles(
+        self, progress: Optional[ProgressFn] = None
+    ) -> List[PhaseProfile]:
+        """Execute all runs and extract phase profiles."""
+        profiles: List[PhaseProfile] = []
+        for workload, freq, threads in self.plan.experiments():
+            if progress is not None:
+                progress(f"{workload.name} @ {freq} MHz, {threads} threads")
+            if self.plan.multiplexing == "time-division":
+                run = self.platform.execute(workload, freq, threads)
+                trace = trace_multiplexed_run(
+                    self.platform,
+                    run,
+                    self.plan.events,
+                    sampling_interval_s=self.plan.sampling_interval_s,
+                )
+                if run.suite in ("roco2", "synthetic"):
+                    profiles.extend(haecsim_profiles(trace))
+                else:
+                    profiles.extend(postprocess_profiles(trace))
+                continue
+            for run_index, event_set in enumerate(self.event_sets):
+                run = self.platform.execute(
+                    workload, freq, threads, run_index=run_index
+                )
+                trace = trace_run(
+                    self.platform,
+                    run,
+                    event_set,
+                    sampling_interval_s=self.plan.sampling_interval_s,
+                )
+                # roco2 traces go through the HAEC-SIM module, benchmark
+                # traces through the custom OTF2 post-processing tool
+                # (Section III-A).
+                if run.suite in ("roco2", "synthetic"):
+                    profiles.extend(haecsim_profiles(trace))
+                else:
+                    profiles.extend(postprocess_profiles(trace))
+        return profiles
+
+    def run(
+        self,
+        progress: Optional[ProgressFn] = None,
+        *,
+        require_complete: bool = True,
+    ) -> PowerDataset:
+        """Full campaign: execute, trace, profile, merge, assemble."""
+        profiles = self.collect_profiles(progress)
+        merged = merge_runs(profiles)
+        return build_dataset(merged, require_complete=require_complete)
+
+
+def run_campaign(
+    platform: Platform,
+    workloads: Sequence[Workload],
+    frequencies_mhz: Sequence[int],
+    *,
+    sampling_interval_s: float = 0.1,
+    thread_counts: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> PowerDataset:
+    """One-call convenience around :class:`Campaign`."""
+    plan = CampaignPlan(
+        workloads=tuple(workloads),
+        frequencies_mhz=tuple(int(f) for f in frequencies_mhz),
+        sampling_interval_s=sampling_interval_s,
+        thread_counts_override=tuple(thread_counts) if thread_counts else None,
+    )
+    return Campaign(platform, plan).run(progress)

@@ -1,0 +1,148 @@
+"""Post-processing: merging multi-run profiles into a dataset.
+
+"Multiple runs of the same application are required due to the hardware
+limitation on simultaneous recording of multiple PAPI counters. […]
+Following data acquisition, the data from multiple runs is processed to
+calculate average power and voltage across all runs.  Furthermore, the
+phase profiles from multiple runs are combined together" (Section
+III-A).
+
+:func:`merge_runs` performs exactly that merge: phases are matched by
+name across the runs of one experiment, power/voltage are averaged over
+all runs, and each run contributes the counters its PMU event set was
+programmed with.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.acquisition.dataset import PowerDataset
+from repro.hardware.counters import COUNTER_NAMES
+from repro.tracing.phases import PhaseProfile
+
+__all__ = ["MergedPhase", "merge_runs", "build_dataset"]
+
+
+class MergedPhase:
+    """One phase of one experiment, merged across counter-group runs."""
+
+    def __init__(
+        self,
+        workload: str,
+        suite: str,
+        frequency_mhz: int,
+        threads: int,
+        phase_name: str,
+        active_threads: int,
+    ) -> None:
+        self.workload = workload
+        self.suite = suite
+        self.frequency_mhz = frequency_mhz
+        self.threads = threads
+        self.phase_name = phase_name
+        self.active_threads = active_threads
+        self.power_samples: List[float] = []
+        self.voltage_samples: List[float] = []
+        self.counter_rates_per_s: Dict[str, float] = {}
+
+    @property
+    def power_w(self) -> float:
+        return float(np.mean(self.power_samples))
+
+    @property
+    def voltage_v(self) -> float:
+        return float(np.mean(self.voltage_samples))
+
+    def rate_per_cycle(self, counter: str) -> float:
+        return self.counter_rates_per_s[counter] / (self.frequency_mhz * 1e6)
+
+
+def merge_runs(profiles: Sequence[PhaseProfile]) -> List[MergedPhase]:
+    """Merge phase profiles from all runs of one or more experiments.
+
+    Fixed counters appear in every run; their rate is averaged across
+    runs.  Programmable counters appear once (their scheduled run).
+    Raises if the same programmable counter is recorded twice with
+    wildly inconsistent values — that indicates a broken campaign, not
+    expected run-to-run noise.
+    """
+    buckets: Dict[tuple, MergedPhase] = {}
+    counter_acc: Dict[tuple, Dict[str, List[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for p in profiles:
+        key = (p.workload, p.frequency_mhz, p.threads, p.phase_name)
+        if key not in buckets:
+            buckets[key] = MergedPhase(
+                workload=p.workload,
+                suite=p.suite,
+                frequency_mhz=p.frequency_mhz,
+                threads=p.threads,
+                phase_name=p.phase_name,
+                active_threads=p.active_threads,
+            )
+        merged = buckets[key]
+        if p.active_threads != merged.active_threads:
+            raise ValueError(
+                f"{key}: inconsistent active thread counts across runs "
+                f"({p.active_threads} vs {merged.active_threads})"
+            )
+        merged.power_samples.append(p.power_w)
+        merged.voltage_samples.append(p.voltage_v)
+        for counter, rate in p.counter_rates_per_s.items():
+            counter_acc[key][counter].append(rate)
+
+    for key, merged in buckets.items():
+        for counter, values in counter_acc[key].items():
+            arr = np.asarray(values)
+            mean = float(arr.mean())
+            if len(values) > 1 and mean > 0:
+                spread = float(arr.max() - arr.min()) / mean
+                if spread > 0.25:
+                    raise ValueError(
+                        f"{key}: counter {counter} disagrees across runs "
+                        f"by {spread:.0%} — inconsistent campaign"
+                    )
+            merged.counter_rates_per_s[counter] = mean
+    return list(buckets.values())
+
+
+def build_dataset(
+    merged: Sequence[MergedPhase], *, require_complete: bool = True
+) -> PowerDataset:
+    """Assemble the regression dataset from merged phases.
+
+    With ``require_complete`` (default) every phase must have all 54
+    counters recorded; otherwise incomplete phases are dropped —
+    the failure-injection tests exercise that path.
+    """
+    rows = []
+    for m in merged:
+        missing = [c for c in COUNTER_NAMES if c not in m.counter_rates_per_s]
+        if missing:
+            if require_complete:
+                raise ValueError(
+                    f"phase {m.phase_name!r} of {m.workload!r} is missing "
+                    f"{len(missing)} counters (e.g. {missing[:3]})"
+                )
+            continue
+        rows.append(m)
+    if not rows:
+        raise ValueError("no complete phases to build a dataset from")
+    counters = np.array(
+        [[m.rate_per_cycle(c) for c in COUNTER_NAMES] for m in rows]
+    )
+    return PowerDataset(
+        counters=counters,
+        power_w=np.array([m.power_w for m in rows]),
+        voltage_v=np.array([m.voltage_v for m in rows]),
+        frequency_mhz=np.array([m.frequency_mhz for m in rows], dtype=np.float64),
+        threads=np.array([m.threads for m in rows], dtype=np.int64),
+        workloads=tuple(m.workload for m in rows),
+        suites=tuple(m.suite for m in rows),
+        phase_names=tuple(m.phase_name for m in rows),
+    )

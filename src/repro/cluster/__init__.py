@@ -1,0 +1,17 @@
+"""Cluster-scale power estimation (the paper's scaling outlook)."""
+
+from repro.cluster.aggregate import (
+    ClusterEstimate,
+    NodeEstimate,
+    estimate_cluster_power,
+)
+from repro.cluster.nodes import ClusterNode, NodeVariation, build_cluster
+
+__all__ = [
+    "ClusterNode",
+    "NodeVariation",
+    "build_cluster",
+    "NodeEstimate",
+    "ClusterEstimate",
+    "estimate_cluster_power",
+]

@@ -1,0 +1,162 @@
+"""Cluster-level power estimation (the paper's scaling outlook).
+
+Given a cluster of simulated nodes and a workload assignment, estimate
+total cluster power with a PMC model and compare against the ground
+truth.  Two modeling strategies are compared:
+
+* **shared** — one model trained on a single reference node, applied to
+  every node (what a site would deploy if per-node calibration is too
+  expensive);
+* **per-node** — the methodology re-run on every node (counter set kept
+  fixed, coefficients refit per node).
+
+Process variation makes the shared model systematically wrong on
+individual nodes but surprisingly good in aggregate (per-node errors
+partially cancel) — the quantitative version of the paper's "larger
+scale" speculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.acquisition.campaign import run_campaign
+from repro.acquisition.dataset import PowerDataset
+from repro.cluster.nodes import ClusterNode
+from repro.core.model import FittedPowerModel, PowerModel
+from repro.workloads.base import Workload
+
+__all__ = ["NodeEstimate", "ClusterEstimate", "estimate_cluster_power"]
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """Per-node truth vs estimate for one workload assignment."""
+
+    hostname: str
+    workload: str
+    true_power_w: float
+    estimated_w: float
+
+    @property
+    def error_w(self) -> float:
+        return self.estimated_w - self.true_power_w
+
+    @property
+    def ape_percent(self) -> float:
+        return abs(self.error_w) / self.true_power_w * 100.0
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Aggregate over a node assignment."""
+
+    nodes: Tuple[NodeEstimate, ...]
+    strategy: str
+
+    @property
+    def true_total_w(self) -> float:
+        return sum(n.true_power_w for n in self.nodes)
+
+    @property
+    def estimated_total_w(self) -> float:
+        return sum(n.estimated_w for n in self.nodes)
+
+    @property
+    def total_error_percent(self) -> float:
+        return (
+            abs(self.estimated_total_w - self.true_total_w)
+            / self.true_total_w
+            * 100.0
+        )
+
+    @property
+    def mean_node_ape_percent(self) -> float:
+        return float(np.mean([n.ape_percent for n in self.nodes]))
+
+    @property
+    def worst_node_ape_percent(self) -> float:
+        return float(np.max([n.ape_percent for n in self.nodes]))
+
+
+def _node_dataset(
+    node: ClusterNode,
+    workloads: Sequence[Workload],
+    frequencies: Sequence[int],
+    threads: int,
+) -> PowerDataset:
+    return run_campaign(
+        node.platform,
+        workloads,
+        frequencies,
+        thread_counts=[threads],
+    )
+
+
+def estimate_cluster_power(
+    nodes: Sequence[ClusterNode],
+    assignment: Dict[str, Workload],
+    *,
+    counters: Sequence[str],
+    training_workloads: Sequence[Workload],
+    frequencies_mhz: Sequence[int] = (1200, 2000, 2600),
+    run_frequency_mhz: int = 2400,
+    threads: int = 24,
+    strategy: str = "shared",
+) -> ClusterEstimate:
+    """Estimate total cluster power for a workload assignment.
+
+    Parameters
+    ----------
+    nodes:
+        The cluster (see :func:`~repro.cluster.nodes.build_cluster`).
+    assignment:
+        hostname → workload each node is running.
+    counters:
+        PMC events of the deployed model (selection is assumed done).
+    training_workloads:
+        Calibration suite executed for model fitting.
+    strategy:
+        ``shared`` (train once on the first node) or ``per-node``.
+    """
+    if strategy not in ("shared", "per-node"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    missing = [n.hostname for n in nodes if n.hostname not in assignment]
+    if missing:
+        raise KeyError(f"assignment missing nodes: {missing}")
+
+    shared_model: Optional[FittedPowerModel] = None
+    if strategy == "shared":
+        train = _node_dataset(
+            nodes[0], training_workloads, frequencies_mhz, threads
+        )
+        shared_model = PowerModel(counters).fit(train)
+
+    estimates: List[NodeEstimate] = []
+    for node in nodes:
+        workload = assignment[node.hostname]
+        if strategy == "per-node":
+            train = _node_dataset(
+                node, training_workloads, frequencies_mhz, threads
+            )
+            model = PowerModel(counters).fit(train)
+        else:
+            assert shared_model is not None
+            model = shared_model
+        # The node runs its assigned workload; the model sees only the
+        # acquired counter data of that run.
+        observed = _node_dataset(node, [workload], [run_frequency_mhz], threads)
+        predicted = float(model.predict(observed).mean())
+        truth = float(observed.power_w.mean())
+        estimates.append(
+            NodeEstimate(
+                hostname=node.hostname,
+                workload=workload.name,
+                true_power_w=truth,
+                estimated_w=predicted,
+            )
+        )
+    return ClusterEstimate(nodes=tuple(estimates), strategy=strategy)

@@ -1,0 +1,129 @@
+"""Power attribution: decompose estimates into named contributions.
+
+The paper's introduction argues that models "complement measurements in
+terms of […] component resolution" — a sensor at the 12 V input sees
+one number, while Equation 1's fitted terms attribute that number to
+activities.  This module performs the decomposition:
+
+* per-term: each α·Eₙ·V²f contribution, the β·V²f residual dynamic
+  term, and the γ·V + δ static/system floor;
+* grouped: the counter terms rolled up by microarchitectural family
+  (memory, stalls, branches, …) using the counter metadata.
+
+Attribution is exact by construction (terms sum to the prediction) and
+is validated against the simulator's hidden component truth in the
+tests: the attributed dynamic share must track the true dynamic share
+across workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.acquisition.dataset import PowerDataset
+from repro.core.model import FittedPowerModel
+from repro.hardware.counters import describe
+
+__all__ = ["PowerAttribution", "attribute", "attribute_dataset"]
+
+#: Roll-up of counter groups into reporting categories.
+_FAMILY_LABEL = {
+    "cache_l1": "memory",
+    "cache_l2": "memory",
+    "cache_l3": "memory",
+    "coherence": "memory",
+    "prefetch": "memory",
+    "tlb": "memory",
+    "stall": "pipeline",
+    "branch": "speculation",
+    "instruction": "execution",
+    "cycle": "execution",
+}
+
+
+@dataclass(frozen=True)
+class PowerAttribution:
+    """Decomposition of one power estimate (all values in watts)."""
+
+    total_w: float
+    per_counter_w: Dict[str, float]
+    residual_dynamic_w: float
+    """β·V²f — dynamic power not represented by captured events."""
+    static_w: float
+    """γ·V + δ·Z — voltage-dependent static plus system floor."""
+
+    def by_family(self) -> Dict[str, float]:
+        """Counter contributions rolled up by family, plus the
+        structural terms."""
+        out: Dict[str, float] = {}
+        for counter, watts in self.per_counter_w.items():
+            label = _FAMILY_LABEL[describe(counter).group]
+            out[label] = out.get(label, 0.0) + watts
+        out["residual-dynamic"] = self.residual_dynamic_w
+        out["static+system"] = self.static_w
+        return out
+
+    @property
+    def dynamic_w(self) -> float:
+        return sum(self.per_counter_w.values()) + self.residual_dynamic_w
+
+    def check_consistency(self, atol: float = 1e-8) -> bool:
+        return abs(self.dynamic_w + self.static_w - self.total_w) <= atol
+
+
+def attribute(
+    model: FittedPowerModel,
+    *,
+    counter_rates: Dict[str, float],
+    voltage_v: float,
+    frequency_mhz: float,
+) -> PowerAttribution:
+    """Attribute one operating point's estimated power to model terms.
+
+    ``counter_rates`` are events per cycle for (at least) the model's
+    counters.
+    """
+    if voltage_v <= 0 or frequency_mhz <= 0:
+        raise ValueError("voltage and frequency must be positive")
+    coeffs = model.coefficients
+    v2f = voltage_v * voltage_v * frequency_mhz / 1000.0
+    per_counter = {}
+    for counter in model.counters:
+        if counter not in counter_rates:
+            raise KeyError(f"missing rate for model counter {counter!r}")
+        per_counter[counter] = (
+            coeffs[f"alpha:{counter}"] * counter_rates[counter] * v2f
+        )
+    residual = coeffs["beta:V2f"] * v2f
+    static = coeffs["gamma:V"] * voltage_v + coeffs["delta:Z"]
+    total = sum(per_counter.values()) + residual + static
+    return PowerAttribution(
+        total_w=total,
+        per_counter_w=per_counter,
+        residual_dynamic_w=residual,
+        static_w=static,
+    )
+
+
+def attribute_dataset(
+    model: FittedPowerModel, dataset: PowerDataset
+) -> List[PowerAttribution]:
+    """Attribute every row of a dataset (e.g. for a per-workload power
+    breakdown report)."""
+    out = []
+    for i in range(dataset.n_samples):
+        rates = {
+            c: float(dataset.column(c)[i]) for c in model.counters
+        }
+        out.append(
+            attribute(
+                model,
+                counter_rates=rates,
+                voltage_v=float(dataset.voltage_v[i]),
+                frequency_mhz=float(dataset.frequency_mhz[i]),
+            )
+        )
+    return out

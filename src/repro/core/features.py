@@ -1,0 +1,65 @@
+"""Design matrix of Equation 1.
+
+.. math::
+
+    P_{Total} = \\underbrace{\\left(\\sum_{n=0}^{N-1} \\alpha_n E_n
+    V_{DD}^2 f_{clk}\\right) + \\beta V_{DD}^2 f_{clk}}_{\\text{dynamic
+    power}} + \\underbrace{\\gamma V_{DD} + \\delta Z}_{\\text{static
+    power}}
+
+Columns, in order: one :math:`E_n V^2 f` column per selected counter,
+then :math:`V^2 f` (β, uncaptured dynamic power), :math:`V` (γ, static
+processor power), and the constant :math:`Z = 1` (δ, system power
+independent of core voltage).  The model is fit **without** an
+additional intercept — δZ *is* the constant term.
+
+Frequency enters in GHz so all columns live on comparable scales
+(conditioning; the coefficients are then W per (V²·GHz) resp. W).
+Counter rates are events **per cycle**, the normalization Section III-C
+motivates explicitly to decouple the counter columns from
+:math:`f_{clk}`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.acquisition.dataset import PowerDataset
+
+__all__ = ["design_matrix", "feature_names", "STRUCTURAL_TERMS"]
+
+#: Names of the non-counter columns, in design-matrix order.
+STRUCTURAL_TERMS: Tuple[str, ...] = ("beta:V2f", "gamma:V", "delta:Z")
+
+
+def feature_names(counters: Sequence[str]) -> List[str]:
+    """Column names of the Equation 1 design matrix."""
+    return [f"alpha:{c}" for c in counters] + list(STRUCTURAL_TERMS)
+
+
+def design_matrix(
+    dataset: PowerDataset, counters: Sequence[str]
+) -> np.ndarray:
+    """Build the Equation 1 regressor matrix for a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Source of counter rates (events/cycle), voltage and frequency.
+    counters:
+        Selected PMC event names (may be empty: the structural terms
+        alone then model the workload-independent baseline).
+    """
+    v = dataset.voltage_v
+    f_ghz = dataset.frequency_mhz / 1000.0
+    v2f = v * v * f_ghz
+    cols = []
+    if counters:
+        rates = dataset.counter_matrix(list(counters))
+        cols.append(rates * v2f[:, np.newaxis])
+    cols.append(v2f[:, np.newaxis])
+    cols.append(v[:, np.newaxis])
+    cols.append(np.ones((dataset.n_samples, 1)))
+    return np.hstack(cols)

@@ -1,0 +1,100 @@
+"""Model persistence: save fitted Equation 1 models for deployment.
+
+A power model is useful precisely when it outlives the calibration
+campaign: it gets fitted once against reference instrumentation and
+then deployed on machines that have none.  This module serializes a
+:class:`~repro.core.model.FittedPowerModel` to a self-describing JSON
+document (coefficients, counter set, fit provenance) and restores it to
+a fully functional model — prediction, attribution and online
+estimation all work on the restored object.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.model import FittedPowerModel
+from repro.core.features import feature_names
+from repro.stats.ols import OLSResult
+
+__all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model"]
+
+#: Format tag so future revisions can migrate old files.
+FORMAT = "repro-power-model/1"
+
+
+def model_to_dict(model: FittedPowerModel) -> Dict:
+    """Serializable representation of a fitted model."""
+    return {
+        "format": FORMAT,
+        "counters": list(model.counters),
+        "coefficients": {
+            name: float(value) for name, value in model.coefficients.items()
+        },
+        "cov_type": model.cov_type,
+        "fit": {
+            "rsquared": model.rsquared,
+            "rsquared_adj": model.rsquared_adj,
+            "nobs": model.ols.nobs,
+            "bse": [float(v) for v in model.ols.bse],
+        },
+    }
+
+
+def model_from_dict(payload: Dict) -> FittedPowerModel:
+    """Restore a fitted model from :func:`model_to_dict` output.
+
+    The restored object predicts and attributes exactly; residual
+    vectors of the original fit are not persisted (they belong to the
+    calibration data, not the model).
+    """
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported model format {payload.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    counters = tuple(payload["counters"])
+    names = feature_names(counters)
+    coeffs = payload["coefficients"]
+    missing = [n for n in names if n not in coeffs]
+    if missing:
+        raise ValueError(f"model file missing coefficients: {missing}")
+    params = np.array([coeffs[n] for n in names], dtype=np.float64)
+    fit = payload.get("fit", {})
+    bse = np.asarray(fit.get("bse", np.zeros_like(params)), dtype=np.float64)
+    if bse.shape != params.shape:
+        raise ValueError("standard-error vector does not match coefficients")
+    nobs = int(fit.get("nobs", len(params)))
+    ols = OLSResult(
+        params=params,
+        bse=bse,
+        cov_params=np.diag(bse**2),
+        rsquared=float(fit.get("rsquared", float("nan"))),
+        rsquared_adj=float(fit.get("rsquared_adj", float("nan"))),
+        nobs=nobs,
+        df_model=len(params),
+        df_resid=max(nobs - len(params), 1),
+        cov_type=payload.get("cov_type", "HC3"),
+        fitted_values=np.array([]),
+        residuals=np.array([]),
+        exog_names=tuple(names),
+        has_intercept=False,
+    )
+    return FittedPowerModel(
+        counters=counters, ols=ols, cov_type=payload.get("cov_type", "HC3")
+    )
+
+
+def save_model(model: FittedPowerModel, path: Union[str, Path]) -> None:
+    """Write the model to a JSON file."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=2) + "\n")
+
+
+def load_model(path: Union[str, Path]) -> FittedPowerModel:
+    """Read a model written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

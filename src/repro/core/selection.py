@@ -1,0 +1,252 @@
+"""PMC event selection — Algorithm 1 of the paper.
+
+Greedy forward selection: at each step, fit Equation 1 with every
+remaining candidate added to the already-selected events and keep the
+candidate yielding the highest :math:`R^2`.  Unlike Walker et al., the
+selection does **not** start from a pre-seeded cycle counter (the paper
+found no significant difference, Section III-B).
+
+Stage two quantifies multicollinearity: the mean VIF over the selected
+event *rate* columns is recorded per step (Table I / Table IV).  The
+paper's CA_SNP finding — a seventh counter that raises :math:`R^2`
+slightly while blowing the mean VIF past 10 — is surfaced by
+:meth:`SelectionResult.first_unstable_step`.
+
+The selection criterion is pluggable (``r2`` — the paper's, plus
+``adj_r2`` / ``aic`` / ``bic`` from the future-work ablation); an
+optional ``max_vif`` constraint implements the VIF-guarded greedy
+variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.acquisition.dataset import PowerDataset
+from repro.core.model import PowerModel
+from repro.stats.selection_criteria import CRITERIA
+from repro.stats.vif import VIF_PROBLEM_THRESHOLD, mean_vif
+
+__all__ = [
+    "SelectionStep",
+    "SelectionResult",
+    "select_events",
+    "select_events_lasso",
+]
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One row of Table I / Table IV."""
+
+    counter: str
+    rsquared: float
+    rsquared_adj: float
+    mean_vif: float
+    """Mean VIF of the selected set *including* this counter; NaN for
+    the first step (the paper prints "n/a")."""
+    criterion_value: float
+
+    @property
+    def is_unstable(self) -> bool:
+        return (
+            not np.isnan(self.mean_vif)
+            and self.mean_vif > VIF_PROBLEM_THRESHOLD
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Complete record of a greedy selection run."""
+
+    steps: Tuple[SelectionStep, ...]
+    criterion: str
+
+    @property
+    def selected(self) -> Tuple[str, ...]:
+        return tuple(s.counter for s in self.steps)
+
+    def first_unstable_step(self) -> Optional[int]:
+        """1-based index of the first step whose mean VIF exceeds the
+        multicollinearity threshold, or None if all steps are stable."""
+        for i, s in enumerate(self.steps):
+            if s.is_unstable:
+                return i + 1
+        return None
+
+    def stable_prefix(self) -> Tuple[str, ...]:
+        """Selected counters up to (excluding) the first unstable step."""
+        cut = self.first_unstable_step()
+        if cut is None:
+            return self.selected
+        return self.selected[: cut - 1]
+
+    def table_rows(self) -> List[Tuple[str, float, float, float]]:
+        """(counter, R², Adj.R², mean VIF) rows in selection order."""
+        return [
+            (s.counter, s.rsquared, s.rsquared_adj, s.mean_vif)
+            for s in self.steps
+        ]
+
+
+def select_events(
+    dataset: PowerDataset,
+    n_events: int,
+    *,
+    candidates: Optional[Sequence[str]] = None,
+    criterion: str = "r2",
+    max_vif: Optional[float] = None,
+    cov_type: str = "HC3",
+) -> SelectionResult:
+    """Run Algorithm 1 on a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Selection data — the paper uses all workloads at a fixed
+        2400 MHz.
+    n_events:
+        ``#Events``: how many counters to select.
+    candidates:
+        Candidate pool (default: all 54 counters of the dataset).
+    criterion:
+        Scoring function for the greedy step (``r2`` is Algorithm 1).
+    max_vif:
+        If given, a candidate whose inclusion pushes the mean VIF of
+        the selected *rate* columns above this bound is skipped — the
+        VIF-constrained variant studied in the ablation benchmark.
+    cov_type:
+        Covariance estimator for the per-step fits.
+    """
+    if criterion not in CRITERIA:
+        raise ValueError(
+            f"unknown criterion {criterion!r}; available: {sorted(CRITERIA)}"
+        )
+    score_fn = CRITERIA[criterion]
+    pool = list(candidates) if candidates is not None else list(dataset.counter_names)
+    for c in pool:
+        if c not in dataset.counter_names:
+            raise KeyError(f"candidate {c!r} not in dataset")
+    if n_events < 1:
+        raise ValueError("must select at least one event")
+    if n_events > len(pool):
+        raise ValueError(
+            f"cannot select {n_events} events from {len(pool)} candidates"
+        )
+
+    selected: List[str] = []
+    steps: List[SelectionStep] = []
+    remaining = list(pool)
+
+    while len(selected) < n_events:
+        best: Optional[Tuple[str, float, float, float, float]] = None
+        for event in remaining:
+            trial = selected + [event]
+            if max_vif is not None and len(trial) > 1:
+                trial_vif = mean_vif(dataset.counter_matrix(trial))
+                if trial_vif > max_vif:
+                    continue
+            fitted = PowerModel(trial, cov_type=cov_type).fit(dataset)
+            score = score_fn(fitted.ols)
+            if best is None or score > best[1]:
+                best = (
+                    event,
+                    score,
+                    fitted.rsquared,
+                    fitted.rsquared_adj,
+                    float("nan"),
+                )
+        if best is None:
+            # Every remaining candidate violates the VIF constraint.
+            break
+        event, score, r2, adj, _ = best
+        selected.append(event)
+        remaining.remove(event)
+        vif = mean_vif(dataset.counter_matrix(selected))
+        steps.append(
+            SelectionStep(
+                counter=event,
+                rsquared=r2,
+                rsquared_adj=adj,
+                mean_vif=vif,
+                criterion_value=score,
+            )
+        )
+    return SelectionResult(steps=tuple(steps), criterion=criterion)
+
+
+def select_events_lasso(
+    dataset: PowerDataset,
+    n_events: int,
+    *,
+    candidates: Optional[Sequence[str]] = None,
+    n_alphas: int = 40,
+) -> SelectionResult:
+    """Lasso-path event selection (future-work alternative).
+
+    Runs the lasso over the full candidate feature block
+    (:math:`E_n V^2 f` for every candidate) and selects counters in the
+    order they enter the regularization path — an embedded-selection
+    alternative to the greedy wrapper of Algorithm 1 that handles
+    correlated candidates by construction.
+
+    Each selected prefix is re-fit with plain Equation 1 OLS so the
+    reported R²/Adj.R²/VIF columns are directly comparable to
+    :func:`select_events`.
+    """
+    from repro.core.features import design_matrix
+    from repro.stats.regularized import lasso_path
+
+    pool = list(candidates) if candidates is not None else list(dataset.counter_names)
+    for c in pool:
+        if c not in dataset.counter_names:
+            raise KeyError(f"candidate {c!r} not in dataset")
+    if not 1 <= n_events <= len(pool):
+        raise ValueError(
+            f"cannot select {n_events} events from {len(pool)} candidates"
+        )
+
+    # Counter-feature block only: the structural terms stay unpenalized
+    # conceptually, so we regress power minus nothing on the alpha
+    # features and let the lasso intercept absorb the rest.
+    full = design_matrix(dataset, pool)[:, : len(pool)]
+    path = lasso_path(dataset.power_w, full, n_alphas=n_alphas)
+
+    order: List[str] = []
+    for fit in path:
+        for idx in fit.selected_features():
+            name = pool[idx]
+            if name not in order:
+                order.append(name)
+        if len(order) >= n_events:
+            break
+    if len(order) < n_events:
+        # Densest path point didn't reach n_events: fall back to
+        # magnitude order at the smallest penalty.
+        last = path[-1]
+        ranked = np.argsort(-np.abs(last.coef))
+        for idx in ranked:
+            name = pool[int(idx)]
+            if name not in order:
+                order.append(name)
+            if len(order) >= n_events:
+                break
+    order = order[:n_events]
+
+    steps: List[SelectionStep] = []
+    for i in range(1, len(order) + 1):
+        prefix = order[:i]
+        fitted = PowerModel(prefix).fit(dataset)
+        steps.append(
+            SelectionStep(
+                counter=order[i - 1],
+                rsquared=fitted.rsquared,
+                rsquared_adj=fitted.rsquared_adj,
+                mean_vif=mean_vif(dataset.counter_matrix(prefix)),
+                criterion_value=fitted.rsquared,
+            )
+        )
+    return SelectionResult(steps=tuple(steps), criterion="lasso-path")

@@ -1,0 +1,103 @@
+"""End-to-end modeling workflow (Fig. 1 of the paper).
+
+``data acquisition → post-processing → PMC selection → model
+formulation → validation`` in one call, so the examples and the CLI can
+run the whole methodology without touching the individual layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.acquisition.campaign import run_campaign
+from repro.acquisition.dataset import PowerDataset
+from repro.core.model import FittedPowerModel, PowerModel
+from repro.core.scenarios import ScenarioResult, scenario_cv_all
+from repro.core.selection import SelectionResult, select_events
+from repro.hardware.dvfs import PAPER_FREQUENCIES_MHZ, SELECTION_FREQUENCY_MHZ
+from repro.hardware.platform import Platform
+from repro.seeding import DEFAULT_SEED
+from repro.workloads.base import Workload
+from repro.workloads.registry import all_workloads
+
+__all__ = ["WorkflowResult", "run_workflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowResult:
+    """Everything the four workflow stages produced."""
+
+    selection_dataset: PowerDataset
+    """All workloads at the fixed selection frequency (Section IV-A)."""
+    full_dataset: PowerDataset
+    """All workloads across all DVFS states (Section IV-B)."""
+    selection: SelectionResult
+    model: FittedPowerModel
+    """Equation 1 fitted on the full dataset with the selected events."""
+    validation: ScenarioResult
+    """10-fold cross validation of the model (Table II scenario)."""
+
+    @property
+    def selected_counters(self) -> Tuple[str, ...]:
+        return self.selection.selected
+
+    def summary(self) -> str:
+        rows = [
+            "Workflow summary",
+            f"  selection dataset: {self.selection_dataset.n_samples} phases "
+            f"@ {int(self.selection_dataset.frequency_mhz[0])} MHz",
+            f"  full dataset:      {self.full_dataset.n_samples} phases, "
+            f"{len(set(map(int, self.full_dataset.frequency_mhz)))} DVFS states",
+            f"  selected events:   {', '.join(self.selected_counters)}",
+            f"  model fit:         R2={self.model.rsquared:.4f} "
+            f"Adj.R2={self.model.rsquared_adj:.4f}",
+            f"  10-fold CV MAPE:   {self.validation.mape:.2f} %",
+        ]
+        return "\n".join(rows)
+
+
+def run_workflow(
+    platform: Optional[Platform] = None,
+    *,
+    workloads: Optional[Sequence[Workload]] = None,
+    selection_frequency_mhz: int = SELECTION_FREQUENCY_MHZ,
+    frequencies_mhz: Sequence[int] = PAPER_FREQUENCIES_MHZ,
+    n_events: int = 6,
+    criterion: str = "r2",
+    seed: int = DEFAULT_SEED,
+    sampling_interval_s: float = 0.1,
+) -> WorkflowResult:
+    """Run the complete methodology of the paper.
+
+    Defaults reproduce the paper's setup: all roco2 + SPEC workloads,
+    counter selection at 2400 MHz, model training/validation across the
+    five DVFS states, six selected events.
+    """
+    platform = platform or Platform(seed=seed)
+    workloads = list(workloads) if workloads is not None else all_workloads()
+    if selection_frequency_mhz not in frequencies_mhz:
+        raise ValueError(
+            "the selection frequency must be one of the campaign "
+            f"frequencies, got {selection_frequency_mhz} vs {frequencies_mhz}"
+        )
+
+    full = run_campaign(
+        platform,
+        workloads,
+        frequencies_mhz,
+        sampling_interval_s=sampling_interval_s,
+    )
+    selection_ds = full.filter(frequency_mhz=selection_frequency_mhz)
+    selection = select_events(
+        selection_ds, n_events, criterion=criterion
+    )
+    model = PowerModel(selection.selected).fit(full)
+    validation = scenario_cv_all(full, selection.selected, seed=seed)
+    return WorkflowResult(
+        selection_dataset=selection_ds,
+        full_dataset=full,
+        selection=selection,
+        model=model,
+        validation=validation,
+    )

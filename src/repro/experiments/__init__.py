@@ -1,0 +1,16 @@
+"""Reproduction of every table and figure of the paper's evaluation.
+
+One module per artifact; each exposes ``run(...)`` returning a result
+object with a ``render()`` method that prints the regenerated rows next
+to the paper's published values.  ``runner`` provides the
+``repro-experiments`` command-line interface; :mod:`~repro.experiments.data`
+builds and caches the measurement campaigns all experiments share.
+"""
+
+from repro.experiments.data import (
+    full_dataset,
+    selection_dataset,
+    selected_counters,
+)
+
+__all__ = ["full_dataset", "selection_dataset", "selected_counters"]

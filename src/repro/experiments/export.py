@@ -1,0 +1,173 @@
+"""Machine-readable export of the regenerated evaluation.
+
+``repro-experiments --export-dir out/`` writes every table and figure
+as a JSON document (plus CSV for the tabular artifacts), so the
+reproduction's numbers can be plotted or diffed with external tooling
+without re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.experiments import fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4
+from repro.seeding import DEFAULT_SEED
+
+__all__ = ["export_all", "EXPORTERS"]
+
+
+def _clean(value):
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def _write_json(path: Path, payload) -> None:
+    path.write_text(json.dumps(payload, indent=2, default=_clean) + "\n")
+
+
+def _write_csv(path: Path, headers: List[str], rows) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(["" if _clean(v) is None else v for v in row])
+
+
+def _export_table1(out: Path, seed: int) -> None:
+    result = table1.run(seed=seed)
+    rows = [
+        (s.counter, s.rsquared, s.rsquared_adj, s.mean_vif)
+        for s in result.extended.steps
+    ]
+    _write_csv(out / "table1.csv", ["counter", "r2", "adj_r2", "mean_vif"], rows)
+    _write_json(
+        out / "table1.json",
+        {
+            "selected": list(result.selection.selected),
+            "first_unstable_step": result.extended.first_unstable_step(),
+            "steps": [
+                {
+                    "counter": s.counter,
+                    "r2": s.rsquared,
+                    "adj_r2": s.rsquared_adj,
+                    "mean_vif": None if math.isnan(s.mean_vif) else s.mean_vif,
+                }
+                for s in result.extended.steps
+            ],
+        },
+    )
+
+
+def _export_table2(out: Path, seed: int) -> None:
+    result = table2.run(seed=seed)
+    _write_json(
+        out / "table2.json",
+        {
+            "counters": list(result.counters),
+            "summary": {
+                k: {"min": v[0], "max": v[1], "mean": v[2]}
+                for k, v in result.summary().items()
+            },
+            "fold_mape": list(result.fold_mape),
+            "fold_r2": list(result.fold_r2),
+        },
+    )
+
+
+def _export_fig2(out: Path, seed: int) -> None:
+    result = fig2.run(seed=seed)
+    _write_csv(
+        out / "fig2.csv",
+        ["n_counters", "r2", "adj_r2"],
+        [
+            (i + 1, r, a)
+            for i, (r, a) in enumerate(
+                zip(result.r2_series, result.adj_r2_series)
+            )
+        ],
+    )
+
+
+def _export_fig3(out: Path, seed: int) -> None:
+    result = fig3.run(seed=seed)
+    _write_csv(
+        out / "fig3.csv",
+        ["workload", "suite", "mape_percent"],
+        [
+            (w, result.suites[w], m)
+            for w, m in result.per_workload_mape.items()
+        ],
+    )
+
+
+def _export_fig4(out: Path, seed: int) -> None:
+    result = fig4.run(seed=seed)
+    _write_json(
+        out / "fig4.json",
+        {
+            "mape_percent": result.mapes,
+            "scenario2_over_cv_ratio": result.scenario2_over_cv_ratio(),
+        },
+    )
+
+
+def _export_fig5(out: Path, seed: int) -> None:
+    result = fig5.run(seed=seed)
+    for name, scatter in (("fig5a", result.scatter_a), ("fig5b", result.scatter_b)):
+        _write_csv(
+            out / f"{name}.csv",
+            ["workload", "suite", "frequency_mhz", "threads", "actual_w", "predicted_w"],
+            scatter,
+        )
+
+
+def _export_table3(out: Path, seed: int) -> None:
+    result = table3.run(seed=seed)
+    _write_csv(out / "table3.csv", ["counter", "pcc"], list(result.pcc.items()))
+
+
+def _export_fig6(out: Path, seed: int) -> None:
+    result = fig6.run(seed=seed)
+    _write_csv(out / "fig6.csv", ["counter", "pcc"], list(result.pcc.items()))
+
+
+def _export_table4(out: Path, seed: int) -> None:
+    result = table4.run(seed=seed)
+    _write_csv(
+        out / "table4.csv",
+        ["counter", "r2", "adj_r2", "mean_vif"],
+        [
+            (s.counter, s.rsquared, s.rsquared_adj, s.mean_vif)
+            for s in result.synthetic_selection.steps
+        ],
+    )
+
+
+EXPORTERS = {
+    "table1": _export_table1,
+    "table2": _export_table2,
+    "fig2": _export_fig2,
+    "fig3": _export_fig3,
+    "fig4": _export_fig4,
+    "fig5": _export_fig5,
+    "table3": _export_table3,
+    "fig6": _export_fig6,
+    "table4": _export_table4,
+}
+
+
+def export_all(
+    directory: Union[str, Path], *, seed: int = DEFAULT_SEED
+) -> List[Path]:
+    """Export every artifact; returns the files written."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    before = set(out.iterdir())
+    for exporter in EXPORTERS.values():
+        exporter(out, seed)
+    return sorted(set(out.iterdir()) - before | set(out.iterdir()))

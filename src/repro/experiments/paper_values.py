@@ -1,0 +1,78 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Values are transcribed from Chadha et al., IPDPSW 2017.  Where a figure
+only supports qualitative reading (no axis values printed in the text),
+the entry records the qualitative claim instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_EXTENDED",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_FIG4_SCENARIO2_MAPE",
+    "PAPER_CV_MAPE",
+    "PAPER_FIG3_CLAIMS",
+    "PAPER_ARM_MAPE",
+]
+
+#: Table I — counters selected on all workloads @ 2400 MHz:
+#: (counter, R², Adj.R², mean VIF); VIF of the first step is "n/a".
+PAPER_TABLE1: List[Tuple[str, float, float, Optional[float]]] = [
+    ("PRF_DM", 0.735, 0.730, None),
+    ("TOT_CYC", 0.897, 0.893, 1.062),
+    ("TLB_IM", 0.933, 0.930, 1.405),
+    ("FUL_CCY", 0.962, 0.959, 1.472),
+    ("STL_ICY", 0.979, 0.976, 1.573),
+    ("BR_MSP", 0.984, 0.982, 1.787),
+]
+
+#: Section IV-A: letting the algorithm select a 7th counter picks
+#: CA_SNP, raising R² to 0.989 but the mean VIF to 26.42.
+PAPER_TABLE1_EXTENDED: Tuple[str, float, float] = ("CA_SNP", 0.989, 26.42)
+
+#: Table II — 10-fold cross validation summary: metric → (min, max, mean).
+PAPER_TABLE2: Dict[str, Tuple[float, float, float]] = {
+    "R2": (0.9904, 0.9913, 0.9910),
+    "Adj.R2": (0.9900, 0.9910, 0.9906),
+    "MAPE": (6.6114, 8.3198, 7.5452),
+}
+
+#: Table III — PCC of the selected counters with power.
+PAPER_TABLE3: Dict[str, float] = {
+    "PRF_DM": 0.85,
+    "TOT_CYC": 0.59,
+    "TLB_IM": 0.33,
+    "FUL_CCY": 0.57,
+    "STL_ICY": 0.38,
+    "BR_MSP": -0.01,
+}
+
+#: Table IV — counters selected on the synthetic workloads only.
+PAPER_TABLE4: List[Tuple[str, float, float, Optional[float]]] = [
+    ("L1_LDM", 0.839, 0.836, None),
+    ("REF_CYC", 0.941, 0.938, 1.084),
+    ("BR_PRC", 0.973, 0.971, 1.340),
+    ("L3_LDM", 0.990, 0.989, 1.341),
+    ("FUL_CCY", 0.993, 0.993, 8.982),
+    ("STL_ICY", 0.995, 0.994, 13.617),
+]
+
+#: Fig. 4 — "The highest error of 15.10 % occurs in scenario 2".
+PAPER_FIG4_SCENARIO2_MAPE: float = 15.10
+#: Scenario 3 equals the Table II CV: 7.5452 %.
+PAPER_CV_MAPE: float = 7.5452
+
+#: Fig. 3 — qualitative claims printed in the text.
+PAPER_FIG3_CLAIMS: Dict[str, str] = {
+    "max": "ilbdc",
+    "min": "sqrt",
+}
+
+#: Section IV-B — the original ARM implementation's MAPE, for context.
+PAPER_ARM_MAPE: Tuple[float, float] = (2.8, 3.8)

@@ -1,0 +1,116 @@
+"""``repro-experiments`` — regenerate the paper's evaluation from the CLI.
+
+Usage::
+
+    repro-experiments                 # run everything
+    repro-experiments table1 fig4    # run a subset
+    repro-experiments --list         # show available experiments
+    repro-experiments --seed 7       # different measurement campaign
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import data
+from repro.seeding import DEFAULT_SEED
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _runner(module_name: str) -> Callable[[int], str]:
+    def run(seed: int) -> str:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        return module.run(seed=seed).render()
+
+    return run
+
+
+#: Experiment id → callable(seed) -> rendered report.
+EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+    "table1": _runner("table1"),
+    "fig2": _runner("fig2"),
+    "table2": _runner("table2"),
+    "fig3": _runner("fig3"),
+    "fig4": _runner("fig4"),
+    "fig5": _runner("fig5"),
+    "table3": _runner("table3"),
+    "fig6": _runner("fig6"),
+    "table4": _runner("table4"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'A Statistical Approach "
+            "to Power Estimation for x86 Processors' (IPDPSW 2017) on the "
+            "simulated platform."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="campaign root seed"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the on-disk campaign cache",
+    )
+    parser.add_argument(
+        "--export-dir",
+        metavar="DIR",
+        help="also write every artifact as CSV/JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    chosen = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in chosen if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(available: {', '.join(EXPERIMENTS)})"
+        )
+
+    if args.no_cache:
+        data.clear_memory_cache()
+        # Force a rebuild by bypassing the disk cache once.
+        data.full_dataset(seed=args.seed, use_disk_cache=False)
+
+    if args.export_dir:
+        from repro.experiments.export import export_all
+
+        written = export_all(args.export_dir, seed=args.seed)
+        print(f"exported {len(written)} files to {args.export_dir}")
+
+    for name in chosen:
+        t0 = time.time()
+        report = EXPERIMENTS[name](args.seed)
+        elapsed = time.time() - t0
+        print("=" * 72)
+        print(f"{name}  ({elapsed:.1f} s)")
+        print("=" * 72)
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""A simulated ARM development board — the methodology's origin.
+
+Walker et al. developed the modeling approach on embedded ARM systems
+(Cortex-A15/A7), where it achieved 2.8 % / 3.8 % MAPE; the paper under
+reproduction adapts it to x86 and lands at 7.54 %, attributing the gap
+to "the high intricacy of the x86 CISC architecture and PMCs".
+
+This module provides the ARM side of that comparison: a single-cluster
+Cortex-A15-class platform (4 in-order-ish cores, 0.6–1.8 GHz,
+LPDDR3).  Two properties make its PMC models intrinsically more
+accurate, both encoded in the parameterization:
+
+* **Observability** — a shallow RISC pipeline has little power-relevant
+  state the counters miss: ``latent_sensitivity`` is far below the x86
+  value, so workload-specific circuit effects barely perturb power.
+* **Simplicity** — no wide vector units (``vector_width_exponent`` 1.0)
+  and a small uncore; dynamic power is almost a linear function of the
+  counted events.
+
+The ARM-vs-x86 benchmark reruns the identical pipeline here and
+reproduces the paper's accuracy ordering.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.config import PlatformConfig
+from repro.hardware.dvfs import PState, VoltageFrequencyCurve
+from repro.hardware.power import PowerModelParams
+
+__all__ = ["CORTEX_A15_CURVE", "CORTEX_A15_CONFIG", "CORTEX_A15_POWER"]
+
+#: Typical big-cluster DVFS ladder of a 28 nm Cortex-A15 SoC.
+CORTEX_A15_CURVE = VoltageFrequencyCurve(
+    (
+        PState(600, 0.90),
+        PState(1000, 0.98),
+        PState(1400, 1.09),
+        PState(1800, 1.23),
+    )
+)
+
+#: Single 4-core cluster (an ODROID-class development board).
+CORTEX_A15_CONFIG = PlatformConfig(
+    name="cortex-a15",
+    sockets=1,
+    cores_per_socket=4,
+    curve=CORTEX_A15_CURVE,
+    dram_latency_ns=130.0,  # LPDDR3
+    remote_latency_penalty=0.0,  # single cluster, no NUMA
+    peak_dram_bw_gbs=10.5,
+    issue_width=3,
+    mispredict_penalty_cycles=15.0,
+    l2_hit_cycles=21.0,
+    l3_hit_cycles=21.0,  # no L3: treat as L2-class latency
+    tlb_walk_cycles=40.0,
+    programmable_slots=6,  # A15 PMU: 6 counters + cycle counter
+    reference_clock_mhz=1800,
+)
+
+#: 28 nm embedded-class energies (roughly 1/8 of the Haswell values)
+#: with the latent channels closed: this is what makes ARM models
+#: accurate.
+CORTEX_A15_POWER = PowerModelParams(
+    v_ref=1.1,
+    e_core_active=0.11,
+    clock_gate_saving=0.55,
+    e_uop=0.055,
+    e_fp_scalar=0.03,
+    e_fp_vector=0.02,  # NEON at fixed 128-bit width
+    vector_width_exponent=1.0,
+    latent_sensitivity=0.30,
+    e_l1_access=0.02,
+    e_l2_access=0.25,
+    e_l3_access=0.25,
+    e_flush=4.0,
+    e_tlb_walk=6.0,
+    p_uncore_base=0.35,
+    e_dram_read_pj_per_byte=95.0,
+    e_dram_write_pj_per_byte=110.0,
+    saturation_knee=0.85,
+    saturation_penalty=0.15,
+    e_qpi_pj_per_byte=0.0,
+    p_dram_background_w=0.30,
+    leakage_w_per_v=0.55,
+    leakage_temp_coeff=0.010,
+    t_ambient_c=35.0,
+    t_reference_c=50.0,
+    thermal_resistance_k_per_w=4.0,  # small passive heatsink
+    vr_efficiency=0.88,
+    p_board_const_w=0.9,
+)

@@ -1,0 +1,66 @@
+"""Static configuration of the simulated platform.
+
+Models the paper's system under test: a dual-socket Intel Xeon
+E5-2690v3 (Haswell-EP), 2 × 12 cores, Hyper-Threading and Turbo Boost
+disabled, instrumented with calibrated power sensors at the 12 V inputs
+of each socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.dvfs import HASWELL_EP_CURVE, VoltageFrequencyCurve
+
+__all__ = ["PlatformConfig", "HASWELL_EP_CONFIG"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Physical parameters of a simulated dual-socket x86 node."""
+
+    name: str = "haswell-ep"
+    sockets: int = 2
+    cores_per_socket: int = 12
+    curve: VoltageFrequencyCurve = field(default=HASWELL_EP_CURVE)
+
+    # --- memory subsystem ------------------------------------------------
+    dram_latency_ns: float = 82.0
+    """Local-socket DRAM load-to-use latency."""
+    remote_latency_penalty: float = 0.55
+    """Fractional latency increase for remote-NUMA accesses."""
+    peak_dram_bw_gbs: float = 59.0
+    """Per-socket peak sustainable DRAM bandwidth (GB/s)."""
+    cache_line_bytes: int = 64
+
+    # --- pipeline ---------------------------------------------------------
+    issue_width: int = 4
+    mispredict_penalty_cycles: float = 15.0
+    l2_hit_cycles: float = 12.0
+    l3_hit_cycles: float = 34.0
+    tlb_walk_cycles: float = 30.0
+
+    # --- PMU --------------------------------------------------------------
+    programmable_slots: int = 4
+    """Simultaneously programmable counters per run (the hardware
+    limitation that forces multiple runs per workload, Section III-A)."""
+
+    # --- reference clock -----------------------------------------------------
+    reference_clock_mhz: int = 2600
+    """TSC / reference-cycle base clock (nominal frequency)."""
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("need at least one socket and one core")
+        if self.programmable_slots < 1:
+            raise ValueError("PMU needs at least one programmable slot")
+        if self.peak_dram_bw_gbs <= 0 or self.dram_latency_ns <= 0:
+            raise ValueError("memory parameters must be positive")
+
+
+#: The paper's system under test.
+HASWELL_EP_CONFIG = PlatformConfig()

@@ -1,0 +1,164 @@
+"""The 54 standardized PAPI preset counters of the experimental platform.
+
+Section IV: "As possible input to the power model, we use 54 PAPI
+counters that are available on the system. […] We focus on the
+standardized PAPI counters to keep the amount of measurements needed
+feasible.  Also the standardized PAPI counters represent a more generic
+view of the processor architecture."
+
+Counter short names follow the paper's convention (PAPI preset names
+without the ``PAPI_`` prefix, e.g. ``PRF_DM`` for
+``PAPI_PRF_DM``).  Each counter carries
+
+* a human-readable description (used in the analysis of Section V),
+* a *group* (cache / coherence / TLB / branch / stall / instruction /
+  cycle) used by the PMU scheduler and the correlation heat analysis,
+* whether it is a **fixed** counter (always collected, like the three
+  architectural fixed counters of Intel PMUs) or must be scheduled onto
+  one of the limited programmable counter slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "CounterSpec",
+    "PAPI_PRESETS",
+    "COUNTER_NAMES",
+    "FIXED_COUNTERS",
+    "PROGRAMMABLE_COUNTERS",
+    "counter_index",
+    "describe",
+]
+
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """Static description of one PAPI preset event."""
+
+    name: str
+    description: str
+    group: str
+    fixed: bool = False
+
+
+def _c(name: str, description: str, group: str, fixed: bool = False) -> CounterSpec:
+    return CounterSpec(name=name, description=description, group=group, fixed=fixed)
+
+
+#: All 54 PAPI presets available on the simulated Haswell-EP platform,
+#: in canonical order.  The order defines dataset column order.
+PAPI_PRESETS: Tuple[CounterSpec, ...] = (
+    # --- cycles (fixed architectural counters) ------------------------
+    _c("TOT_CYC", "Total cycles", "cycle", fixed=True),
+    _c("REF_CYC", "Reference clock cycles", "cycle", fixed=True),
+    _c("TOT_INS", "Instructions completed", "instruction", fixed=True),
+    # --- instruction mix ----------------------------------------------
+    _c("LD_INS", "Load instructions", "instruction"),
+    _c("SR_INS", "Store instructions", "instruction"),
+    _c("LST_INS", "Load/store instructions completed", "instruction"),
+    _c("BR_INS", "Branch instructions", "branch"),
+    # --- branches -------------------------------------------------------
+    _c("BR_UCN", "Unconditional branch instructions", "branch"),
+    _c("BR_CN", "Conditional branch instructions", "branch"),
+    _c("BR_TKN", "Conditional branch instructions taken", "branch"),
+    _c("BR_NTK", "Conditional branch instructions not taken", "branch"),
+    _c("BR_MSP", "Conditional branch instructions mispredicted", "branch"),
+    _c("BR_PRC", "Conditional branch instructions correctly predicted", "branch"),
+    # --- L1 cache -------------------------------------------------------
+    _c("L1_DCM", "Level 1 data cache misses", "cache_l1"),
+    _c("L1_ICM", "Level 1 instruction cache misses", "cache_l1"),
+    _c("L1_TCM", "Level 1 cache misses", "cache_l1"),
+    _c("L1_LDM", "Level 1 load misses", "cache_l1"),
+    _c("L1_STM", "Level 1 store misses", "cache_l1"),
+    # --- L2 cache -------------------------------------------------------
+    _c("L2_DCM", "Level 2 data cache misses", "cache_l2"),
+    _c("L2_ICM", "Level 2 instruction cache misses", "cache_l2"),
+    _c("L2_TCM", "Level 2 cache misses", "cache_l2"),
+    _c("L2_STM", "Level 2 store misses", "cache_l2"),
+    _c("L2_DCA", "Level 2 data cache accesses", "cache_l2"),
+    _c("L2_DCR", "Level 2 data cache reads", "cache_l2"),
+    _c("L2_DCW", "Level 2 data cache writes", "cache_l2"),
+    _c("L2_ICA", "Level 2 instruction cache accesses", "cache_l2"),
+    _c("L2_ICR", "Level 2 instruction cache reads", "cache_l2"),
+    _c("L2_ICH", "Level 2 instruction cache hits", "cache_l2"),
+    _c("L2_TCA", "Level 2 total cache accesses", "cache_l2"),
+    _c("L2_TCR", "Level 2 total cache reads", "cache_l2"),
+    _c("L2_TCW", "Level 2 total cache writes", "cache_l2"),
+    # --- L3 cache -------------------------------------------------------
+    _c("L3_TCM", "Level 3 cache misses", "cache_l3"),
+    _c("L3_LDM", "Level 3 load misses", "cache_l3"),
+    _c("L3_DCA", "Level 3 data cache accesses", "cache_l3"),
+    _c("L3_DCR", "Level 3 data cache reads", "cache_l3"),
+    _c("L3_DCW", "Level 3 data cache writes", "cache_l3"),
+    _c("L3_ICA", "Level 3 instruction cache accesses", "cache_l3"),
+    _c("L3_ICR", "Level 3 instruction cache reads", "cache_l3"),
+    _c("L3_TCA", "Level 3 total cache accesses", "cache_l3"),
+    _c("L3_TCR", "Level 3 total cache reads", "cache_l3"),
+    _c("L3_TCW", "Level 3 total cache writes", "cache_l3"),
+    # --- coherence --------------------------------------------------------
+    _c("CA_SNP", "Requests for a snoop", "coherence"),
+    _c("CA_SHR", "Requests for exclusive access to shared cache line", "coherence"),
+    _c("CA_CLN", "Requests for exclusive access to clean cache line", "coherence"),
+    _c("CA_ITV", "Requests for cache line intervention", "coherence"),
+    # --- TLB ---------------------------------------------------------------
+    _c("TLB_DM", "Data translation lookaside buffer misses", "tlb"),
+    _c("TLB_IM", "Instruction translation lookaside buffer misses", "tlb"),
+    # --- prefetch -----------------------------------------------------------
+    _c("PRF_DM", "Data prefetch cache misses", "prefetch"),
+    # --- stalls / pipeline ---------------------------------------------------
+    _c("MEM_WCY", "Cycles waiting for memory writes", "stall"),
+    _c("STL_ICY", "Cycles with no instruction issue", "stall"),
+    _c("FUL_ICY", "Cycles with maximum instruction issue", "stall"),
+    _c("STL_CCY", "Cycles with no instructions completed", "stall"),
+    _c("FUL_CCY", "Cycles with maximum instructions completed", "stall"),
+    _c("RES_STL", "Cycles stalled on any resource", "stall"),
+)
+
+if len(PAPI_PRESETS) != 54:  # pragma: no cover - module-load invariant
+    raise AssertionError(
+        f"platform must expose exactly 54 PAPI presets, got {len(PAPI_PRESETS)}"
+    )
+
+#: Canonical counter name order (dataset column order).
+COUNTER_NAMES: Tuple[str, ...] = tuple(c.name for c in PAPI_PRESETS)
+
+#: Architectural fixed counters: collected in every run at no slot cost.
+FIXED_COUNTERS: Tuple[str, ...] = tuple(c.name for c in PAPI_PRESETS if c.fixed)
+
+#: Events competing for the limited programmable PMU slots.
+PROGRAMMABLE_COUNTERS: Tuple[str, ...] = tuple(
+    c.name for c in PAPI_PRESETS if not c.fixed
+)
+
+_INDEX: Dict[str, int] = {c.name: i for i, c in enumerate(PAPI_PRESETS)}
+_BY_NAME: Dict[str, CounterSpec] = {c.name: c for c in PAPI_PRESETS}
+
+
+def counter_index(name: str) -> int:
+    """Column index of a counter in the canonical order."""
+    try:
+        return _INDEX[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PAPI preset {name!r}; known: {', '.join(COUNTER_NAMES)}"
+        ) from None
+
+
+def describe(name: str) -> CounterSpec:
+    """Full :class:`CounterSpec` for a counter name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown PAPI preset {name!r}") from None
+
+
+def counters_in_group(group: str) -> List[str]:
+    """All counter names belonging to a group (e.g. ``cache_l2``)."""
+    names = [c.name for c in PAPI_PRESETS if c.group == group]
+    if not names:
+        groups = sorted({c.group for c in PAPI_PRESETS})
+        raise KeyError(f"unknown counter group {group!r}; known: {groups}")
+    return names

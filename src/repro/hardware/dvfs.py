@@ -1,0 +1,135 @@
+"""DVFS states and the voltage/frequency curve of the platform.
+
+The paper fixes the operating frequency per run and sweeps "5 distinct
+operating frequencies between 1200 and 2600 MHz" (Section IV-B).  On
+contemporary Intel processors the actual core voltage can be read at
+runtime (which is why the paper needs no separate voltage model); we
+replicate that with a calibrated V/f curve plus load-dependent and
+measurement jitter in :mod:`repro.hardware.voltage`.
+
+Voltages follow the near-affine V/f relation of Haswell-EP parts
+(~0.70 V at 1.2 GHz up to ~1.04 V at 2.6 GHz, no turbo — Turbo Boost is
+disabled on the system under test, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "OperatingPoint",
+    "PState",
+    "VoltageFrequencyCurve",
+    "HASWELL_EP_CURVE",
+    "PAPER_FREQUENCIES_MHZ",
+    "SELECTION_FREQUENCY_MHZ",
+]
+
+#: The five DVFS states swept in Section IV-B (MHz).
+PAPER_FREQUENCIES_MHZ: Tuple[int, ...] = (1200, 1600, 2000, 2400, 2600)
+
+#: Counter selection runs at a fixed 2400 MHz (Section IV-A).
+SELECTION_FREQUENCY_MHZ: int = 2400
+
+
+@dataclass(frozen=True)
+class PState:
+    """One ACPI P-state: nominal frequency and its supply voltage."""
+
+    frequency_mhz: int
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_mhz}")
+        if not 0.4 < self.voltage_v < 1.5:
+            raise ValueError(
+                f"implausible core voltage {self.voltage_v} V for a 22 nm part"
+            )
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A concrete (frequency, voltage) pair a run executes at.
+
+    ``frequency_hz`` and ``voltage_v`` are what enter Equation 1 as
+    ``f_clk`` and ``V_DD``.
+    """
+
+    frequency_mhz: int
+    voltage_v: float
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.frequency_mhz / 1000.0
+
+
+class VoltageFrequencyCurve:
+    """Piecewise-linear nominal V/f curve built from P-state anchors."""
+
+    def __init__(self, pstates: Tuple[PState, ...]) -> None:
+        if len(pstates) < 2:
+            raise ValueError("need at least two P-states to interpolate")
+        ordered = tuple(sorted(pstates, key=lambda p: p.frequency_mhz))
+        freqs = [p.frequency_mhz for p in ordered]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("duplicate P-state frequencies")
+        volts = [p.voltage_v for p in ordered]
+        if any(b < a for a, b in zip(volts, volts[1:])):
+            raise ValueError("voltage must be non-decreasing in frequency")
+        self._pstates = ordered
+
+    @property
+    def pstates(self) -> Tuple[PState, ...]:
+        return self._pstates
+
+    @property
+    def min_frequency_mhz(self) -> int:
+        return self._pstates[0].frequency_mhz
+
+    @property
+    def max_frequency_mhz(self) -> int:
+        return self._pstates[-1].frequency_mhz
+
+    def voltage_at(self, frequency_mhz: float) -> float:
+        """Nominal supply voltage at a frequency (linear interpolation).
+
+        Frequencies outside the P-state table are a configuration
+        error, not an extrapolation case — real hardware refuses them.
+        """
+        ps = self._pstates
+        if not ps[0].frequency_mhz <= frequency_mhz <= ps[-1].frequency_mhz:
+            raise ValueError(
+                f"{frequency_mhz} MHz outside supported range "
+                f"[{ps[0].frequency_mhz}, {ps[-1].frequency_mhz}]"
+            )
+        for lo, hi in zip(ps, ps[1:]):
+            if frequency_mhz <= hi.frequency_mhz:
+                span = hi.frequency_mhz - lo.frequency_mhz
+                t = (frequency_mhz - lo.frequency_mhz) / span
+                return lo.voltage_v + t * (hi.voltage_v - lo.voltage_v)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def operating_point(self, frequency_mhz: int) -> OperatingPoint:
+        """The nominal :class:`OperatingPoint` for a pinned frequency."""
+        return OperatingPoint(
+            frequency_mhz=int(frequency_mhz),
+            voltage_v=self.voltage_at(frequency_mhz),
+        )
+
+
+#: Nominal V/f anchors for the simulated Xeon E5-2690v3 (Haswell-EP).
+HASWELL_EP_CURVE = VoltageFrequencyCurve(
+    (
+        PState(1200, 0.70),
+        PState(1600, 0.78),
+        PState(2000, 0.87),
+        PState(2400, 0.97),
+        PState(2600, 1.04),
+    )
+)

@@ -1,0 +1,207 @@
+"""The simulated system under test: a dual-socket Haswell-EP node.
+
+:class:`Platform` binds together the microarchitecture model, the
+ground-truth power model, the sensor instrumentation, the voltage
+telemetry and the PMU, and executes workloads at pinned operating
+points — the simulated equivalent of launching an instrumented binary
+on the paper's test system.
+
+An execution (:class:`RunExecution`) carries *truth*: per-phase
+microarchitectural state and ground-truth power.  Measurement —
+sampling sensors, reading the PMU — is performed by the tracing layer
+(:mod:`repro.tracing`), mirroring the paper's separation between the
+system under test and the measurement infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.config import HASWELL_EP_CONFIG, PlatformConfig
+from repro.hardware.counters import COUNTER_NAMES, counter_index
+from repro.hardware.dvfs import OperatingPoint
+from repro.hardware.microarch import MicroarchState, evaluate
+from repro.hardware.pmu import PMU
+from repro.hardware.power import (
+    HASWELL_EP_POWER,
+    PowerBreakdown,
+    PowerModelParams,
+    compute_power,
+)
+from repro.hardware.sensors import SensorArray
+from repro.hardware.voltage import VoltageTelemetry
+from repro.seeding import DEFAULT_SEED, derive_rng
+from repro.workloads.base import PhaseSpec, Workload
+
+__all__ = ["PhaseExecution", "RunExecution", "Platform"]
+
+#: Counters exempt from run-to-run execution jitter: cycle counts are
+#: pinned by the fixed frequency and wall time.
+_JITTER_EXEMPT = ("TOT_CYC", "REF_CYC")
+
+
+@dataclass(frozen=True)
+class PhaseExecution:
+    """Ground truth for one executed phase."""
+
+    phase: PhaseSpec
+    start_s: float
+    end_s: float
+    state: MicroarchState
+    power: PowerBreakdown
+    true_voltage_v: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class RunExecution:
+    """Ground truth for one complete run of a workload."""
+
+    workload_name: str
+    suite: str
+    op: OperatingPoint
+    threads: int
+    run_index: int
+    phases: Tuple[PhaseExecution, ...]
+    seed: int
+
+    @property
+    def total_duration_s(self) -> float:
+        return self.phases[-1].end_s if self.phases else 0.0
+
+
+class Platform:
+    """Simulated dual-socket x86 node with instrumentation attached."""
+
+    def __init__(
+        self,
+        cfg: PlatformConfig = HASWELL_EP_CONFIG,
+        power_params: PowerModelParams = HASWELL_EP_POWER,
+        *,
+        seed: int = DEFAULT_SEED,
+        run_jitter_sigma: float = 0.004,
+        power_jitter_sigma: float = 0.003,
+        power_offset_sigma_w: float = 1.2,
+    ) -> None:
+        self.cfg = cfg
+        self.power_params = power_params
+        self.seed = seed
+        self.run_jitter_sigma = run_jitter_sigma
+        self.power_jitter_sigma = power_jitter_sigma
+        self.power_offset_sigma_w = power_offset_sigma_w
+        # Instrument calibration is a property of the physical setup:
+        # drawn once per platform instance, stable across campaigns.
+        self.sensors = SensorArray.build(
+            cfg.sockets, derive_rng(seed, "sensor-calibration")
+        )
+        self.voltage = VoltageTelemetry(cfg)
+        self.pmu = PMU(cfg)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        workload: Workload,
+        frequency_mhz: int,
+        threads: int,
+        *,
+        run_index: int = 0,
+    ) -> RunExecution:
+        """Execute a workload at a pinned frequency and thread count.
+
+        The operating frequency is "always fixed to one particular
+        value during one particular execution" (Section III-A).
+        Run-to-run variation is modelled as a coherent multiplicative
+        jitter on activity rates with a correlated power jitter.
+        """
+        workload.validate_threads(threads, self.cfg.total_cores)
+        op = self.cfg.curve.operating_point(frequency_mhz)
+        rng = derive_rng(
+            self.seed, "run", workload.name, frequency_mhz, threads, run_index
+        )
+        jitter = 1.0 + float(rng.normal(0.0, self.run_jitter_sigma))
+        power_jitter = (
+            1.0
+            + 0.6 * (jitter - 1.0)
+            + float(rng.normal(0.0, self.power_jitter_sigma))
+        )
+        # Run-level absolute power offset: OS housekeeping, fan state,
+        # VR operating-point differences.  Dominates *relative* error at
+        # the low end of the power range.
+        power_offset = float(rng.normal(0.0, self.power_offset_sigma_w))
+
+        executions: List[PhaseExecution] = []
+        t = 0.0
+        for phase in workload.phases(threads):
+            state = evaluate(
+                phase.characterization, op, phase.active_threads, self.cfg
+            )
+            state = self._apply_jitter(state, jitter)
+            power = compute_power(state.hidden, op, self.cfg, self.power_params)
+            per_socket_offset = power_offset / self.cfg.sockets
+            power = PowerBreakdown(
+                per_socket_w=tuple(
+                    max(p * power_jitter + per_socket_offset, 0.0)
+                    for p in power.per_socket_w
+                ),
+                dynamic_core_w=power.dynamic_core_w,
+                uncore_w=power.uncore_w,
+                static_w=power.static_w,
+                board_w=power.board_w,
+                temperature_c=power.temperature_c,
+            )
+            true_v = self.voltage.true_voltage(op, phase.active_threads)
+            executions.append(
+                PhaseExecution(
+                    phase=phase,
+                    start_s=t,
+                    end_s=t + phase.duration_s,
+                    state=state,
+                    power=power,
+                    true_voltage_v=true_v,
+                )
+            )
+            t += phase.duration_s
+
+        return RunExecution(
+            workload_name=workload.name,
+            suite=workload.suite,
+            op=op,
+            threads=threads,
+            run_index=run_index,
+            phases=tuple(executions),
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_jitter(self, state: MicroarchState, jitter: float) -> MicroarchState:
+        """Coherent run-to-run activity jitter (cycle counters exempt)."""
+        rates = state.counter_rates.copy()
+        mask = np.ones_like(rates, dtype=bool)
+        for name in _JITTER_EXEMPT:
+            mask[counter_index(name)] = False
+        rates[mask] *= jitter
+        return MicroarchState(counter_rates=rates, hidden=state.hidden)
+
+    # ------------------------------------------------------------------
+    def supported_frequencies(self) -> Tuple[int, int]:
+        """Min/max pinnable core frequency in MHz."""
+        return (
+            self.cfg.curve.min_frequency_mhz,
+            self.cfg.curve.max_frequency_mhz,
+        )
+
+    def describe(self) -> str:
+        """Human-readable platform summary (README material)."""
+        c = self.cfg
+        return (
+            f"{c.name}: {c.sockets} sockets x {c.cores_per_socket} cores, "
+            f"{c.curve.min_frequency_mhz}-{c.curve.max_frequency_mhz} MHz, "
+            f"{len(COUNTER_NAMES)} PAPI presets, "
+            f"{c.programmable_slots} programmable PMU slots"
+        )

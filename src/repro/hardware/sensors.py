@@ -1,0 +1,163 @@
+"""Calibrated power measurement instrumentation.
+
+Models the custom-built energy measurement system of the paper
+(Ilsche et al. 2015): "The system under test is instrumented with
+calibrated high resolution power sensors at the 12 V inputs to each
+socket.  During the experimentation, the power measurements are
+collected on a separate system, avoiding perturbation on the
+measurement itself."
+
+Each sensor has a per-instance gain and offset calibration residual
+(drawn once at construction — a physical property of that shunt +
+ADC chain), per-sample Gaussian noise, and quantization.  Sampling a
+constant true power over a phase therefore yields an average whose
+error is dominated by the calibration residual, exactly the error
+structure a calibrated lab instrument exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SensorCalibration", "PowerSensor", "SensorArray"]
+
+
+@dataclass(frozen=True)
+class SensorCalibration:
+    """Residual calibration error of one sensor channel."""
+
+    gain: float
+    offset_w: float
+
+    @staticmethod
+    def draw(rng: np.random.Generator, gain_sigma: float, offset_sigma_w: float):
+        return SensorCalibration(
+            gain=1.0 + float(rng.normal(0.0, gain_sigma)),
+            offset_w=float(rng.normal(0.0, offset_sigma_w)),
+        )
+
+
+class PowerSensor:
+    """One calibrated 12 V power sensor channel.
+
+    Parameters
+    ----------
+    calibration:
+        Fixed gain/offset residual of this channel.
+    sample_rate_hz:
+        Samples per second delivered to the measurement host.
+    noise_sigma_w:
+        Per-sample Gaussian noise (shunt amplifier + ADC).
+    resolution_w:
+        Quantization step of the digitizer.
+    """
+
+    def __init__(
+        self,
+        calibration: SensorCalibration,
+        *,
+        sample_rate_hz: float = 1000.0,
+        noise_sigma_w: float = 0.6,
+        resolution_w: float = 0.01,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        if noise_sigma_w < 0 or resolution_w < 0:
+            raise ValueError("noise and resolution must be non-negative")
+        self.calibration = calibration
+        self.sample_rate_hz = sample_rate_hz
+        self.noise_sigma_w = noise_sigma_w
+        self.resolution_w = resolution_w
+
+    def n_samples(self, duration_s: float) -> int:
+        """Sample count for a phase; at least one sample per phase."""
+        return max(int(round(duration_s * self.sample_rate_hz)), 1)
+
+    def sample(
+        self, true_power_w: float, duration_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Raw sample stream for a constant true power over a phase."""
+        if true_power_w < 0:
+            raise ValueError("true power cannot be negative")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n = self.n_samples(duration_s)
+        raw = (
+            true_power_w * self.calibration.gain
+            + self.calibration.offset_w
+            + rng.normal(0.0, self.noise_sigma_w, size=n)
+        )
+        if self.resolution_w > 0:
+            raw = np.round(raw / self.resolution_w) * self.resolution_w
+        return raw
+
+    def measure_average(
+        self, true_power_w: float, duration_s: float, rng: np.random.Generator
+    ) -> float:
+        """Phase-averaged measured power (what the phase profile holds).
+
+        Drawn from the exact sampling distribution of the mean of
+        ``n_samples`` raw readings — equivalent to averaging
+        :meth:`sample` output but O(1) regardless of phase length,
+        which keeps multi-minute SPEC phases cheap to simulate.
+        """
+        if true_power_w < 0:
+            raise ValueError("true power cannot be negative")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n = self.n_samples(duration_s)
+        mean = true_power_w * self.calibration.gain + self.calibration.offset_w
+        return float(mean + rng.normal(0.0, self.noise_sigma_w / np.sqrt(n)))
+
+
+class SensorArray:
+    """The per-socket sensor set of the measurement system."""
+
+    def __init__(self, sensors: Tuple[PowerSensor, ...]) -> None:
+        if not sensors:
+            raise ValueError("need at least one sensor channel")
+        self.sensors = sensors
+
+    @staticmethod
+    def build(
+        n_channels: int,
+        rng: np.random.Generator,
+        *,
+        gain_sigma: float = 0.003,
+        offset_sigma_w: float = 0.15,
+        sample_rate_hz: float = 1000.0,
+        noise_sigma_w: float = 0.6,
+    ) -> "SensorArray":
+        """Construct a calibrated array; calibration residuals are drawn
+        once from ``rng`` (a property of the physical instrument)."""
+        sensors = tuple(
+            PowerSensor(
+                SensorCalibration.draw(rng, gain_sigma, offset_sigma_w),
+                sample_rate_hz=sample_rate_hz,
+                noise_sigma_w=noise_sigma_w,
+            )
+            for _ in range(n_channels)
+        )
+        return SensorArray(sensors)
+
+    def measure_node_average(
+        self,
+        per_socket_true_w: Tuple[float, ...],
+        duration_s: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Average node power over a phase: sum of per-socket channels."""
+        if len(per_socket_true_w) != len(self.sensors):
+            raise ValueError(
+                f"{len(per_socket_true_w)} socket powers for "
+                f"{len(self.sensors)} sensor channels"
+            )
+        return float(
+            sum(
+                s.measure_average(p, duration_s, rng)
+                for s, p in zip(self.sensors, per_socket_true_w)
+            )
+        )

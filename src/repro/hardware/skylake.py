@@ -1,0 +1,80 @@
+"""A second simulated x86 generation (extension / paper future work).
+
+Section VI: "To strengthen the general validity of the approach, more
+experiments should be performed on different generations of x86
+processors."  This module provides a Skylake-SP class machine (modelled
+on a dual Xeon Gold 6148): 14 nm process, 2 × 20 cores, mesh uncore,
+six DDR4 channels — with correspondingly different V/f behaviour and
+per-event energies.
+
+The cross-platform benchmark trains Equation 1 on the Haswell-EP
+platform and evaluates it here, demonstrating that PMC power-model
+*coefficients* are machine-specific even when the methodology is not.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.config import PlatformConfig
+from repro.hardware.dvfs import PState, VoltageFrequencyCurve
+from repro.hardware.power import PowerModelParams
+
+__all__ = ["SKYLAKE_SP_CURVE", "SKYLAKE_SP_CONFIG", "SKYLAKE_SP_POWER"]
+
+#: 14 nm V/f curve: lower voltages at equal frequency than Haswell.
+SKYLAKE_SP_CURVE = VoltageFrequencyCurve(
+    (
+        PState(1200, 0.62),
+        PState(1600, 0.70),
+        PState(2000, 0.78),
+        PState(2400, 0.88),
+    )
+)
+
+#: Dual Xeon Gold 6148 class node.
+SKYLAKE_SP_CONFIG = PlatformConfig(
+    name="skylake-sp",
+    sockets=2,
+    cores_per_socket=20,
+    curve=SKYLAKE_SP_CURVE,
+    dram_latency_ns=89.0,  # mesh adds latency vs the Haswell ring
+    remote_latency_penalty=0.50,
+    peak_dram_bw_gbs=105.0,  # six DDR4-2666 channels
+    issue_width=4,
+    mispredict_penalty_cycles=16.0,
+    l2_hit_cycles=14.0,  # 1 MiB private L2
+    l3_hit_cycles=50.0,  # non-inclusive mesh LLC
+    tlb_walk_cycles=26.0,
+    programmable_slots=4,
+    reference_clock_mhz=2400,
+)
+
+#: 14 nm energies: lower switching energy per event, larger uncore
+#: (mesh) base power, higher idle DRAM power (six channels).
+SKYLAKE_SP_POWER = PowerModelParams(
+    v_ref=0.9,
+    e_core_active=0.62,
+    clock_gate_saving=0.50,
+    e_uop=0.17,
+    e_fp_scalar=0.08,
+    e_fp_vector=0.04,
+    vector_width_exponent=1.35,  # AVX-512-era frequency/voltage pain
+    e_l1_access=0.09,
+    e_l2_access=1.10,
+    e_l3_access=6.5,  # mesh hop energy
+    e_flush=20.0,
+    e_tlb_walk=30.0,
+    p_uncore_base=14.0,
+    e_dram_read_pj_per_byte=260.0,
+    e_dram_write_pj_per_byte=290.0,
+    saturation_knee=0.85,
+    saturation_penalty=0.20,
+    e_qpi_pj_per_byte=60.0,  # UPI
+    p_dram_background_w=4.0,
+    leakage_w_per_v=17.0,
+    leakage_temp_coeff=0.008,
+    t_ambient_c=35.0,
+    t_reference_c=50.0,
+    thermal_resistance_k_per_w=0.13,
+    vr_efficiency=0.92,
+    p_board_const_w=5.0,
+)

@@ -1,0 +1,95 @@
+"""Statistics substrate for the power-modeling reproduction.
+
+This subpackage replaces the external dependencies the paper relied on
+(``statsmodels`` for OLS with heteroscedasticity-consistent standard
+errors, ``scipy.stats.pearsonr`` usage patterns, and scikit-learn style
+cross validation) with self-contained, numpy-based implementations.
+
+The public surface is intentionally small and mirrors the statistical
+vocabulary of the paper:
+
+* :func:`~repro.stats.ols.fit_ols` / :class:`~repro.stats.ols.OLSResult`
+  — ordinary least squares with :math:`R^2`, adjusted :math:`R^2`, and
+  HC0–HC3 covariance estimators (the paper uses HC3).
+* :func:`~repro.stats.vif.variance_inflation_factor` /
+  :func:`~repro.stats.vif.mean_vif` — multicollinearity quantification.
+* :func:`~repro.stats.correlation.pearson` — the PCC of Section V.
+* :class:`~repro.stats.crossval.KFold` and
+  :func:`~repro.stats.crossval.cross_validate` — the 10-fold CV of
+  Section IV-B.
+* :mod:`~repro.stats.metrics` — MAPE and friends.
+* :mod:`~repro.stats.diagnostics` — Breusch–Pagan / White tests used to
+  justify the HCSE estimator.
+"""
+
+from repro.stats.correlation import (
+    correlation_matrix,
+    pearson,
+    pearson_with_target,
+    spearman,
+)
+from repro.stats.crossval import (
+    KFold,
+    LeaveOneGroupOut,
+    CrossValidationResult,
+    cross_validate,
+)
+from repro.stats.diagnostics import (
+    breusch_pagan,
+    condition_number,
+    white_test,
+)
+from repro.stats.linalg import add_constant, lstsq_via_qr, safe_pinv
+from repro.stats.metrics import (
+    bias,
+    mae,
+    mape,
+    max_ape,
+    r2_score,
+    rmse,
+)
+from repro.stats.ols import OLSResult, fit_ols
+from repro.stats.regularized import RegularizedFit, lasso, lasso_path, ridge
+from repro.stats.selection_criteria import (
+    CRITERIA,
+    aic,
+    bic,
+    criterion_value,
+)
+from repro.stats.vif import mean_vif, variance_inflation_factor, vif_table
+
+__all__ = [
+    "OLSResult",
+    "fit_ols",
+    "variance_inflation_factor",
+    "mean_vif",
+    "vif_table",
+    "pearson",
+    "pearson_with_target",
+    "spearman",
+    "correlation_matrix",
+    "KFold",
+    "LeaveOneGroupOut",
+    "CrossValidationResult",
+    "cross_validate",
+    "mape",
+    "mae",
+    "rmse",
+    "r2_score",
+    "max_ape",
+    "bias",
+    "breusch_pagan",
+    "white_test",
+    "condition_number",
+    "add_constant",
+    "lstsq_via_qr",
+    "safe_pinv",
+    "aic",
+    "bic",
+    "criterion_value",
+    "CRITERIA",
+    "RegularizedFit",
+    "ridge",
+    "lasso",
+    "lasso_path",
+]

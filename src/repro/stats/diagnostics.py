@@ -1,0 +1,100 @@
+"""Regression diagnostics — heteroscedasticity tests and conditioning.
+
+The paper motivates HC3 standard errors with the observation that
+power-model residuals are heteroscedastic ("the absolute error grows
+with increasing power values", Section IV-B).  These tests let the
+pipeline *demonstrate* that claim on the simulated data rather than
+assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.stats.linalg import as_2d
+from repro.stats.ols import fit_ols
+
+__all__ = ["HeteroscedasticityTest", "breusch_pagan", "white_test", "condition_number"]
+
+
+@dataclass(frozen=True)
+class HeteroscedasticityTest:
+    """LM-statistic test result; ``pvalue < alpha`` rejects
+    homoscedasticity."""
+
+    statistic: float
+    pvalue: float
+    df: int
+    name: str
+
+    def rejects_homoscedasticity(self, alpha: float = 0.05) -> bool:
+        return self.pvalue < alpha
+
+
+def _lm_test(resid: np.ndarray, aux_exog: np.ndarray, name: str) -> HeteroscedasticityTest:
+    """Auxiliary-regression LM test: regress u² on ``aux_exog``.
+
+    LM = n·R²_aux, asymptotically χ²(df) under the null.
+    """
+    u2 = np.asarray(resid, dtype=np.float64).ravel() ** 2
+    aux = as_2d(aux_exog)
+    res = fit_ols(u2, aux, cov_type="nonrobust")
+    n = u2.shape[0]
+    lm = n * max(res.rsquared, 0.0)
+    df = aux.shape[1]
+    pvalue = float(_scipy_stats.chi2.sf(lm, df))
+    return HeteroscedasticityTest(statistic=float(lm), pvalue=pvalue, df=df, name=name)
+
+
+def breusch_pagan(resid: np.ndarray, exog: np.ndarray) -> HeteroscedasticityTest:
+    """Breusch–Pagan LM test against variance linear in the regressors."""
+    return _lm_test(resid, exog, "breusch-pagan")
+
+
+def white_test(resid: np.ndarray, exog: np.ndarray) -> HeteroscedasticityTest:
+    """White's test: auxiliary regression on levels, squares and
+    pairwise cross products of the regressors (no intercept column —
+    ``fit_ols`` adds one)."""
+    x = as_2d(exog)
+    n, k = x.shape
+    cols = [x]
+    cols.append(x**2)
+    for i in range(k):
+        for j in range(i + 1, k):
+            cols.append((x[:, i] * x[:, j])[:, np.newaxis])
+    aux = np.hstack(cols)
+    # Drop duplicate/constant columns that would make the auxiliary
+    # design singular (e.g. squaring a 0/1 dummy reproduces it).
+    keep = []
+    seen = []
+    for c in range(aux.shape[1]):
+        col = aux[:, c]
+        if np.allclose(col, col[0]):
+            continue
+        if any(np.allclose(col, s) for s in seen):
+            continue
+        seen.append(col)
+        keep.append(c)
+    aux = aux[:, keep]
+    return _lm_test(resid, aux, "white")
+
+
+def condition_number(exog: np.ndarray) -> float:
+    """2-norm condition number of the (column-scaled) design matrix.
+
+    Columns are scaled to unit Euclidean norm first, the standard
+    pre-treatment for collinearity diagnosis (Belsley).  Large values
+    (≫ 30) signal the same instability the mean VIF flags.
+    """
+    x = as_2d(exog)
+    norms = np.linalg.norm(x, axis=0)
+    norms[norms == 0.0] = 1.0
+    scaled = x / norms
+    sv = np.linalg.svd(scaled, compute_uv=False)
+    smallest = sv[-1]
+    if smallest <= 0.0:
+        return float("inf")
+    return float(sv[0] / smallest)

@@ -1,0 +1,71 @@
+"""Small, numerically careful linear-algebra helpers.
+
+The OLS fits in this package run inside the greedy counter-selection
+loop (Algorithm 1), which performs ``O(#counters * #selected)`` fits per
+selection — so the solver must be cheap, but it must also be robust to
+the near-collinear design matrices that the multicollinearity analysis
+(Section IV-A) deliberately provokes.  We therefore solve least squares
+through a rank-revealing QR/pinv path instead of forming and inverting
+the normal equations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["add_constant", "lstsq_via_qr", "safe_pinv", "as_2d"]
+
+
+def as_2d(x: np.ndarray) -> np.ndarray:
+    """Return ``x`` as a 2-D float array (columns are regressors).
+
+    1-D input is promoted to a single-column matrix.  The data is
+    converted to ``float64`` but not copied when already conforming,
+    following the "views, not copies" guidance for numerical code.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D design data, got ndim={arr.ndim}")
+    return arr
+
+
+def add_constant(x: np.ndarray, prepend: bool = True) -> np.ndarray:
+    """Append (or prepend) an intercept column of ones to ``x``.
+
+    Mirrors ``statsmodels.api.add_constant`` which the paper's
+    implementation used before every OLS fit.
+    """
+    arr = as_2d(x)
+    const = np.ones((arr.shape[0], 1), dtype=np.float64)
+    parts = (const, arr) if prepend else (arr, const)
+    return np.hstack(parts)
+
+
+def lstsq_via_qr(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Solve ``min ||design @ beta - target||_2`` robustly.
+
+    Uses :func:`numpy.linalg.lstsq` (LAPACK gelsd — SVD based, rank
+    revealing) so that rank-deficient designs produced by perfectly
+    collinear counters return the minimum-norm solution instead of
+    raising.  Returns the coefficient vector ``beta``.
+    """
+    design = as_2d(design)
+    target = np.asarray(target, dtype=np.float64).ravel()
+    if design.shape[0] != target.shape[0]:
+        raise ValueError(
+            f"design has {design.shape[0]} rows but target has {target.shape[0]}"
+        )
+    beta, _residuals, _rank, _sv = np.linalg.lstsq(design, target, rcond=None)
+    return beta
+
+
+def safe_pinv(matrix: np.ndarray, rcond: float = 1e-12) -> np.ndarray:
+    """Moore–Penrose pseudo-inverse with a conservative cutoff.
+
+    Used for the coefficient covariance ``(X'X)^+`` in the HC estimators
+    where near-singular ``X'X`` matrices occur by construction in the
+    VIF stress experiments.
+    """
+    return np.linalg.pinv(np.asarray(matrix, dtype=np.float64), rcond=rcond)

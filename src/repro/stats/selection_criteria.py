@@ -1,0 +1,79 @@
+"""Model-selection criteria beyond plain :math:`R^2`.
+
+The paper's outlook (Section VI) calls for "analyzing different
+statistical algorithms and heuristic criterions for selecting PMC
+events".  This module supplies the criteria; the greedy driver in
+:mod:`repro.core.selection` can run with any of them, and the ablation
+benchmark compares the resulting counter sets.
+
+All criteria are expressed so that **larger is better**, letting the
+greedy loop maximize uniformly (AIC/BIC are negated).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.stats.ols import OLSResult
+
+__all__ = ["aic", "bic", "criterion_value", "CRITERIA"]
+
+
+def _log_likelihood(result: OLSResult) -> float:
+    """Gaussian log-likelihood of an OLS fit at the MLE variance."""
+    n = result.nobs
+    ss_res = float(result.residuals @ result.residuals)
+    sigma2 = max(ss_res / n, 1e-300)
+    return -0.5 * n * (math.log(2.0 * math.pi * sigma2) + 1.0)
+
+
+def aic(result: OLSResult) -> float:
+    """Akaike information criterion: ``2k - 2 logL`` (lower better)."""
+    k = result.params.shape[0]
+    return 2.0 * k - 2.0 * _log_likelihood(result)
+
+
+def bic(result: OLSResult) -> float:
+    """Bayesian information criterion: ``k ln n - 2 logL``."""
+    k = result.params.shape[0]
+    return k * math.log(result.nobs) - 2.0 * _log_likelihood(result)
+
+
+def _score_r2(result: OLSResult) -> float:
+    return result.rsquared
+
+
+def _score_adj_r2(result: OLSResult) -> float:
+    return result.rsquared_adj
+
+
+def _score_aic(result: OLSResult) -> float:
+    return -aic(result)
+
+
+def _score_bic(result: OLSResult) -> float:
+    return -bic(result)
+
+
+#: Registry of greedy-selection scoring functions (larger is better).
+#: ``"r2"`` is the paper's Algorithm 1 criterion.
+CRITERIA: Dict[str, Callable[[OLSResult], float]] = {
+    "r2": _score_r2,
+    "adj_r2": _score_adj_r2,
+    "aic": _score_aic,
+    "bic": _score_bic,
+}
+
+
+def criterion_value(name: str, result: OLSResult) -> float:
+    """Evaluate a registered criterion on an OLS result."""
+    try:
+        fn = CRITERIA[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown criterion {name!r}; available: {sorted(CRITERIA)}"
+        ) from None
+    return fn(result)

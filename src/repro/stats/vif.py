@@ -1,0 +1,90 @@
+"""Variance Inflation Factor (VIF) — the paper's stability metric.
+
+Section III-B: "The VIF for a particular PMC event is calculated using
+an ordinary least squares based linear regression model, which predicts
+this variable using the other variables.  A lower mean VIF for a chosen
+set of PMC events ensures the stability of the coefficients […] A VIF
+of 1 indicates no correlation […] while a VIF value greater than 10
+generally indicates multicollinearity problems."
+
+``VIF_j = 1 / (1 - R²_j)`` where ``R²_j`` is from regressing column
+``j`` on the remaining columns (with intercept).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.linalg import as_2d
+from repro.stats.ols import fit_ols
+
+__all__ = [
+    "variance_inflation_factor",
+    "mean_vif",
+    "vif_table",
+    "VIF_PROBLEM_THRESHOLD",
+]
+
+#: Conventional threshold above which multicollinearity is considered a
+#: problem (Kutner 2004; Hair 2010), cited as such in the paper.
+VIF_PROBLEM_THRESHOLD = 10.0
+
+#: Cap for reporting: a perfectly collinear column has infinite VIF;
+#: we report it as this large finite sentinel to keep tables printable.
+_VIF_CAP = 1e12
+
+
+def variance_inflation_factor(exog: np.ndarray, column: int) -> float:
+    """VIF of ``exog[:, column]`` given the other columns.
+
+    With only one column there is nothing to regress on and the VIF is
+    1 by convention (no correlation possible).
+    """
+    x = as_2d(exog)
+    n_cols = x.shape[1]
+    if not 0 <= column < n_cols:
+        raise IndexError(f"column {column} out of range for {n_cols} columns")
+    if n_cols == 1:
+        return 1.0
+    target = x[:, column]
+    others = np.delete(x, column, axis=1)
+    if np.allclose(target, target[0]):
+        # A constant column carries no variance to inflate.
+        return 1.0
+    res = fit_ols(target, others, cov_type="nonrobust")
+    r2 = min(res.rsquared, 1.0)
+    if r2 >= 1.0 - 1e-14:
+        return _VIF_CAP
+    return float(min(1.0 / (1.0 - r2), _VIF_CAP))
+
+
+def mean_vif(exog: np.ndarray) -> float:
+    """Mean VIF over all columns — the stability score of Table I/IV.
+
+    For a single column (first selection step) the paper reports "n/a";
+    we return ``nan`` so callers can render it that way.
+    """
+    x = as_2d(exog)
+    if x.shape[1] < 2:
+        return float("nan")
+    vifs = [variance_inflation_factor(x, j) for j in range(x.shape[1])]
+    return float(np.mean(vifs))
+
+
+def vif_table(
+    exog: np.ndarray, names: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Per-column VIFs keyed by regressor name."""
+    x = as_2d(exog)
+    if names is None:
+        names = [f"x{j}" for j in range(x.shape[1])]
+    if len(names) != x.shape[1]:
+        raise ValueError(
+            f"{len(names)} names supplied for {x.shape[1]} columns"
+        )
+    return {
+        str(name): variance_inflation_factor(x, j)
+        for j, name in enumerate(names)
+    }

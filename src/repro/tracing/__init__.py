@@ -1,0 +1,44 @@
+"""Tracing substrate: OTF2-like traces, Score-P-like tracer with metric
+plugins, and phase-profile extraction."""
+
+from repro.tracing.analysis import (
+    MetricStats,
+    RegionStats,
+    TraceStatistics,
+    trace_statistics,
+)
+from repro.tracing.otf2 import MetricDef, MetricStream, RegionEvent, Trace
+from repro.tracing.phases import (
+    PhaseProfile,
+    haecsim_profiles,
+    postprocess_profiles,
+    profile_trace,
+)
+from repro.tracing.plugins import (
+    ApapiPlugin,
+    MetricPlugin,
+    PowerPlugin,
+    VoltagePlugin,
+)
+from repro.tracing.scorep import ScorePTracer, trace_run
+
+__all__ = [
+    "Trace",
+    "MetricDef",
+    "MetricStream",
+    "RegionEvent",
+    "MetricPlugin",
+    "PowerPlugin",
+    "VoltagePlugin",
+    "ApapiPlugin",
+    "ScorePTracer",
+    "trace_run",
+    "PhaseProfile",
+    "profile_trace",
+    "haecsim_profiles",
+    "postprocess_profiles",
+    "trace_statistics",
+    "TraceStatistics",
+    "RegionStats",
+    "MetricStats",
+]

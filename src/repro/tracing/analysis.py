@@ -1,0 +1,139 @@
+"""Trace analysis: summary statistics over OTF2-like traces.
+
+The Score-P ecosystem ships analysis tools (otf2-profile, Vampir
+statistics) that condense a trace into per-region and per-metric
+summaries before any modeling happens.  This module provides that
+layer for the simulated traces: region time accounting, metric
+statistics over arbitrary windows, and a plain-text trace report used
+by the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tracing.otf2 import Trace
+
+__all__ = ["RegionStats", "MetricStats", "trace_statistics", "TraceStatistics"]
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Time accounting for one region name (aggregated over visits)."""
+
+    region: str
+    visits: int
+    total_time_s: float
+    min_time_s: float
+    max_time_s: float
+
+    @property
+    def mean_time_s(self) -> float:
+        return self.total_time_s / self.visits
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Distribution summary of one metric stream."""
+
+    name: str
+    unit: str
+    n_samples: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Complete summary of one trace."""
+
+    duration_s: float
+    regions: Tuple[RegionStats, ...]
+    metrics: Tuple[MetricStats, ...]
+
+    def region(self, name: str) -> RegionStats:
+        for r in self.regions:
+            if r.region == name:
+                return r
+        raise KeyError(f"no region {name!r} in trace")
+
+    def metric(self, name: str) -> MetricStats:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(f"no metric {name!r} in trace")
+
+    def coverage(self) -> float:
+        """Fraction of the trace duration spent inside regions."""
+        if self.duration_s <= 0:
+            return 0.0
+        return min(sum(r.total_time_s for r in self.regions) / self.duration_s, 1.0)
+
+    def render(self) -> str:
+        lines = [
+            f"trace: {self.duration_s:.1f} s, region coverage "
+            f"{self.coverage() * 100:.1f} %",
+            f"{'region':<24s}{'visits':>8s}{'total s':>10s}{'mean s':>10s}",
+        ]
+        for r in sorted(self.regions, key=lambda r: -r.total_time_s):
+            lines.append(
+                f"{r.region:<24s}{r.visits:>8d}{r.total_time_s:>10.2f}"
+                f"{r.mean_time_s:>10.2f}"
+            )
+        lines.append(
+            f"{'metric':<24s}{'n':>8s}{'mean':>10s}{'std':>10s}{'max':>10s}"
+        )
+        for m in self.metrics:
+            lines.append(
+                f"{m.name:<24s}{m.n_samples:>8d}{m.mean:>10.3g}"
+                f"{m.std:>10.3g}{m.maximum:>10.3g}"
+            )
+        return "\n".join(lines)
+
+
+def trace_statistics(trace: Trace) -> TraceStatistics:
+    """Summarize a trace: per-region time accounting + metric stats."""
+    acc: Dict[str, List[float]] = {}
+    for region, start, end, _threads in trace.phase_intervals():
+        acc.setdefault(region, []).append(end - start)
+    regions = tuple(
+        RegionStats(
+            region=name,
+            visits=len(times),
+            total_time_s=float(np.sum(times)),
+            min_time_s=float(np.min(times)),
+            max_time_s=float(np.max(times)),
+        )
+        for name, times in acc.items()
+    )
+    metrics = []
+    for name, stream in trace.metrics.items():
+        v = stream.values
+        if v.size == 0:
+            metrics.append(
+                MetricStats(name, stream.definition.unit, 0, math.nan,
+                            math.nan, math.nan, math.nan)
+            )
+            continue
+        metrics.append(
+            MetricStats(
+                name=name,
+                unit=stream.definition.unit,
+                n_samples=int(v.size),
+                mean=float(v.mean()),
+                std=float(v.std()),
+                minimum=float(v.min()),
+                maximum=float(v.max()),
+            )
+        )
+    return TraceStatistics(
+        duration_s=trace.duration_s,
+        regions=regions,
+        metrics=tuple(metrics),
+    )

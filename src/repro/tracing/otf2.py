@@ -1,0 +1,243 @@
+"""A lightweight OTF2-inspired trace format.
+
+The paper's data path runs through Open Trace Format 2 files produced
+by Score-P: "It consists of a stream of events chronologically ordered
+by the time of their occurrence, and information about the state and
+configuration of the target system" (Section III-A).
+
+We keep that structure — definitions + chronologically ordered region
+events + per-metric sample streams — but store each metric stream as a
+pair of numpy arrays (timestamps, values).  That is both closer to how
+OTF2 encodes metric classes than per-sample Python objects would be,
+and orders of magnitude cheaper for the multi-minute SPEC traces.
+
+Traces serialize to a JSON-lines file (one definition/event record per
+line) so the post-processing tools can be exercised on real files, and
+round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["MetricDef", "RegionEvent", "MetricStream", "Trace"]
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """Definition record of one metric (name, unit, mode)."""
+
+    name: str
+    unit: str
+    mode: str = "absolute_point"
+    """``absolute_point`` (sampled value) or ``accumulated`` (counter)."""
+
+
+@dataclass(frozen=True)
+class RegionEvent:
+    """An Enter or Leave event of an instrumented region."""
+
+    kind: str  # "enter" | "leave"
+    region: str
+    time_s: float
+    active_threads: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("enter", "leave"):
+            raise ValueError(f"event kind must be enter/leave, got {self.kind!r}")
+        if self.time_s < 0:
+            raise ValueError("event time cannot be negative")
+
+
+@dataclass
+class MetricStream:
+    """Sampled values of one metric over the trace duration."""
+
+    definition: MetricDef
+    times_s: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times_s = np.asarray(self.times_s, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.times_s.shape != self.values.shape:
+            raise ValueError("times and values must have the same shape")
+        if self.times_s.ndim != 1:
+            raise ValueError("metric streams are 1-D")
+        if self.times_s.size and np.any(np.diff(self.times_s) < 0):
+            raise ValueError(
+                f"metric {self.definition.name!r}: samples not chronological"
+            )
+
+    def window_mean(self, start_s: float, end_s: float) -> float:
+        """Average of the samples inside ``[start_s, end_s)``.
+
+        This is the aggregation the phase-profile generation performs
+        ("the average over time for each async metric").  Returns NaN
+        when no sample falls into the window.
+        """
+        if end_s < start_s:
+            raise ValueError("window end before start")
+        lo = int(np.searchsorted(self.times_s, start_s, side="left"))
+        hi = int(np.searchsorted(self.times_s, end_s, side="left"))
+        if hi <= lo:
+            return float("nan")
+        return float(self.values[lo:hi].mean())
+
+
+class Trace:
+    """One OTF2-like application trace.
+
+    Region events must be recorded in chronological order with balanced
+    enter/leave nesting (flat phase sequences in this reproduction).
+    """
+
+    def __init__(self, meta: Optional[Dict[str, Union[str, int, float]]] = None):
+        self.meta: Dict[str, Union[str, int, float]] = dict(meta or {})
+        self.events: List[RegionEvent] = []
+        self.metrics: Dict[str, MetricStream] = {}
+        self._open_regions: List[str] = []
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    def record_enter(self, region: str, time_s: float, active_threads: int) -> None:
+        self._check_time(time_s)
+        self.events.append(RegionEvent("enter", region, time_s, active_threads))
+        self._open_regions.append(region)
+
+    def record_leave(self, region: str, time_s: float, active_threads: int) -> None:
+        self._check_time(time_s)
+        if not self._open_regions or self._open_regions[-1] != region:
+            raise ValueError(
+                f"unbalanced leave of region {region!r} "
+                f"(open: {self._open_regions})"
+            )
+        self.events.append(RegionEvent("leave", region, time_s, active_threads))
+        self._open_regions.pop()
+
+    def _check_time(self, time_s: float) -> None:
+        if time_s < self._last_time - 1e-12:
+            raise ValueError(
+                f"event at {time_s} out of chronological order "
+                f"(last was {self._last_time})"
+            )
+        self._last_time = max(self._last_time, time_s)
+
+    def add_metric_stream(self, stream: MetricStream) -> None:
+        name = stream.definition.name
+        if name in self.metrics:
+            raise ValueError(f"duplicate metric stream {name!r}")
+        self.metrics[name] = stream
+
+    # ------------------------------------------------------------------
+    def phase_intervals(self) -> List[Tuple[str, float, float, int]]:
+        """(region, start, end, active_threads) per completed region."""
+        if self._open_regions:
+            raise ValueError(f"trace has unclosed regions: {self._open_regions}")
+        intervals = []
+        stack: List[RegionEvent] = []
+        for ev in self.events:
+            if ev.kind == "enter":
+                stack.append(ev)
+            else:
+                enter = stack.pop()
+                intervals.append(
+                    (ev.region, enter.time_s, ev.time_s, enter.active_threads)
+                )
+        return intervals
+
+    @property
+    def duration_s(self) -> float:
+        return self._last_time
+
+    # ------------------------------------------------------------------
+    # Serialization (JSONL: one record per line, defs first).
+    # ------------------------------------------------------------------
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the trace to a JSON-lines file."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(json.dumps({"record": "meta", **self.meta}) + "\n")
+            for m in self.metrics.values():
+                fh.write(
+                    json.dumps(
+                        {
+                            "record": "metric_def",
+                            "name": m.definition.name,
+                            "unit": m.definition.unit,
+                            "mode": m.definition.mode,
+                        }
+                    )
+                    + "\n"
+                )
+            for ev in self.events:
+                fh.write(
+                    json.dumps(
+                        {
+                            "record": "event",
+                            "kind": ev.kind,
+                            "region": ev.region,
+                            "time_s": ev.time_s,
+                            "active_threads": ev.active_threads,
+                        }
+                    )
+                    + "\n"
+                )
+            for m in self.metrics.values():
+                fh.write(
+                    json.dumps(
+                        {
+                            "record": "metric_samples",
+                            "name": m.definition.name,
+                            "times_s": m.times_s.tolist(),
+                            "values": m.values.tolist(),
+                        }
+                    )
+                    + "\n"
+                )
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> "Trace":
+        """Read a trace written by :meth:`write`."""
+        path = Path(path)
+        trace: Optional[Trace] = None
+        defs: Dict[str, MetricDef] = {}
+        pending_events: List[dict] = []
+        with path.open() as fh:
+            for line in fh:
+                rec = json.loads(line)
+                kind = rec.pop("record")
+                if kind == "meta":
+                    trace = Trace(meta=rec)
+                elif kind == "metric_def":
+                    defs[rec["name"]] = MetricDef(**rec)
+                elif kind == "event":
+                    pending_events.append(rec)
+                elif kind == "metric_samples":
+                    if trace is None:
+                        raise ValueError("metric samples before meta record")
+                    name = rec["name"]
+                    if name not in defs:
+                        raise ValueError(f"samples for undefined metric {name!r}")
+                    trace.add_metric_stream(
+                        MetricStream(
+                            definition=defs[name],
+                            times_s=np.asarray(rec["times_s"]),
+                            values=np.asarray(rec["values"]),
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown record type {kind!r}")
+        if trace is None:
+            raise ValueError(f"{path}: missing meta record")
+        for rec in pending_events:
+            if rec["kind"] == "enter":
+                trace.record_enter(rec["region"], rec["time_s"], rec["active_threads"])
+            else:
+                trace.record_leave(rec["region"], rec["time_s"], rec["active_threads"])
+        return trace

@@ -1,0 +1,130 @@
+"""Phase-profile generation from traces.
+
+"The resulting phase profile contains the start and end time, the
+average over time for each async metric, the average value of the
+recorded PMC values, the number of active threads, and the
+identification of the application" (Section III-A).
+
+Two generators existed in the original pipeline — a HAEC-SIM module
+for the roco2 kernel traces and "a custom python OTF2 post-processing
+tool" for standardized benchmarks.  Both reduce to the same windowed
+aggregation; we provide both entry points with the validation each
+tool performed (HAEC-SIM insisted on homogeneous single-kernel phases),
+sharing one engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tracing.otf2 import Trace
+from repro.tracing.plugins import ApapiPlugin, PowerPlugin, VoltagePlugin
+
+__all__ = ["PhaseProfile", "profile_trace", "haecsim_profiles", "postprocess_profiles"]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Aggregated view of one phase of one traced run."""
+
+    workload: str
+    suite: str
+    frequency_mhz: int
+    threads: int
+    run_index: int
+    phase_name: str
+    start_s: float
+    end_s: float
+    active_threads: int
+    power_w: float
+    voltage_v: float
+    counter_rates_per_s: Dict[str, float] = field(default_factory=dict)
+    """Mean recorded PMC rates in events/second, keyed by counter name."""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def rate_per_cycle(self, counter: str) -> float:
+        """Event rate per cpu cycle — the E_n of Equation 1."""
+        return self.counter_rates_per_s[counter] / (self.frequency_mhz * 1e6)
+
+
+def profile_trace(trace: Trace, *, min_duration_s: float = 0.5) -> List[PhaseProfile]:
+    """Phase profiles of every sufficiently long region of a trace.
+
+    Phases shorter than ``min_duration_s`` carry too few async samples
+    for stable averages and are dropped, as the original tooling did.
+    """
+    meta = trace.meta
+    for key in ("workload", "suite", "frequency_mhz", "threads", "run_index"):
+        if key not in meta:
+            raise ValueError(f"trace metadata missing {key!r}")
+    power = trace.metrics.get(PowerPlugin.METRIC)
+    voltage = trace.metrics.get(VoltagePlugin.METRIC)
+    if power is None or voltage is None:
+        raise ValueError("trace lacks power/voltage metric streams")
+    papi_names = [
+        name
+        for name in trace.metrics
+        if name.startswith(ApapiPlugin.PREFIX)
+    ]
+
+    out: List[PhaseProfile] = []
+    for region, start, end, active in trace.phase_intervals():
+        if end - start < min_duration_s:
+            continue
+        p = power.window_mean(start, end)
+        v = voltage.window_mean(start, end)
+        if math.isnan(p) or math.isnan(v):
+            continue
+        rates = {}
+        for name in papi_names:
+            mean = trace.metrics[name].window_mean(start, end)
+            if not math.isnan(mean):
+                rates[name[len(ApapiPlugin.PREFIX) :]] = mean
+        out.append(
+            PhaseProfile(
+                workload=str(meta["workload"]),
+                suite=str(meta["suite"]),
+                frequency_mhz=int(meta["frequency_mhz"]),
+                threads=int(meta["threads"]),
+                run_index=int(meta["run_index"]),
+                phase_name=region,
+                start_s=start,
+                end_s=end,
+                active_threads=active,
+                power_w=p,
+                voltage_v=v,
+                counter_rates_per_s=rates,
+            )
+        )
+    return out
+
+
+def haecsim_profiles(trace: Trace) -> List[PhaseProfile]:
+    """HAEC-SIM-style profiles for roco2 kernel traces.
+
+    Validates the roco2 invariant the HAEC-SIM module relied on:
+    homogeneous kernels, i.e. a flat sequence of non-overlapping
+    phases with constant thread count within each phase.
+    """
+    if trace.meta.get("suite") not in ("roco2", "synthetic"):
+        raise ValueError(
+            "haecsim_profiles is only applicable to synthetic kernel traces; "
+            f"got suite={trace.meta.get('suite')!r}"
+        )
+    intervals = trace.phase_intervals()
+    ends = [e for (_, _, e, _) in intervals]
+    starts = [s for (_, s, _, _) in intervals]
+    for prev_end, next_start in zip(ends, starts[1:]):
+        if next_start < prev_end - 1e-9:
+            raise ValueError("roco2 phases must not overlap")
+    return profile_trace(trace)
+
+
+def postprocess_profiles(trace: Trace) -> List[PhaseProfile]:
+    """Custom OTF2 post-processing for standardized benchmark traces."""
+    return profile_trace(trace)

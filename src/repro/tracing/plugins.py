@@ -1,0 +1,183 @@
+"""Score-P metric plugins.
+
+"A metric plugin is an external dynamic linked library, which
+implements the Score-P metric plugin interface" (Section III-A).  Here
+a plugin is a Python object implementing :class:`MetricPlugin`: it
+declares metric definitions and produces sampled values for a phase
+execution.  The three plugins of the paper are modelled:
+
+* :class:`PowerPlugin` — ``scorep_ni``: node power from the calibrated
+  12 V sensors (per-socket channels summed).
+* :class:`VoltagePlugin` — ``scorep_x86_adapt``: per-core voltage
+  telemetry, reported as the mean over active cores.
+* :class:`ApapiPlugin` — ``scorep_plugin_apapi``: asynchronous PAPI
+  counter sampling for the currently programmed event set; each sample
+  is the counter increment over the sampling interval, normalized to
+  events/second (the post-processing converts to events per cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.hardware.platform import PhaseExecution, Platform, RunExecution
+from repro.hardware.pmu import EventSet
+from repro.tracing.otf2 import MetricDef
+
+__all__ = ["MetricPlugin", "PowerPlugin", "VoltagePlugin", "ApapiPlugin"]
+
+
+class MetricPlugin:
+    """Interface every metric plugin implements."""
+
+    def metric_defs(self) -> List[MetricDef]:
+        """Metric definitions this plugin contributes to the trace."""
+        raise NotImplementedError
+
+    def sample_phase(
+        self,
+        run: RunExecution,
+        phase: PhaseExecution,
+        sample_times: np.ndarray,
+        interval_s: float,
+        rng: np.random.Generator,
+    ) -> Dict[str, np.ndarray]:
+        """Values for each metric at the given absolute sample times."""
+        raise NotImplementedError
+
+
+class PowerPlugin(MetricPlugin):
+    """Node power sampled from the platform's sensor array."""
+
+    METRIC = "power"
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    def metric_defs(self) -> List[MetricDef]:
+        return [MetricDef(self.METRIC, "W")]
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        # Each plugin sample is the mean of the raw sensor stream over
+        # one sampling interval: one draw per socket channel per sample.
+        n = sample_times.size
+        total = np.zeros(n)
+        for sensor, true_w in zip(
+            self.platform.sensors.sensors, phase.power.per_socket_w
+        ):
+            raw_per_sample = max(
+                int(round(interval_s * sensor.sample_rate_hz)), 1
+            )
+            mean = true_w * sensor.calibration.gain + sensor.calibration.offset_w
+            total += mean + rng.normal(
+                0.0, sensor.noise_sigma_w / np.sqrt(raw_per_sample), size=n
+            )
+        return {self.METRIC: total}
+
+
+class VoltagePlugin(MetricPlugin):
+    """Average active-core voltage from the x86_adapt telemetry."""
+
+    METRIC = "voltage"
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    def metric_defs(self) -> List[MetricDef]:
+        return [MetricDef(self.METRIC, "V")]
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        telemetry = self.platform.voltage
+        n = sample_times.size
+        true = phase.true_voltage_v
+        readings = true + rng.normal(0.0, telemetry.read_noise_v, size=n)
+        step = telemetry.VID_STEP
+        return {self.METRIC: np.round(readings / step) * step}
+
+
+class ApapiPlugin(MetricPlugin):
+    """Asynchronous PAPI sampling of the programmed event set."""
+
+    PREFIX = "papi:"
+
+    def __init__(self, platform: Platform, event_set: EventSet) -> None:
+        self.platform = platform
+        self.event_set = event_set
+
+    def metric_defs(self) -> List[MetricDef]:
+        return [
+            MetricDef(f"{self.PREFIX}{name}", "events/s", mode="accumulated")
+            for name in self.event_set.events
+        ]
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        pmu = self.platform.pmu
+        out: Dict[str, np.ndarray] = {}
+        n = sample_times.size
+        f_hz = run.op.frequency_hz
+        rates = phase.state.counter_rates
+        for name in self.event_set.events:
+            idx_rate = float(rates[_counter_index(name)])
+            true_per_s = idx_rate * f_hz
+            noise = 1.0 + rng.normal(0.0, pmu.read_noise_sigma, size=n)
+            counts = np.maximum(true_per_s * interval_s * noise, 0.0)
+            out[f"{self.PREFIX}{name}"] = np.floor(counts) / interval_s
+        return out
+
+
+def _counter_index(name: str) -> int:
+    from repro.hardware.counters import counter_index
+
+    return counter_index(name)
+
+
+class MultiplexedApapiPlugin(MetricPlugin):
+    """Time-division-multiplexed PAPI sampling of *all* requested
+    events in a single run.
+
+    Avoids the multi-run campaigns of Section III-A at the price of
+    extrapolation noise — see
+    :meth:`repro.hardware.pmu.PMU.count_multiplexed`.
+    """
+
+    PREFIX = ApapiPlugin.PREFIX
+
+    def __init__(self, platform: Platform, events: Sequence[str]) -> None:
+        self.platform = platform
+        self.events = tuple(events)
+
+    def metric_defs(self) -> List[MetricDef]:
+        return [
+            MetricDef(f"{self.PREFIX}{name}", "events/s", mode="accumulated")
+            for name in self.events
+        ]
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        pmu = self.platform.pmu
+        n = sample_times.size
+        out: Dict[str, np.ndarray] = {}
+        f_hz = run.op.frequency_hz
+        rates = phase.state.counter_rates
+        from repro.hardware.counters import FIXED_COUNTERS, counter_index
+
+        prog = [e for e in self.events if e not in FIXED_COUNTERS]
+        n_groups = max(
+            -(-len(prog) // self.platform.cfg.programmable_slots), 1
+        )
+        for name in self.events:
+            true_per_s = float(rates[counter_index(name)]) * f_hz
+            if name in FIXED_COUNTERS:
+                sigma = pmu.read_noise_sigma
+            else:
+                sigma = float(
+                    np.hypot(
+                        pmu.read_noise_sigma,
+                        pmu.multiplex_noise_sigma * np.sqrt(max(n_groups - 1, 0)),
+                    )
+                )
+            noise = 1.0 + rng.normal(0.0, sigma, size=n)
+            counts = np.maximum(true_per_s * interval_s * noise, 0.0)
+            out[f"{self.PREFIX}{name}"] = np.floor(counts) / interval_s
+        return out

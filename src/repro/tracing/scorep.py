@@ -1,0 +1,159 @@
+"""Score-P-like tracer: execute a run and record an instrumented trace.
+
+Mirrors the paper's acquisition path: the application (workload) runs
+with compiler instrumentation (phase enter/leave events) while the
+configured metric plugins asynchronously add power, voltage and PAPI
+samples to the trace (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.platform import Platform, RunExecution
+from repro.hardware.pmu import EventSet
+from repro.seeding import derive_rng
+from repro.tracing.otf2 import MetricStream, Trace
+from repro.tracing.plugins import ApapiPlugin, MetricPlugin, PowerPlugin, VoltagePlugin
+
+__all__ = ["ScorePTracer", "trace_run"]
+
+
+class ScorePTracer:
+    """Traces platform executions with a set of metric plugins."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        plugins: Sequence[MetricPlugin],
+        *,
+        sampling_interval_s: float = 0.1,
+    ) -> None:
+        if sampling_interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        if not plugins:
+            raise ValueError("need at least one metric plugin")
+        self.platform = platform
+        self.plugins = list(plugins)
+        self.sampling_interval_s = sampling_interval_s
+
+    def trace(self, run: RunExecution) -> Trace:
+        """Record the trace of one executed run.
+
+        Sample times form a run-global grid (plugins sample on their
+        own clock, not aligned to phases), as Score-P async plugins do.
+        """
+        trace = Trace(
+            meta={
+                "workload": run.workload_name,
+                "suite": run.suite,
+                "frequency_mhz": run.op.frequency_mhz,
+                "threads": run.threads,
+                "run_index": run.run_index,
+            }
+        )
+        dt = self.sampling_interval_s
+        # Per-metric accumulators across phases.
+        times_acc: dict = {}
+        values_acc: dict = {}
+        defs = {}
+        for plugin in self.plugins:
+            for mdef in plugin.metric_defs():
+                if mdef.name in defs:
+                    raise ValueError(f"metric {mdef.name!r} provided twice")
+                defs[mdef.name] = mdef
+                times_acc[mdef.name] = []
+                values_acc[mdef.name] = []
+
+        for phase in run.phases:
+            trace.record_enter(
+                phase.phase.name, phase.start_s, phase.phase.active_threads
+            )
+            # Sample grid within the phase: first tick one interval in.
+            n = max(int(np.floor(phase.duration_s / dt)), 1)
+            sample_times = phase.start_s + dt * np.arange(1, n + 1)
+            sample_times = sample_times[sample_times <= phase.end_s + 1e-9]
+            if sample_times.size == 0:
+                sample_times = np.array([phase.end_s])
+            for plugin in self.plugins:
+                rng = derive_rng(
+                    self.platform.seed,
+                    "plugin",
+                    type(plugin).__name__,
+                    run.workload_name,
+                    run.op.frequency_mhz,
+                    run.threads,
+                    run.run_index,
+                    phase.phase.name,
+                )
+                sampled = plugin.sample_phase(
+                    run, phase, sample_times, dt, rng
+                )
+                for name, vals in sampled.items():
+                    if name not in defs:
+                        raise ValueError(
+                            f"plugin produced undeclared metric {name!r}"
+                        )
+                    times_acc[name].append(sample_times)
+                    values_acc[name].append(np.asarray(vals, dtype=np.float64))
+            trace.record_leave(
+                phase.phase.name, phase.end_s, phase.phase.active_threads
+            )
+
+        for name, mdef in defs.items():
+            times = (
+                np.concatenate(times_acc[name]) if times_acc[name] else np.array([])
+            )
+            values = (
+                np.concatenate(values_acc[name]) if values_acc[name] else np.array([])
+            )
+            trace.add_metric_stream(
+                MetricStream(definition=mdef, times_s=times, values=values)
+            )
+        return trace
+
+
+def trace_run(
+    platform: Platform,
+    run: RunExecution,
+    event_set: EventSet,
+    *,
+    sampling_interval_s: float = 0.1,
+) -> Trace:
+    """Convenience: trace a run with the paper's three plugins."""
+    tracer = ScorePTracer(
+        platform,
+        [
+            PowerPlugin(platform),
+            VoltagePlugin(platform),
+            ApapiPlugin(platform, event_set),
+        ],
+        sampling_interval_s=sampling_interval_s,
+    )
+    return tracer.trace(run)
+
+
+def trace_multiplexed_run(
+    platform: Platform,
+    run: RunExecution,
+    events: Sequence[str],
+    *,
+    sampling_interval_s: float = 0.1,
+) -> Trace:
+    """Trace a run with time-division-multiplexed counter sampling:
+    all requested events from a single run (see
+    :class:`~repro.tracing.plugins.MultiplexedApapiPlugin`)."""
+    from repro.tracing.plugins import MultiplexedApapiPlugin
+
+    tracer = ScorePTracer(
+        platform,
+        [
+            PowerPlugin(platform),
+            VoltagePlugin(platform),
+            MultiplexedApapiPlugin(platform, events),
+        ],
+        sampling_interval_s=sampling_interval_s,
+    )
+    return tracer.trace(run)

@@ -1,0 +1,51 @@
+"""Workload substrate: roco2 kernels, simulated SPEC OMP2012, and a
+randomized workload generator."""
+
+from repro.workloads.base import (
+    Characterization,
+    PhaseSpec,
+    StaticWorkload,
+    Workload,
+)
+from repro.workloads.generator import (
+    DEFAULT_SPACE,
+    WIDE_SPACE,
+    GeneratorSpace,
+    generate_workloads,
+)
+from repro.workloads.registry import SUITES, all_workloads, get_workload, suite
+from repro.workloads.roco2 import (
+    ROCO2_KERNELS,
+    ROCO2_THREAD_COUNTS,
+    IdleWorkload,
+    roco2_suite,
+)
+from repro.workloads.spec_omp2012 import (
+    EXCLUDED_BENCHMARKS,
+    SPEC_OMP2012_BENCHMARKS,
+    SpecBenchmark,
+    spec_omp2012_suite,
+)
+
+__all__ = [
+    "Characterization",
+    "PhaseSpec",
+    "Workload",
+    "StaticWorkload",
+    "IdleWorkload",
+    "ROCO2_KERNELS",
+    "ROCO2_THREAD_COUNTS",
+    "roco2_suite",
+    "SpecBenchmark",
+    "SPEC_OMP2012_BENCHMARKS",
+    "EXCLUDED_BENCHMARKS",
+    "spec_omp2012_suite",
+    "GeneratorSpace",
+    "generate_workloads",
+    "DEFAULT_SPACE",
+    "WIDE_SPACE",
+    "all_workloads",
+    "get_workload",
+    "suite",
+    "SUITES",
+]

@@ -1,0 +1,259 @@
+"""Workload abstractions: characterization vectors and phase structure.
+
+A workload is described to the simulated platform the same way a real
+binary presents itself to real hardware: as a sequence of execution
+*phases*, each with an architecture-neutral characterization of its
+microarchitectural behaviour (instruction mix, locality, predictability,
+bandwidth demand, …).  The :mod:`repro.hardware.microarch` model turns a
+characterization plus an operating point into PMC event rates; the
+:mod:`repro.hardware.power` model turns the same activity into watts.
+
+Two *latent* fields deserve a note: ``latent_efficiency`` and
+``uop_expansion`` influence power but are invisible to every counter.
+They model what the paper calls "the high intricacy of the x86 CISC
+architecture" — behaviour a top-down statistical model cannot observe —
+and are what generates the generalization gap between training scenarios
+(Fig. 4) and the ≈7.5 % MAPE floor (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Characterization", "PhaseSpec", "Workload", "StaticWorkload"]
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_nonneg(name: str, value: float) -> None:
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Architecture-neutral description of one execution phase.
+
+    All "``*_frac``" fields are fractions of the enclosing quantity;
+    "``*_rate``/``*_ratio``" fields are per-event probabilities;
+    "``*_per_kinst``" fields are events per thousand instructions.
+    """
+
+    # --- core throughput ------------------------------------------------
+    ipc_base: float = 1.0
+    """Plateau IPC absent memory stalls (issue width is 4)."""
+
+    # --- instruction mix --------------------------------------------------
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    branch_frac: float = 0.15
+    fp_frac: float = 0.20
+    vector_width: int = 1
+    """SIMD width of the FP stream: 1 (scalar), 2 (SSE) or 4 (AVX)."""
+
+    # --- branch behaviour ---------------------------------------------------
+    branch_cond_frac: float = 0.85
+    """Conditional branches as a fraction of all branches."""
+    branch_taken_frac: float = 0.55
+    """Taken fraction of conditional branches."""
+    branch_mispred_rate: float = 0.02
+    """Mispredictions per conditional branch."""
+
+    # --- memory hierarchy ------------------------------------------------
+    l1d_load_miss_rate: float = 0.03
+    """L1D misses per load."""
+    l1d_store_miss_rate: float = 0.02
+    """L1D misses per store."""
+    l1i_miss_per_kinst: float = 0.5
+    """L1I misses per 1000 instructions (code footprint)."""
+    l2_miss_ratio: float = 0.30
+    """L2 misses per L2 access."""
+    l3_miss_ratio: float = 0.30
+    """Demand L3 misses per L3 access."""
+    prefetch_coverage: float = 0.60
+    """Fraction of DRAM fills brought in by the hardware prefetcher."""
+    writeback_ratio: float = 0.30
+    """Dirty evictions (DRAM writes) per DRAM fill."""
+    tlb_dm_per_kinst: float = 0.3
+    """Data TLB misses per 1000 instructions."""
+    tlb_im_per_kinst: float = 0.02
+    """Instruction TLB misses per 1000 instructions."""
+    mlp: float = 4.0
+    """Memory-level parallelism: overlapping outstanding misses."""
+    numa_remote_frac: float = 0.0
+    """Fraction of DRAM accesses served by the remote socket."""
+
+    # --- coherence ---------------------------------------------------------
+    sharing_factor: float = 0.05
+    """Inter-thread cache-line sharing intensity (drives snoops)."""
+
+    # --- latent (invisible to counters) -------------------------------------
+    latent_efficiency: float = 1.0
+    """Multiplier on dynamic core power that no counter observes
+    (circuit-level switching-factor differences between codes)."""
+    uop_expansion: float = 1.1
+    """Micro-ops per instruction (CISC decode intricacy)."""
+
+    def __post_init__(self) -> None:
+        _check_nonneg("ipc_base", self.ipc_base)
+        if self.ipc_base > 4.0:
+            raise ValueError(f"ipc_base cannot exceed issue width 4, got {self.ipc_base}")
+        for name in (
+            "load_frac",
+            "store_frac",
+            "branch_frac",
+            "fp_frac",
+            "branch_cond_frac",
+            "branch_taken_frac",
+            "branch_mispred_rate",
+            "l1d_load_miss_rate",
+            "l1d_store_miss_rate",
+            "l2_miss_ratio",
+            "l3_miss_ratio",
+            "prefetch_coverage",
+            "numa_remote_frac",
+            "sharing_factor",
+        ):
+            _check_unit(name, getattr(self, name))
+        mix = self.load_frac + self.store_frac + self.branch_frac
+        if mix > 1.0 + 1e-9:
+            raise ValueError(
+                f"load+store+branch fractions exceed 1 ({mix:.3f})"
+            )
+        for name in (
+            "l1i_miss_per_kinst",
+            "tlb_dm_per_kinst",
+            "tlb_im_per_kinst",
+            "writeback_ratio",
+        ):
+            _check_nonneg(name, getattr(self, name))
+        if self.vector_width not in (1, 2, 4):
+            raise ValueError(f"vector_width must be 1, 2 or 4, got {self.vector_width}")
+        if not 1.0 <= self.mlp <= 16.0:
+            raise ValueError(f"mlp must be in [1, 16], got {self.mlp}")
+        if not 0.3 <= self.latent_efficiency <= 2.0:
+            raise ValueError(
+                f"latent_efficiency out of plausible range: {self.latent_efficiency}"
+            )
+        if not 1.0 <= self.uop_expansion <= 3.0:
+            raise ValueError(f"uop_expansion must be in [1, 3], got {self.uop_expansion}")
+
+    def with_updates(self, **kwargs) -> "Characterization":
+        """Functional update (dataclasses.replace with validation)."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def blend(
+        parts: Sequence[Tuple["Characterization", float]]
+    ) -> "Characterization":
+        """Weight-average several characterizations (phase mixing).
+
+        ``vector_width`` is taken from the heaviest component since it
+        is categorical; everything else blends linearly.
+        """
+        if not parts:
+            raise ValueError("cannot blend zero characterizations")
+        total = sum(w for _, w in parts)
+        if total <= 0:
+            raise ValueError("blend weights must sum to a positive value")
+        heaviest = max(parts, key=lambda p: p[1])[0]
+        values: Dict[str, float] = {}
+        for f in fields(Characterization):
+            if f.name == "vector_width":
+                values[f.name] = heaviest.vector_width
+                continue
+            values[f.name] = (
+                sum(getattr(c, f.name) * w for c, w in parts) / total
+            )
+        return Characterization(**values)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One timed region of a workload's execution.
+
+    Phase boundaries are what Score-P instrumentation sees as enter /
+    leave events; the phase profile of Section III-A aggregates metrics
+    between them.
+    """
+
+    name: str
+    duration_s: float
+    characterization: Characterization
+    active_threads: int
+    weight: float = 1.0
+    """Relative prominence used when summarizing a workload."""
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"phase duration must be positive, got {self.duration_s}")
+        if self.active_threads < 0:
+            raise ValueError("active_threads cannot be negative")
+
+
+class Workload:
+    """Base class for everything the platform can execute.
+
+    Subclasses implement :meth:`phases`, returning the timed phase
+    sequence for a given thread count.  ``suite`` tags the origin
+    ("roco2", "spec_omp2012", "synthetic") which the scenario analysis
+    of Section IV-B splits on.
+    """
+
+    #: Unique name used in traces, datasets and reports.
+    name: str = "workload"
+    #: Suite tag ("roco2" | "spec_omp2012" | "synthetic").
+    suite: str = "synthetic"
+    #: Thread counts this workload is normally run with.
+    default_thread_counts: Tuple[int, ...] = (24,)
+
+    def phases(self, threads: int) -> List[PhaseSpec]:
+        """Phase sequence when executed with ``threads`` threads."""
+        raise NotImplementedError
+
+    def validate_threads(self, threads: int, max_threads: int) -> None:
+        if not 1 <= threads <= max_threads:
+            raise ValueError(
+                f"{self.name}: thread count {threads} outside [1, {max_threads}]"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} suite={self.suite!r}>"
+
+
+class StaticWorkload(Workload):
+    """A single-phase workload with a fixed characterization.
+
+    This is the shape of the roco2 kernels: one homogeneous loop,
+    executed for a fixed wall time at a chosen thread count.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        characterization: Characterization,
+        *,
+        suite: str = "synthetic",
+        duration_s: float = 10.0,
+        default_thread_counts: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.suite = suite
+        self.duration_s = duration_s
+        self.characterization = characterization
+        if default_thread_counts is not None:
+            self.default_thread_counts = default_thread_counts
+
+    def phases(self, threads: int) -> List[PhaseSpec]:
+        return [
+            PhaseSpec(
+                name=f"{self.name}.loop",
+                duration_s=self.duration_s,
+                characterization=self.characterization,
+                active_threads=threads,
+            )
+        ]

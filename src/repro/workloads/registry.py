@@ -1,0 +1,39 @@
+"""Workload registry: name → workload lookup and suite definitions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.workloads.base import Workload
+from repro.workloads.roco2 import roco2_suite
+from repro.workloads.spec_omp2012 import spec_omp2012_suite
+
+__all__ = ["all_workloads", "get_workload", "suite", "SUITES"]
+
+#: Known suite names.
+SUITES = ("roco2", "spec_omp2012")
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload of the paper's evaluation (roco2 + SPEC)."""
+    return roco2_suite() + spec_omp2012_suite()
+
+
+def suite(name: str) -> List[Workload]:
+    """All workloads of one suite."""
+    if name == "roco2":
+        return roco2_suite()
+    if name == "spec_omp2012":
+        return spec_omp2012_suite()
+    raise KeyError(f"unknown suite {name!r}; known: {SUITES}")
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a single workload by name."""
+    table: Dict[str, Workload] = {w.name: w for w in all_workloads()}
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(table)}"
+        ) from None

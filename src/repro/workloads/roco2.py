@@ -1,0 +1,291 @@
+"""The roco2 synthetic workload kernels.
+
+roco2 (Bielert 2015) is TU Dresden's synthetic workload generator: a
+set of small, homogeneous kernels executed for fixed wall-time slices
+at configurable thread counts, designed to put the machine into
+well-defined utilization states.  The paper uses these kernels for
+counter selection, model training, and the scenario analysis.
+
+Kernel characterizations are chosen to match what the respective inner
+loops do on a Haswell core.  Each kernel is a single phase (perfectly
+homogeneous by construction), which is precisely why the paper finds
+synthetic-only training insufficient: the characterization vectors sit
+in a low-dimensional corner of the space real applications occupy
+(Section IV-B, scenario 2; Section V, Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import Characterization, PhaseSpec, StaticWorkload, Workload
+
+__all__ = ["IdleWorkload", "ROCO2_KERNELS", "roco2_suite", "ROCO2_THREAD_COUNTS"]
+
+#: Thread counts the roco2 campaign sweeps (the paper varies thread
+#: counts for "the short-running roco2 kernels").
+ROCO2_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 12, 16, 20, 24)
+
+
+class IdleWorkload(Workload):
+    """The idle system: no user threads, OS housekeeping only.
+
+    Anchors the static + system power terms (γ·V and δ·Z of Equation 1)
+    at the bottom of the power range.
+    """
+
+    name = "idle"
+    suite = "roco2"
+    default_thread_counts = (1,)
+
+    def __init__(self, duration_s: float = 10.0) -> None:
+        self.duration_s = duration_s
+
+    def phases(self, threads: int) -> List[PhaseSpec]:
+        # Thread count is irrelevant while idling; zero cores are active.
+        return [
+            PhaseSpec(
+                name="idle.wait",
+                duration_s=self.duration_s,
+                characterization=Characterization(ipc_base=0.4),
+                active_threads=0,
+            )
+        ]
+
+
+def _kernel(name: str, char: Characterization) -> StaticWorkload:
+    return StaticWorkload(
+        name,
+        char,
+        suite="roco2",
+        duration_s=10.0,
+        default_thread_counts=ROCO2_THREAD_COUNTS,
+    )
+
+
+#: The nine active kernels plus idle.  Characterizations document what
+#: each inner loop exercises.
+ROCO2_KERNELS: Tuple[Workload, ...] = (
+    IdleWorkload(),
+    # Spin on a flag: branch-dominated, perfectly predicted, core-only.
+    _kernel(
+        "busywait",
+        Characterization(
+            ipc_base=1.3,
+            load_frac=0.20,
+            store_frac=0.01,
+            branch_frac=0.30,
+            fp_frac=0.0,
+            branch_mispred_rate=0.001,
+            l1d_load_miss_rate=0.001,
+            l1d_store_miss_rate=0.001,
+            l1i_miss_per_kinst=0.01,
+            l2_miss_ratio=0.05,
+            l3_miss_ratio=0.05,
+            prefetch_coverage=0.10,
+            writeback_ratio=0.05,
+            tlb_dm_per_kinst=0.005,
+            tlb_im_per_kinst=0.001,
+            latent_efficiency=0.99,
+            uop_expansion=1.05,
+        ),
+    ),
+    # Dense integer/FP arithmetic, SSE, register-resident.
+    _kernel(
+        "compute",
+        Characterization(
+            ipc_base=2.8,
+            load_frac=0.18,
+            store_frac=0.06,
+            branch_frac=0.10,
+            fp_frac=0.45,
+            vector_width=2,
+            branch_mispred_rate=0.012,
+            l1d_load_miss_rate=0.004,
+            l1d_store_miss_rate=0.003,
+            l1i_miss_per_kinst=0.05,
+            l2_miss_ratio=0.10,
+            l3_miss_ratio=0.10,
+            prefetch_coverage=0.30,
+            writeback_ratio=0.10,
+            tlb_dm_per_kinst=0.02,
+            tlb_im_per_kinst=0.002,
+            latent_efficiency=1.01,
+            uop_expansion=1.08,
+        ),
+    ),
+    # libm sine in a loop: scalar FP, long dependency chains.
+    _kernel(
+        "sinus",
+        Characterization(
+            ipc_base=1.7,
+            load_frac=0.15,
+            store_frac=0.05,
+            branch_frac=0.12,
+            fp_frac=0.50,
+            vector_width=1,
+            branch_mispred_rate=0.004,
+            l1d_load_miss_rate=0.002,
+            l1d_store_miss_rate=0.002,
+            l1i_miss_per_kinst=0.05,
+            l2_miss_ratio=0.08,
+            l3_miss_ratio=0.08,
+            prefetch_coverage=0.20,
+            writeback_ratio=0.08,
+            tlb_dm_per_kinst=0.01,
+            tlb_im_per_kinst=0.002,
+            latent_efficiency=1.00,
+            uop_expansion=1.10,
+        ),
+    ),
+    # Hardware square root: low throughput, divider-bound.
+    _kernel(
+        "sqrt",
+        Characterization(
+            ipc_base=0.55,
+            load_frac=0.10,
+            store_frac=0.04,
+            branch_frac=0.08,
+            fp_frac=0.60,
+            vector_width=1,
+            branch_mispred_rate=0.002,
+            l1d_load_miss_rate=0.002,
+            l1d_store_miss_rate=0.002,
+            l1i_miss_per_kinst=0.02,
+            l2_miss_ratio=0.05,
+            l3_miss_ratio=0.05,
+            prefetch_coverage=0.15,
+            writeback_ratio=0.05,
+            tlb_dm_per_kinst=0.005,
+            tlb_im_per_kinst=0.001,
+            latent_efficiency=1.00,
+            uop_expansion=1.05,
+        ),
+    ),
+    # Blocked DGEMM: AVX, cache-blocked, moderate traffic.
+    _kernel(
+        "matmul",
+        Characterization(
+            ipc_base=3.2,
+            load_frac=0.33,
+            store_frac=0.08,
+            branch_frac=0.06,
+            fp_frac=0.52,
+            vector_width=4,
+            branch_mispred_rate=0.003,
+            l1d_load_miss_rate=0.035,
+            l1d_store_miss_rate=0.02,
+            l1i_miss_per_kinst=0.03,
+            l2_miss_ratio=0.25,
+            l3_miss_ratio=0.12,
+            prefetch_coverage=0.80,
+            writeback_ratio=0.25,
+            tlb_dm_per_kinst=0.15,
+            tlb_im_per_kinst=0.002,
+            mlp=6.0,
+            latent_efficiency=1.02,
+            uop_expansion=1.05,
+        ),
+    ),
+    # Streaming read of a >LLC buffer.
+    _kernel(
+        "memory_read",
+        Characterization(
+            ipc_base=1.0,
+            load_frac=0.50,
+            store_frac=0.02,
+            branch_frac=0.08,
+            fp_frac=0.05,
+            branch_mispred_rate=0.002,
+            l1d_load_miss_rate=0.24,
+            l1d_store_miss_rate=0.05,
+            l1i_miss_per_kinst=0.02,
+            l2_miss_ratio=0.85,
+            l3_miss_ratio=0.90,
+            prefetch_coverage=0.93,
+            writeback_ratio=0.03,
+            tlb_dm_per_kinst=1.2,
+            tlb_im_per_kinst=0.001,
+            mlp=9.0,
+            latent_efficiency=0.99,
+            uop_expansion=1.05,
+        ),
+    ),
+    # Streaming write (non-temporal-ish): write-dominated traffic.
+    _kernel(
+        "memory_write",
+        Characterization(
+            ipc_base=1.0,
+            load_frac=0.05,
+            store_frac=0.50,
+            branch_frac=0.08,
+            fp_frac=0.02,
+            branch_mispred_rate=0.002,
+            l1d_load_miss_rate=0.05,
+            l1d_store_miss_rate=0.24,
+            l1i_miss_per_kinst=0.02,
+            l2_miss_ratio=0.85,
+            l3_miss_ratio=0.88,
+            prefetch_coverage=0.80,
+            writeback_ratio=0.95,
+            tlb_dm_per_kinst=1.2,
+            tlb_im_per_kinst=0.001,
+            mlp=7.0,
+            latent_efficiency=0.99,
+            uop_expansion=1.05,
+        ),
+    ),
+    # memcpy of a >LLC buffer: mixed read/write streams.
+    _kernel(
+        "memory_copy",
+        Characterization(
+            ipc_base=1.1,
+            load_frac=0.34,
+            store_frac=0.33,
+            branch_frac=0.07,
+            fp_frac=0.0,
+            branch_mispred_rate=0.002,
+            l1d_load_miss_rate=0.18,
+            l1d_store_miss_rate=0.18,
+            l1i_miss_per_kinst=0.02,
+            l2_miss_ratio=0.85,
+            l3_miss_ratio=0.88,
+            prefetch_coverage=0.90,
+            writeback_ratio=0.50,
+            tlb_dm_per_kinst=1.5,
+            tlb_im_per_kinst=0.001,
+            mlp=8.0,
+            latent_efficiency=1.00,
+            uop_expansion=1.04,
+        ),
+    ),
+    # Packed double add loop: peak AVX issue, register-resident.
+    _kernel(
+        "addpd",
+        Characterization(
+            ipc_base=3.6,
+            load_frac=0.12,
+            store_frac=0.04,
+            branch_frac=0.06,
+            fp_frac=0.62,
+            vector_width=4,
+            branch_mispred_rate=0.001,
+            l1d_load_miss_rate=0.001,
+            l1d_store_miss_rate=0.001,
+            l1i_miss_per_kinst=0.01,
+            l2_miss_ratio=0.05,
+            l3_miss_ratio=0.05,
+            prefetch_coverage=0.10,
+            writeback_ratio=0.05,
+            tlb_dm_per_kinst=0.005,
+            tlb_im_per_kinst=0.001,
+            latent_efficiency=1.02,
+            uop_expansion=1.02,
+        ),
+    ),
+)
+
+
+def roco2_suite() -> List[Workload]:
+    """All roco2 kernels including idle, in canonical order."""
+    return list(ROCO2_KERNELS)

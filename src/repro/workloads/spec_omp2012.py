@@ -1,0 +1,404 @@
+"""Simulated SPEC OMP2012 benchmark suite.
+
+The paper validates on SPEC OMP2012 (Müller et al. 2012) minus the
+four benchmarks that failed to build or crashed on the test system
+(kdtree, imagick, smithwa, botsspar).  The suite is commercial and
+requires real hardware; per the substitution rule we model the ten
+remaining benchmarks as *phase-structured* workloads whose base
+characterizations follow each code's published behaviour (compute vs
+memory bound, locality, code footprint, NUMA sensitivity).
+
+Two properties distinguish these from the roco2 kernels and drive the
+paper's scenario analysis:
+
+* **Internal variability** — every benchmark runs through several
+  phases perturbed around its base characterization ("the SPEC
+  workloads have more internal variability that can even out the error
+  on overall average power estimation", Section IV-B).
+* **Latent complexity** — real applications have circuit-level
+  behaviour synthetic loops do not reach.  The per-benchmark
+  ``latent_efficiency`` and ``uop_expansion`` values sit in a different
+  range than roco2's, which is what produces the systematic biases of
+  Fig. 5a when training only on synthetic workloads (md and nab, with
+  the lowest latent efficiency, are consistently overestimated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.seeding import derive_rng
+from repro.workloads.base import Characterization, PhaseSpec, Workload
+
+__all__ = ["SpecBenchmark", "SPEC_OMP2012_BENCHMARKS", "spec_omp2012_suite", "EXCLUDED_BENCHMARKS"]
+
+#: Benchmarks excluded in the paper (failed to build / crashed).
+EXCLUDED_BENCHMARKS: Tuple[str, ...] = ("kdtree", "imagick", "smithwa", "botsspar")
+
+#: Namespace seed for the deterministic phase-structure generation.
+_SPEC_SEED = 0x53504543  # "SPEC"
+
+# Fields perturbed per phase, with relative jitter strength and hard
+# clipping bounds.  ``latent_efficiency`` and ``uop_expansion`` are
+# deliberately NOT in this list: they are per-benchmark constants.
+_PHASE_JITTER: Dict[str, Tuple[float, float, float]] = {
+    # name: (relative sigma, lower clip, upper clip)
+    "ipc_base": (0.18, 0.05, 3.9),
+    "l1d_load_miss_rate": (0.30, 0.0005, 0.5),
+    "l1d_store_miss_rate": (0.30, 0.0005, 0.5),
+    "l1i_miss_per_kinst": (0.30, 0.001, 20.0),
+    "l2_miss_ratio": (0.20, 0.01, 0.95),
+    "l3_miss_ratio": (0.20, 0.01, 0.95),
+    "prefetch_coverage": (0.10, 0.05, 0.95),
+    "writeback_ratio": (0.20, 0.01, 1.5),
+    "tlb_dm_per_kinst": (0.35, 0.001, 30.0),
+    "tlb_im_per_kinst": (0.35, 0.0001, 10.0),
+    "branch_mispred_rate": (0.25, 0.0005, 0.25),
+    "mlp": (0.15, 1.0, 16.0),
+}
+
+
+def _perturb_phase(
+    base: Characterization, rng: np.random.Generator, strength: float
+) -> Characterization:
+    """Jitter a characterization multiplicatively (lognormal factors)."""
+    updates: Dict[str, float] = {}
+    for name, (sigma, lo, hi) in _PHASE_JITTER.items():
+        factor = float(np.exp(rng.normal(0.0, sigma * strength)))
+        updates[name] = float(np.clip(getattr(base, name) * factor, lo, hi))
+    return base.with_updates(**updates)
+
+
+class SpecBenchmark(Workload):
+    """One simulated SPEC OMP2012 benchmark.
+
+    The phase structure (count, durations, perturbations, occasional
+    serial regions) is generated deterministically from the benchmark
+    name, so the same workload objects are recreated in every process.
+    """
+
+    suite = "spec_omp2012"
+    default_thread_counts = (24,)
+
+    def __init__(
+        self,
+        name: str,
+        base: Characterization,
+        *,
+        n_phases: int = 5,
+        phase_duration_s: Tuple[float, float] = (12.0, 35.0),
+        variability: float = 1.0,
+        serial_fraction: float = 0.05,
+    ) -> None:
+        if n_phases < 1:
+            raise ValueError("need at least one phase")
+        self.name = name
+        self.base = base
+        self.n_phases = n_phases
+        self.phase_duration_s = phase_duration_s
+        self.variability = variability
+        self.serial_fraction = serial_fraction
+        self._phase_cache: Dict[int, List[PhaseSpec]] = {}
+
+    def phases(self, threads: int) -> List[PhaseSpec]:
+        if threads in self._phase_cache:
+            return self._phase_cache[threads]
+        rng = derive_rng(_SPEC_SEED, self.name, threads)
+        lo, hi = self.phase_duration_s
+        out: List[PhaseSpec] = []
+        for i in range(self.n_phases):
+            char = _perturb_phase(self.base, rng, self.variability)
+            duration = float(rng.uniform(lo, hi))
+            out.append(
+                PhaseSpec(
+                    name=f"{self.name}.phase{i}",
+                    duration_s=duration,
+                    characterization=char,
+                    active_threads=threads,
+                )
+            )
+            # Occasionally a serial region (initialization, reduction,
+            # I/O) — task-parallel codes have visible ones.
+            if rng.random() < self.serial_fraction and threads > 1:
+                out.append(
+                    PhaseSpec(
+                        name=f"{self.name}.serial{i}",
+                        duration_s=float(rng.uniform(1.0, 4.0)),
+                        characterization=char.with_updates(
+                            ipc_base=min(self.base.ipc_base, 1.2)
+                        ),
+                        active_threads=1,
+                        weight=0.2,
+                    )
+                )
+        self._phase_cache[threads] = out
+        return out
+
+
+def _spec(
+    name: str,
+    *,
+    n_phases: int = 5,
+    variability: float = 1.0,
+    serial_fraction: float = 0.05,
+    **char_kwargs,
+) -> SpecBenchmark:
+    return SpecBenchmark(
+        name,
+        Characterization(**char_kwargs),
+        n_phases=n_phases,
+        variability=variability,
+        serial_fraction=serial_fraction,
+    )
+
+
+#: The ten benchmarks the paper evaluates (OMP2012 minus exclusions).
+SPEC_OMP2012_BENCHMARKS: Tuple[SpecBenchmark, ...] = (
+    # 350.md — molecular dynamics (Fortran): compute bound, hard-to-
+    # predict neighbour-list branches.  Lowest latent efficiency →
+    # consistently overestimated in scenario 2 (Fig. 5a).
+    _spec(
+        "md",
+        ipc_base=2.1,
+        load_frac=0.26,
+        store_frac=0.08,
+        branch_frac=0.14,
+        fp_frac=0.42,
+        vector_width=2,
+        branch_mispred_rate=0.025,
+        l1d_load_miss_rate=0.012,
+        l1d_store_miss_rate=0.008,
+        l1i_miss_per_kinst=0.4,
+        l2_miss_ratio=0.18,
+        l3_miss_ratio=0.20,
+        prefetch_coverage=0.45,
+        writeback_ratio=0.20,
+        tlb_dm_per_kinst=0.3,
+        tlb_im_per_kinst=0.03,
+        latent_efficiency=0.84,
+        uop_expansion=1.12,
+    ),
+    # 363.swim — shallow water model: classic streaming, memory wall.
+    _spec(
+        "swim",
+        ipc_base=1.6,
+        load_frac=0.38,
+        store_frac=0.14,
+        branch_frac=0.07,
+        fp_frac=0.40,
+        vector_width=2,
+        branch_mispred_rate=0.004,
+        l1d_load_miss_rate=0.11,
+        l1d_store_miss_rate=0.10,
+        l1i_miss_per_kinst=0.1,
+        l2_miss_ratio=0.70,
+        l3_miss_ratio=0.75,
+        prefetch_coverage=0.88,
+        writeback_ratio=0.55,
+        tlb_dm_per_kinst=1.8,
+        tlb_im_per_kinst=0.01,
+        mlp=8.0,
+        numa_remote_frac=0.15,
+        latent_efficiency=1.07,
+        uop_expansion=1.15,
+    ),
+    # 367.imagick excluded; 359.botsalgn — protein alignment (tasks):
+    # integer, branchy, cache-resident.
+    _spec(
+        "botsalgn",
+        ipc_base=1.9,
+        load_frac=0.28,
+        store_frac=0.10,
+        branch_frac=0.18,
+        fp_frac=0.08,
+        branch_mispred_rate=0.035,
+        l1d_load_miss_rate=0.008,
+        l1d_store_miss_rate=0.006,
+        l1i_miss_per_kinst=0.8,
+        l2_miss_ratio=0.15,
+        l3_miss_ratio=0.18,
+        prefetch_coverage=0.35,
+        writeback_ratio=0.15,
+        tlb_dm_per_kinst=0.2,
+        tlb_im_per_kinst=0.05,
+        serial_fraction=0.25,
+        latent_efficiency=0.90,
+        uop_expansion=1.25,
+    ),
+    # 360.ilbdc — lattice Boltzmann: indirect addressing defeats the
+    # prefetcher; worst MAPE in the paper's Fig. 3.
+    _spec(
+        "ilbdc",
+        ipc_base=1.2,
+        load_frac=0.42,
+        store_frac=0.16,
+        branch_frac=0.06,
+        fp_frac=0.30,
+        vector_width=1,
+        branch_mispred_rate=0.008,
+        l1d_load_miss_rate=0.16,
+        l1d_store_miss_rate=0.13,
+        l1i_miss_per_kinst=0.1,
+        l2_miss_ratio=0.75,
+        l3_miss_ratio=0.80,
+        prefetch_coverage=0.35,
+        writeback_ratio=0.60,
+        tlb_dm_per_kinst=2.5,
+        tlb_im_per_kinst=0.01,
+        mlp=5.5,
+        numa_remote_frac=0.30,
+        variability=1.2,
+        latent_efficiency=1.11,
+        uop_expansion=1.20,
+    ),
+    # 370.mgrid331 — multigrid: alternating compute/memory sweeps.
+    _spec(
+        "mgrid331",
+        ipc_base=1.9,
+        load_frac=0.34,
+        store_frac=0.11,
+        branch_frac=0.06,
+        fp_frac=0.42,
+        vector_width=2,
+        branch_mispred_rate=0.005,
+        l1d_load_miss_rate=0.06,
+        l1d_store_miss_rate=0.05,
+        l1i_miss_per_kinst=0.1,
+        l2_miss_ratio=0.45,
+        l3_miss_ratio=0.50,
+        prefetch_coverage=0.75,
+        writeback_ratio=0.40,
+        tlb_dm_per_kinst=1.0,
+        tlb_im_per_kinst=0.01,
+        mlp=6.0,
+        variability=1.5,
+        n_phases=6,
+        latent_efficiency=1.06,
+        uop_expansion=1.18,
+    ),
+    # 357.bt331 — block tridiagonal CFD: fp heavy, blocked, moderate
+    # traffic.
+    _spec(
+        "bt331",
+        ipc_base=2.4,
+        load_frac=0.30,
+        store_frac=0.10,
+        branch_frac=0.08,
+        fp_frac=0.48,
+        vector_width=2,
+        branch_mispred_rate=0.006,
+        l1d_load_miss_rate=0.025,
+        l1d_store_miss_rate=0.018,
+        l1i_miss_per_kinst=0.3,
+        l2_miss_ratio=0.30,
+        l3_miss_ratio=0.28,
+        prefetch_coverage=0.65,
+        writeback_ratio=0.30,
+        tlb_dm_per_kinst=0.5,
+        tlb_im_per_kinst=0.02,
+        latent_efficiency=0.91,
+        uop_expansion=1.22,
+    ),
+    # 351.bwaves — blast waves CFD: bandwidth bound, NUMA sensitive.
+    _spec(
+        "bwaves",
+        ipc_base=1.7,
+        load_frac=0.40,
+        store_frac=0.12,
+        branch_frac=0.05,
+        fp_frac=0.45,
+        vector_width=2,
+        branch_mispred_rate=0.003,
+        l1d_load_miss_rate=0.09,
+        l1d_store_miss_rate=0.07,
+        l1i_miss_per_kinst=0.1,
+        l2_miss_ratio=0.65,
+        l3_miss_ratio=0.70,
+        prefetch_coverage=0.85,
+        writeback_ratio=0.45,
+        tlb_dm_per_kinst=1.5,
+        tlb_im_per_kinst=0.01,
+        mlp=7.0,
+        numa_remote_frac=0.25,
+        latent_efficiency=1.10,
+        uop_expansion=1.15,
+    ),
+    # 362.fma3d — crash simulation: huge code footprint, iTLB/i-cache
+    # pressure, irregular data access.
+    _spec(
+        "fma3d",
+        ipc_base=1.5,
+        load_frac=0.30,
+        store_frac=0.12,
+        branch_frac=0.13,
+        fp_frac=0.30,
+        vector_width=1,
+        branch_mispred_rate=0.025,
+        l1d_load_miss_rate=0.03,
+        l1d_store_miss_rate=0.02,
+        l1i_miss_per_kinst=4.0,
+        l2_miss_ratio=0.35,
+        l3_miss_ratio=0.35,
+        prefetch_coverage=0.40,
+        writeback_ratio=0.30,
+        tlb_dm_per_kinst=1.2,
+        tlb_im_per_kinst=0.8,
+        variability=1.3,
+        latent_efficiency=0.89,
+        uop_expansion=1.45,
+    ),
+    # 371.applu331 — SSOR solver: mixed, moderate everything.
+    _spec(
+        "applu331",
+        ipc_base=2.0,
+        load_frac=0.32,
+        store_frac=0.11,
+        branch_frac=0.08,
+        fp_frac=0.44,
+        vector_width=2,
+        branch_mispred_rate=0.008,
+        l1d_load_miss_rate=0.04,
+        l1d_store_miss_rate=0.03,
+        l1i_miss_per_kinst=0.3,
+        l2_miss_ratio=0.40,
+        l3_miss_ratio=0.40,
+        prefetch_coverage=0.70,
+        writeback_ratio=0.35,
+        tlb_dm_per_kinst=0.8,
+        tlb_im_per_kinst=0.03,
+        n_phases=6,
+        latent_efficiency=0.94,
+        uop_expansion=1.20,
+    ),
+    # 352.nab — molecular modeling: compute leaning, second-lowest
+    # latent efficiency → overestimated alongside md in Fig. 5a.
+    _spec(
+        "nab",
+        ipc_base=2.2,
+        load_frac=0.27,
+        store_frac=0.09,
+        branch_frac=0.12,
+        fp_frac=0.40,
+        vector_width=2,
+        branch_mispred_rate=0.012,
+        l1d_load_miss_rate=0.015,
+        l1d_store_miss_rate=0.010,
+        l1i_miss_per_kinst=0.5,
+        l2_miss_ratio=0.20,
+        l3_miss_ratio=0.22,
+        prefetch_coverage=0.50,
+        writeback_ratio=0.22,
+        tlb_dm_per_kinst=0.4,
+        tlb_im_per_kinst=0.04,
+        latent_efficiency=0.85,
+        uop_expansion=1.12,
+    ),
+)
+
+
+def spec_omp2012_suite() -> List[Workload]:
+    """The ten simulated SPEC OMP2012 benchmarks, canonical order."""
+    return list(SPEC_OMP2012_BENCHMARKS)

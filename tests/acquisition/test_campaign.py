@@ -1,0 +1,185 @@
+"""Tests for campaigns and the multi-run merge (post-processing)."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import Campaign, CampaignPlan, build_dataset, merge_runs, run_campaign
+from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS
+from repro.tracing import PhaseProfile
+from repro.workloads import get_workload
+
+
+class TestCampaignPlan:
+    def test_experiments_enumeration(self):
+        plan = CampaignPlan(
+            workloads=(get_workload("compute"), get_workload("idle")),
+            frequencies_mhz=(1200, 2400),
+        )
+        exps = plan.experiments()
+        # compute has 8 default thread counts, idle has 1; x2 freqs.
+        assert len(exps) == (8 + 1) * 2
+
+    def test_thread_override(self):
+        plan = CampaignPlan(
+            workloads=(get_workload("compute"),),
+            frequencies_mhz=(2400,),
+            thread_counts_override=(4, 8),
+        )
+        assert len(plan.experiments()) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignPlan(workloads=(), frequencies_mhz=(2400,))
+        with pytest.raises(ValueError):
+            CampaignPlan(
+                workloads=(get_workload("idle"),), frequencies_mhz=()
+            )
+
+
+class TestCampaignRun:
+    def test_runs_per_experiment_is_pmu_bound(self, platform):
+        plan = CampaignPlan(
+            workloads=(get_workload("idle"),), frequencies_mhz=(2400,)
+        )
+        campaign = Campaign(platform, plan)
+        # 51 programmable events / 4 slots = 13 runs.
+        assert campaign.runs_per_experiment == 13
+
+    def test_dataset_complete(self, small_dataset):
+        # Every row carries all 54 counters (merge succeeded).
+        assert small_dataset.counters.shape[1] == 54
+        assert np.all(np.isfinite(small_dataset.counters))
+
+    def test_dataset_covers_all_experiments(self, small_dataset):
+        # 3 kernels x 3 thread counts x 2 freqs + md phases.
+        keys = small_dataset.experiment_keys()
+        workload_names = {k[0] for k in keys}
+        assert workload_names == {"idle", "compute", "memory_read", "md"}
+
+    def test_power_and_voltage_plausible(self, small_dataset):
+        assert np.all(small_dataset.power_w > 30.0)
+        assert np.all(small_dataset.power_w < 350.0)
+        assert np.all(small_dataset.voltage_v > 0.6)
+        assert np.all(small_dataset.voltage_v < 1.1)
+
+    def test_progress_callback(self, platform):
+        messages = []
+        run_campaign(
+            platform,
+            [get_workload("idle")],
+            [2400],
+            progress=messages.append,
+        )
+        assert messages and "idle" in messages[0]
+
+    def test_deterministic(self, platform, small_dataset):
+        again = run_campaign(
+            platform,
+            [get_workload("idle"), get_workload("compute"),
+             get_workload("memory_read"), get_workload("md")],
+            [1200, 2400],
+            thread_counts=[1, 8, 24],
+        )
+        # Row order may legitimately match; values must.
+        assert np.allclose(again.power_w, small_dataset.power_w)
+        assert np.allclose(again.counters, small_dataset.counters)
+
+
+def _profile(run_index, counters, power=100.0, phase="k.loop", threads=8):
+    return PhaseProfile(
+        workload="k",
+        suite="roco2",
+        frequency_mhz=2400,
+        threads=threads,
+        run_index=run_index,
+        phase_name=phase,
+        start_s=0.0,
+        end_s=10.0,
+        active_threads=threads,
+        power_w=power,
+        voltage_v=0.97,
+        counter_rates_per_s=counters,
+    )
+
+
+class TestMerge:
+    def test_power_averaged_across_runs(self):
+        merged = merge_runs(
+            [
+                _profile(0, {"TOT_CYC": 1e9}, power=100.0),
+                _profile(1, {"PRF_DM": 1e6}, power=104.0),
+            ]
+        )
+        assert len(merged) == 1
+        assert merged[0].power_w == pytest.approx(102.0)
+        assert set(merged[0].counter_rates_per_s) == {"TOT_CYC", "PRF_DM"}
+
+    def test_fixed_counter_averaged(self):
+        merged = merge_runs(
+            [
+                _profile(0, {"TOT_CYC": 1.0e9}),
+                _profile(1, {"TOT_CYC": 1.1e9}),
+            ]
+        )
+        assert merged[0].counter_rates_per_s["TOT_CYC"] == pytest.approx(1.05e9)
+
+    def test_inconsistent_counter_rejected(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            merge_runs(
+                [
+                    _profile(0, {"TOT_CYC": 1.0e9}),
+                    _profile(1, {"TOT_CYC": 2.0e9}),
+                ]
+            )
+
+    def test_inconsistent_thread_count_rejected(self):
+        a = _profile(0, {"TOT_CYC": 1e9})
+        b = PhaseProfile(
+            workload="k", suite="roco2", frequency_mhz=2400, threads=8,
+            run_index=1, phase_name="k.loop", start_s=0.0, end_s=10.0,
+            active_threads=4, power_w=100.0, voltage_v=0.97,
+            counter_rates_per_s={"TOT_CYC": 1e9},
+        )
+        with pytest.raises(ValueError, match="thread counts"):
+            merge_runs([a, b])
+
+    def test_distinct_phases_stay_separate(self):
+        merged = merge_runs(
+            [
+                _profile(0, {"TOT_CYC": 1e9}, phase="p0"),
+                _profile(0, {"TOT_CYC": 1e9}, phase="p1"),
+            ]
+        )
+        assert len(merged) == 2
+
+
+class TestBuildDataset:
+    def _complete_profile(self, run_index=0):
+        rates = {c: 1e6 for c in COUNTER_NAMES}
+        return _profile(run_index, rates)
+
+    def test_complete_phase_builds(self):
+        ds = build_dataset(merge_runs([self._complete_profile()]))
+        assert ds.n_samples == 1
+        # events/s / (f_clk) → events per cycle.
+        assert ds.column("PRF_DM")[0] == pytest.approx(1e6 / 2.4e9)
+
+    def test_incomplete_raises_by_default(self):
+        merged = merge_runs([_profile(0, {"TOT_CYC": 1e9})])
+        with pytest.raises(ValueError, match="missing"):
+            build_dataset(merged)
+
+    def test_incomplete_dropped_when_allowed(self):
+        merged = merge_runs(
+            [
+                _profile(0, {"TOT_CYC": 1e9}, phase="partial"),
+                self._complete_profile(),
+            ]
+        )
+        ds = build_dataset(merged, require_complete=False)
+        assert ds.n_samples == 1
+
+    def test_nothing_left_raises(self):
+        merged = merge_runs([_profile(0, {"TOT_CYC": 1e9})])
+        with pytest.raises(ValueError, match="no complete phases"):
+            build_dataset(merged, require_complete=False)

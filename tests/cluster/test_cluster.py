@@ -1,0 +1,151 @@
+"""Unit tests for cluster-scale estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    NodeVariation,
+    build_cluster,
+    estimate_cluster_power,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(4, seed=7)
+
+
+TRAIN = None  # filled per test via helper
+
+
+def _training_suite():
+    return [
+        get_workload(n)
+        for n in ("idle", "busywait", "compute", "memory_read", "matmul")
+    ]
+
+
+COUNTERS = ("CA_SNP", "TOT_CYC", "PRF_DM", "STL_ICY")
+
+
+class TestBuildCluster:
+    def test_node_identity(self, cluster):
+        assert [n.hostname for n in cluster] == [
+            "node000", "node001", "node002", "node003"
+        ]
+        assert len({id(n.platform) for n in cluster}) == 4
+
+    def test_manufacturing_variation_present(self, cluster):
+        leakages = {
+            n.platform.power_params.leakage_w_per_v for n in cluster
+        }
+        assert len(leakages) == 4
+
+    def test_deterministic_dies(self):
+        a = build_cluster(3, seed=7)
+        b = build_cluster(3, seed=7)
+        for na, nb in zip(a, b):
+            assert (
+                na.platform.power_params.leakage_w_per_v
+                == nb.platform.power_params.leakage_w_per_v
+            )
+
+    def test_seed_changes_dies(self):
+        a = build_cluster(2, seed=7)[0]
+        b = build_cluster(2, seed=8)[0]
+        assert (
+            a.platform.power_params.leakage_w_per_v
+            != b.platform.power_params.leakage_w_per_v
+        )
+
+    def test_nodes_draw_different_power(self, cluster):
+        """Same workload, same settings — different watts per die."""
+        powers = set()
+        for node in cluster:
+            run = node.platform.execute(get_workload("compute"), 2400, 24)
+            powers.add(round(run.phases[0].power.measured_w, 1))
+        assert len(powers) == 4
+
+    def test_variation_knobs(self):
+        flat = build_cluster(
+            3,
+            seed=7,
+            variation=NodeVariation(
+                leakage_sigma=0.0, switching_sigma=0.0, board_sigma=0.0
+            ),
+        )
+        leakages = {n.platform.power_params.leakage_w_per_v for n in flat}
+        assert len(leakages) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_cluster(0)
+
+
+class TestClusterEstimation:
+    @pytest.fixture(scope="class")
+    def assignment(self, cluster):
+        names = ("compute", "memory_read", "md", "busywait")
+        return {
+            node.hostname: get_workload(name)
+            for node, name in zip(cluster, names)
+        }
+
+    @pytest.fixture(scope="class")
+    def shared(self, cluster, assignment):
+        return estimate_cluster_power(
+            cluster,
+            assignment,
+            counters=COUNTERS,
+            training_workloads=_training_suite(),
+            strategy="shared",
+        )
+
+    @pytest.fixture(scope="class")
+    def per_node(self, cluster, assignment):
+        return estimate_cluster_power(
+            cluster,
+            assignment,
+            counters=COUNTERS,
+            training_workloads=_training_suite(),
+            strategy="per-node",
+        )
+
+    def test_totals_plausible(self, shared):
+        assert shared.true_total_w > 300.0
+        assert shared.estimated_total_w > 0.0
+        assert len(shared.nodes) == 4
+
+    def test_aggregate_beats_worst_node(self, shared):
+        """Per-node errors partially cancel in the sum."""
+        assert shared.total_error_percent <= shared.worst_node_ape_percent
+
+    def test_per_node_calibration_helps(self, shared, per_node):
+        assert (
+            per_node.mean_node_ape_percent
+            <= shared.mean_node_ape_percent + 1.0
+        )
+
+    def test_reasonable_accuracy(self, shared, per_node):
+        assert shared.total_error_percent < 15.0
+        assert per_node.total_error_percent < 15.0
+
+    def test_missing_assignment_rejected(self, cluster):
+        with pytest.raises(KeyError, match="missing"):
+            estimate_cluster_power(
+                cluster,
+                {},
+                counters=COUNTERS,
+                training_workloads=_training_suite(),
+            )
+
+    def test_unknown_strategy_rejected(self, cluster, assignment):
+        with pytest.raises(ValueError, match="strategy"):
+            estimate_cluster_power(
+                cluster,
+                assignment,
+                counters=COUNTERS,
+                training_workloads=_training_suite(),
+                strategy="magic",
+            )

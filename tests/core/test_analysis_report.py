@@ -1,0 +1,57 @@
+"""Unit tests for the PCC analysis and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import counter_power_pcc, significance_report
+from repro.core.report import fmt, render_series, render_table
+
+
+class TestCounterPCC:
+    def test_all_counters_scored(self, small_dataset):
+        sig = counter_power_pcc(small_dataset)
+        assert set(sig.pcc) == set(small_dataset.counter_names)
+        assert all(-1.0 <= v <= 1.0 for v in sig.pcc.values())
+
+    def test_table_subsets(self, small_dataset):
+        sig = counter_power_pcc(small_dataset)
+        table = sig.table(["PRF_DM", "BR_MSP"])
+        assert [name for name, _ in table] == ["PRF_DM", "BR_MSP"]
+
+    def test_sorted_by_strength_descending(self, small_dataset):
+        sig = counter_power_pcc(small_dataset)
+        strengths = [abs(v) for _, v in sig.sorted_by_strength()]
+        assert strengths == sorted(strengths, reverse=True)
+        assert sig.strongest()[0] == sig.sorted_by_strength()[0][0]
+
+    def test_significance_report_text(self, small_dataset):
+        text = significance_report(small_dataset, ["PRF_DM", "BR_MSP"])
+        assert "PRF_DM" in text
+        assert "Table III" in text
+
+
+class TestRendering:
+    def test_fmt_nan_is_na(self):
+        assert fmt(float("nan")) == "n/a"
+        assert fmt(1.23456, 2) == "1.23"
+
+    def test_render_table_alignment(self):
+        out = render_table(
+            ["name", "value"],
+            [("alpha", 1.5), ("b", float("nan"))],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in out and "n/a" in out
+        # Header separator present.
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_render_series_bars(self):
+        out = render_series({"a": 10.0, "b": -5.0}, title="S", unit="%")
+        assert "a" in out and "#" in out
+        # Negative values carry a sign marker.
+        assert "-" in out.splitlines()[2]
+
+    def test_render_series_empty(self):
+        assert render_series({}, title="nothing") == "nothing"

@@ -1,0 +1,99 @@
+"""Unit tests for power attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerModel, attribute, attribute_dataset
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def fitted(full_dataset, selected_counters):
+    return PowerModel(selected_counters).fit(full_dataset)
+
+
+class TestAttribute:
+    def _rates(self, fitted, dataset, row):
+        return {c: float(dataset.column(c)[row]) for c in fitted.counters}
+
+    def test_terms_sum_to_prediction(self, fitted, full_dataset):
+        for row in (0, 25, 100):
+            att = attribute(
+                fitted,
+                counter_rates=self._rates(fitted, full_dataset, row),
+                voltage_v=float(full_dataset.voltage_v[row]),
+                frequency_mhz=float(full_dataset.frequency_mhz[row]),
+            )
+            pred = fitted.predict(full_dataset.subset(np.array([row])))[0]
+            assert att.total_w == pytest.approx(pred, rel=1e-9)
+            assert att.check_consistency()
+
+    def test_family_rollup_sums(self, fitted, full_dataset):
+        att = attribute(
+            fitted,
+            counter_rates=self._rates(fitted, full_dataset, 0),
+            voltage_v=0.97,
+            frequency_mhz=2400.0,
+        )
+        fam = att.by_family()
+        assert sum(fam.values()) == pytest.approx(att.total_w, rel=1e-9)
+        assert "static+system" in fam and "residual-dynamic" in fam
+
+    def test_memory_bound_attributes_more_to_memory(
+        self, fitted, full_dataset
+    ):
+        """Attribution must reflect workload character: streaming
+        kernels put more watts on memory-family counters than compute
+        kernels at equal thread count."""
+        def family_memory(workload):
+            sub = full_dataset.filter(workloads=[workload], frequency_mhz=2400)
+            i = int(np.argmax(sub.threads))
+            att = attribute(
+                fitted,
+                counter_rates={
+                    c: float(sub.column(c)[i]) for c in fitted.counters
+                },
+                voltage_v=float(sub.voltage_v[i]),
+                frequency_mhz=2400.0,
+            )
+            return att.by_family().get("memory", 0.0)
+
+        assert family_memory("memory_read") > family_memory("busywait") + 5.0
+
+    def test_missing_rate_rejected(self, fitted):
+        with pytest.raises(KeyError):
+            attribute(fitted, counter_rates={}, voltage_v=0.97, frequency_mhz=2400)
+
+    def test_invalid_operating_point(self, fitted, full_dataset):
+        rates = self._rates(fitted, full_dataset, 0)
+        with pytest.raises(ValueError):
+            attribute(fitted, counter_rates=rates, voltage_v=0.0, frequency_mhz=2400)
+
+
+class TestAttributeDataset:
+    def test_one_attribution_per_row(self, fitted, full_dataset):
+        sub = full_dataset.filter(workloads=["compute"])
+        atts = attribute_dataset(fitted, sub)
+        assert len(atts) == sub.n_samples
+        preds = fitted.predict(sub)
+        for att, pred in zip(atts, preds):
+            assert att.total_w == pytest.approx(pred, rel=1e-9)
+
+    def test_dynamic_share_tracks_truth(self, fitted, platform, full_dataset):
+        """The attributed dynamic share must rank workloads like the
+        simulator's hidden dynamic/static decomposition."""
+        shares = {}
+        truth = {}
+        for name in ("busywait", "compute", "idle"):
+            sub = full_dataset.filter(workloads=[name], frequency_mhz=2400)
+            i = int(np.argmax(sub.threads))
+            att = attribute_dataset(fitted, sub.subset(np.array([i])))[0]
+            shares[name] = att.dynamic_w / att.total_w
+            run = platform.execute(
+                get_workload(name), 2400, int(sub.threads[i])
+            )
+            p = run.phases[0].power
+            truth[name] = sum(p.dynamic_core_w) / p.measured_w
+        # Ranking must agree: compute > busywait > idle.
+        assert shares["compute"] > shares["busywait"] > shares["idle"]
+        assert truth["compute"] > truth["busywait"] > truth["idle"]

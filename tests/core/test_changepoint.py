@@ -1,0 +1,111 @@
+"""Tests for CUSUM phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerModel, estimate_run
+from repro.core.changepoint import (
+    cusum_changepoints,
+    detect_phases,
+    segment_mean,
+)
+from repro.workloads import get_workload
+
+
+def _step_series(rng, levels=(100.0, 150.0, 120.0), n_per=40, noise=1.0):
+    parts = [rng.normal(l, noise, size=n_per) for l in levels]
+    return np.concatenate(parts)
+
+
+class TestCusum:
+    def test_detects_clear_steps(self, rng):
+        x = _step_series(rng)
+        changes = cusum_changepoints(x)
+        assert len(changes) == 2
+        # Boundaries found near the true transition points.
+        assert abs(changes[0] - 40) <= 3
+        assert abs(changes[1] - 80) <= 3
+
+    def test_no_false_alarms_on_stationary_noise(self, rng):
+        x = rng.normal(100.0, 1.0, size=500)
+        assert cusum_changepoints(x) == []
+
+    def test_small_shift_below_threshold_ignored(self, rng):
+        x = np.concatenate(
+            [rng.normal(100.0, 2.0, 50), rng.normal(100.5, 2.0, 50)]
+        )
+        assert cusum_changepoints(x, threshold_sigmas=8.0) == []
+
+    def test_detects_downward_steps(self, rng):
+        x = _step_series(rng, levels=(150.0, 100.0))
+        changes = cusum_changepoints(x)
+        assert len(changes) == 1
+
+    def test_dead_time_respected(self, rng):
+        x = _step_series(rng, levels=(100.0, 200.0, 100.0), n_per=20)
+        changes = cusum_changepoints(x, min_segment=5)
+        assert all(b - a >= 5 for a, b in zip([0] + changes, changes))
+
+    def test_short_series_no_changes(self):
+        assert cusum_changepoints(np.array([1.0, 2.0, 3.0])) == []
+
+    def test_explicit_noise_sigma(self, rng):
+        x = _step_series(rng, noise=0.5)
+        changes = cusum_changepoints(x, noise_sigma=0.5)
+        assert len(changes) == 2
+
+    def test_invalid_params(self, rng):
+        x = _step_series(rng)
+        with pytest.raises(ValueError):
+            cusum_changepoints(x, threshold_sigmas=0.0)
+
+
+class TestSegments:
+    def test_segment_means(self, rng):
+        x = _step_series(rng, levels=(100.0, 150.0), noise=0.5)
+        segs = segment_mean(x, [40])
+        assert len(segs) == 2
+        assert segs[0].mean == pytest.approx(100.0, abs=0.5)
+        assert segs[1].mean == pytest.approx(150.0, abs=0.5)
+        assert segs[0].length == 40
+
+    def test_bad_changepoints(self, rng):
+        with pytest.raises(ValueError):
+            segment_mean(np.zeros(10), [5, 5])
+
+
+class TestOnSimulatedRuns:
+    @pytest.fixture(scope="class")
+    def fitted(self, full_dataset, selected_counters):
+        return PowerModel(selected_counters).fit(full_dataset)
+
+    def test_recovers_spec_phase_count(self, platform, fitted):
+        """Phase detection on the streamed estimate must find roughly
+        the run's true number of major phases."""
+        workload = get_workload("mgrid331")
+        run = platform.execute(workload, 2400, 24)
+        timeline = estimate_run(platform, run, fitted, interval_s=0.5)
+        # Threshold well above the PMU read noise: phase shifts on this
+        # run are tens of watts, read noise a couple of watts.
+        segments = detect_phases(timeline, threshold_sigmas=8.0)
+        true_phases = len(run.phases)
+        assert true_phases * 0.5 <= len(segments) <= true_phases * 2.0
+
+    def test_single_phase_kernel_yields_one_segment(self, platform, fitted):
+        run = platform.execute(get_workload("compute"), 2400, 24)
+        timeline = estimate_run(platform, run, fitted, interval_s=0.25)
+        segments = detect_phases(timeline)
+        assert len(segments) == 1
+
+    def test_estimated_and_measured_agree(self, platform, fitted):
+        run = platform.execute(get_workload("applu331"), 2400, 24)
+        timeline = estimate_run(platform, run, fitted, interval_s=0.5)
+        est = detect_phases(timeline, use="estimated")
+        meas = detect_phases(timeline, use="measured")
+        assert abs(len(est) - len(meas)) <= 2
+
+    def test_invalid_stream_choice(self, platform, fitted):
+        run = platform.execute(get_workload("compute"), 2400, 8)
+        timeline = estimate_run(platform, run, fitted)
+        with pytest.raises(ValueError):
+            detect_phases(timeline, use="thermal")

@@ -1,0 +1,94 @@
+"""Unit tests for energy accounting and DVFS tuning."""
+
+import pytest
+
+from repro.core import (
+    dvfs_energy_profile,
+    optimal_frequency,
+    phase_energy,
+    run_energy,
+)
+from repro.workloads import get_workload
+
+
+class TestAccounting:
+    def test_phase_energy_sums_power_times_time(self, platform):
+        run = platform.execute(get_workload("compute"), 2400, 8)
+        phases = phase_energy(run)
+        assert len(phases) == 1
+        name, joules = phases[0]
+        expected = run.phases[0].power.measured_w * 10.0
+        assert joules == pytest.approx(expected)
+
+    def test_run_energy_account(self, platform):
+        run = platform.execute(get_workload("md"), 2400, 24)
+        account = run_energy(run)
+        assert account.energy_j == pytest.approx(
+            sum(e for _, e in phase_energy(run))
+        )
+        assert account.average_power_w == pytest.approx(
+            account.energy_j / account.duration_s
+        )
+        assert account.instructions > 1e9
+        assert 0.1 < account.energy_per_instruction_nj < 1000.0
+
+    def test_edp_definition(self, platform):
+        run = platform.execute(get_workload("compute"), 2400, 8)
+        account = run_energy(run)
+        assert account.edp_js == pytest.approx(
+            account.energy_j * account.duration_s
+        )
+
+
+class TestDvfsTuning:
+    FREQS = (1200, 1600, 2000, 2400, 2600)
+
+    def test_profile_is_work_normalized(self, platform):
+        profile = dvfs_energy_profile(
+            platform, get_workload("compute"), 24, self.FREQS
+        )
+        assert len(profile) == len(self.FREQS)
+        # Same instruction budget at every state.
+        insts = {round(a.instructions) for a in profile}
+        assert len(insts) == 1
+
+    def test_compute_bound_runtime_scales_inverse_frequency(self, platform):
+        profile = dvfs_energy_profile(
+            platform, get_workload("compute"), 24, (1200, 2400)
+        )
+        t_low, t_high = profile[0].duration_s, profile[1].duration_s
+        assert t_low / t_high == pytest.approx(2.0, rel=0.05)
+
+    def test_memory_bound_runtime_barely_improves(self, platform):
+        profile = dvfs_energy_profile(
+            platform, get_workload("memory_read"), 24, (1200, 2400)
+        )
+        t_low, t_high = profile[0].duration_s, profile[1].duration_s
+        # Saturated bandwidth: doubling f buys little.
+        assert t_low / t_high < 1.3
+
+    def test_memory_bound_prefers_lower_frequency_than_compute(self, platform):
+        mem = optimal_frequency(
+            dvfs_energy_profile(platform, get_workload("memory_read"), 24, self.FREQS)
+        )
+        cpu = optimal_frequency(
+            dvfs_energy_profile(platform, get_workload("compute"), 24, self.FREQS)
+        )
+        assert mem.frequency_mhz <= cpu.frequency_mhz
+
+    def test_edp_objective_prefers_higher_frequency_than_energy(self, platform):
+        profile = dvfs_energy_profile(
+            platform, get_workload("memory_read"), 24, self.FREQS
+        )
+        e_opt = optimal_frequency(profile, objective="energy")
+        edp_opt = optimal_frequency(profile, objective="edp")
+        assert edp_opt.frequency_mhz >= e_opt.frequency_mhz
+
+    def test_objective_validation(self, platform):
+        profile = dvfs_energy_profile(
+            platform, get_workload("compute"), 8, (1200, 2400)
+        )
+        with pytest.raises(ValueError):
+            optimal_frequency(profile, objective="speed")
+        with pytest.raises(ValueError):
+            optimal_frequency([])

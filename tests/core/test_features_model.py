@@ -1,0 +1,111 @@
+"""Unit tests for the Equation 1 design matrix and PowerModel."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import PowerDataset
+from repro.core import PowerModel, design_matrix, feature_names
+
+
+def _dataset(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    counters = rng.uniform(0.0, 2.0, size=(n, 54))
+    # Three distinct (V, f) operating points so the structural terms
+    # (V2f, V, 1) are linearly independent and identifiable.
+    choice = rng.integers(0, 3, size=n)
+    v = np.array([0.70, 0.87, 0.97])[choice]
+    f = np.array([1200.0, 2000.0, 2400.0])[choice]
+    # Ground truth that Equation 1 can express exactly:
+    # P = 3*E0*V²f + 10*V²f + 12*V + 40  (f in GHz)
+    v2f = v * v * (f / 1000.0)
+    power = 3.0 * counters[:, 0] * v2f + 10.0 * v2f + 12.0 * v + 40.0
+    return PowerDataset(
+        counters=counters,
+        power_w=power,
+        voltage_v=v,
+        frequency_mhz=f,
+        threads=np.full(n, 24),
+        workloads=tuple("w" for _ in range(n)),
+        suites=tuple("roco2" for _ in range(n)),
+        phase_names=tuple(f"p{i}" for i in range(n)),
+    )
+
+
+class TestDesignMatrix:
+    def test_column_structure(self):
+        ds = _dataset()
+        x = design_matrix(ds, ["TOT_CYC", "PRF_DM"])
+        assert x.shape == (ds.n_samples, 5)  # 2 alphas + beta + gamma + delta
+        names = feature_names(["TOT_CYC", "PRF_DM"])
+        assert names == [
+            "alpha:TOT_CYC",
+            "alpha:PRF_DM",
+            "beta:V2f",
+            "gamma:V",
+            "delta:Z",
+        ]
+
+    def test_alpha_column_is_rate_times_v2f(self):
+        ds = _dataset()
+        x = design_matrix(ds, ["TOT_CYC"])
+        v2f = ds.voltage_v**2 * ds.frequency_mhz / 1000.0
+        assert np.allclose(x[:, 0], ds.column("TOT_CYC") * v2f)
+        assert np.allclose(x[:, 1], v2f)
+        assert np.allclose(x[:, 2], ds.voltage_v)
+        assert np.allclose(x[:, 3], 1.0)
+
+    def test_empty_counter_list(self):
+        ds = _dataset()
+        x = design_matrix(ds, [])
+        assert x.shape == (ds.n_samples, 3)
+
+
+class TestPowerModel:
+    def test_recovers_exact_coefficients(self):
+        ds = _dataset()
+        first = ds.counter_names[0]
+        fitted = PowerModel([first]).fit(ds)
+        assert fitted.alpha(first) == pytest.approx(3.0, abs=1e-6)
+        assert fitted.beta == pytest.approx(10.0, abs=1e-6)
+        assert fitted.gamma == pytest.approx(12.0, abs=1e-6)
+        assert fitted.delta == pytest.approx(40.0, abs=1e-6)
+        assert fitted.rsquared == pytest.approx(1.0, abs=1e-12)
+
+    def test_predict_matches_truth(self):
+        ds = _dataset()
+        fitted = PowerModel([ds.counter_names[0]]).fit(ds)
+        assert np.allclose(fitted.predict(ds), ds.power_w, atol=1e-6)
+
+    def test_predict_on_unseen_dataset(self):
+        fitted = PowerModel([_dataset().counter_names[0]]).fit(_dataset(seed=0))
+        other = _dataset(seed=1)
+        assert np.allclose(fitted.predict(other), other.power_w, atol=1e-6)
+
+    def test_evaluate_metrics(self):
+        ds = _dataset()
+        fitted = PowerModel([ds.counter_names[0]]).fit(ds)
+        scores = fitted.evaluate(ds)
+        assert scores["mape"] == pytest.approx(0.0, abs=1e-6)
+        assert scores["r2"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_alpha_of_unknown_counter(self):
+        ds = _dataset()
+        fitted = PowerModel(["TOT_CYC"]).fit(ds)
+        with pytest.raises(KeyError):
+            fitted.alpha("PRF_DM")
+
+    def test_duplicate_counters_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            PowerModel(["TOT_CYC", "TOT_CYC"])
+
+    def test_summary_names_coefficients(self):
+        ds = _dataset()
+        text = PowerModel(["TOT_CYC"]).fit(ds).summary()
+        for token in ("alpha:TOT_CYC", "beta:V2f", "gamma:V", "delta:Z"):
+            assert token in text
+
+    def test_hc3_default_cov(self):
+        ds = _dataset()
+        fitted = PowerModel(["TOT_CYC"]).fit(ds)
+        assert fitted.cov_type == "HC3"
+        assert fitted.ols.cov_type == "HC3"

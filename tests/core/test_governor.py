@@ -1,0 +1,96 @@
+"""Tests for the model-driven power-cap governor."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerModel
+from repro.core.governor import PowerCapGovernor, govern_workload
+from repro.hardware import HASWELL_EP_CONFIG, PAPER_FREQUENCIES_MHZ
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def fitted(full_dataset, selected_counters):
+    return PowerModel(selected_counters).fit(full_dataset)
+
+
+class TestGovernor:
+    def test_prediction_monotone_in_frequency(self, fitted, full_dataset):
+        gov = PowerCapGovernor(
+            fitted, PAPER_FREQUENCIES_MHZ, HASWELL_EP_CONFIG, cap_w=200.0
+        )
+        rates = {
+            c: float(full_dataset.column(c)[100]) for c in fitted.counters
+        }
+        preds = [gov.predict_at(rates, f) for f in sorted(PAPER_FREQUENCIES_MHZ)]
+        assert all(b > a for a, b in zip(preds, preds[1:]))
+
+    def test_loose_cap_picks_max_frequency(self, fitted, full_dataset):
+        gov = PowerCapGovernor(
+            fitted, PAPER_FREQUENCIES_MHZ, HASWELL_EP_CONFIG, cap_w=1000.0
+        )
+        rates = {c: float(full_dataset.column(c)[0]) for c in fitted.counters}
+        assert gov.choose_frequency(rates) == 2600
+
+    def test_impossible_cap_falls_to_min(self, fitted, full_dataset):
+        gov = PowerCapGovernor(
+            fitted, PAPER_FREQUENCIES_MHZ, HASWELL_EP_CONFIG, cap_w=10.0
+        )
+        rates = {c: float(full_dataset.column(c)[100]) for c in fitted.counters}
+        assert gov.choose_frequency(rates) == 1200
+
+    def test_validation(self, fitted):
+        with pytest.raises(ValueError):
+            PowerCapGovernor(fitted, (), HASWELL_EP_CONFIG, cap_w=100.0)
+        with pytest.raises(ValueError):
+            PowerCapGovernor(
+                fitted, PAPER_FREQUENCIES_MHZ, HASWELL_EP_CONFIG, cap_w=0.0
+            )
+
+
+class TestClosedLoop:
+    def test_cap_respected_for_heavy_workload(self, platform, fitted):
+        """compute at 24T draws ~216 W uncapped at 2600 MHz; a 160 W
+        cap must force the governor down and mostly hold the cap."""
+        timeline = govern_workload(
+            platform, get_workload("compute"), 24, fitted, cap_w=160.0
+        )
+        # Steady state (after the first adjustment interval).
+        steady = timeline.true_power_w[1:]
+        assert np.mean(steady <= 160.0 + 5.0) > 0.9
+        assert timeline.mean_frequency_mhz() < 2600
+
+    def test_light_workload_keeps_max_frequency(self, platform, fitted):
+        timeline = govern_workload(
+            platform, get_workload("busywait"), 8, fitted, cap_w=250.0
+        )
+        assert timeline.performance_retained() == pytest.approx(1.0)
+        assert timeline.violation_fraction() == 0.0
+
+    def test_tighter_cap_lower_frequency(self, platform, fitted):
+        loose = govern_workload(
+            platform, get_workload("compute"), 24, fitted, cap_w=200.0
+        )
+        tight = govern_workload(
+            platform, get_workload("compute"), 24, fitted, cap_w=130.0
+        )
+        assert tight.mean_frequency_mhz() < loose.mean_frequency_mhz()
+
+    def test_phase_structured_workload_adapts(self, platform, fitted):
+        """Multi-phase SPEC run: the governor must move between
+        P-states as phases change."""
+        timeline = govern_workload(
+            platform, get_workload("mgrid331"), 24, fitted, cap_w=170.0,
+            interval_s=2.0,
+        )
+        assert len(set(timeline.frequency_mhz.tolist())) >= 2
+        assert timeline.violation_fraction(tolerance_w=8.0) < 0.2
+
+    def test_predictions_track_truth(self, platform, fitted):
+        timeline = govern_workload(
+            platform, get_workload("compute"), 24, fitted, cap_w=180.0
+        )
+        rel_err = np.abs(
+            timeline.predicted_power_w - timeline.true_power_w
+        ) / timeline.true_power_w
+        assert np.median(rel_err) < 0.15

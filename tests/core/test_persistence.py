@@ -1,0 +1,95 @@
+"""Unit tests for model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OnlineEstimator,
+    PowerModel,
+    attribute,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(full_dataset, selected_counters):
+    return PowerModel(selected_counters).fit(full_dataset)
+
+
+class TestRoundtrip:
+    def test_predictions_identical(self, fitted, full_dataset, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        restored = load_model(path)
+        assert np.allclose(
+            restored.predict(full_dataset), fitted.predict(full_dataset)
+        )
+
+    def test_metadata_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        restored = load_model(path)
+        assert restored.counters == fitted.counters
+        assert restored.cov_type == fitted.cov_type
+        assert restored.rsquared == pytest.approx(fitted.rsquared)
+        assert np.allclose(restored.ols.bse, fitted.ols.bse)
+
+    def test_file_is_self_describing_json(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-power-model/1"
+        assert "beta:V2f" in payload["coefficients"]
+
+    def test_restored_model_attributes(self, fitted, full_dataset, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        restored = load_model(path)
+        rates = {c: float(full_dataset.column(c)[0]) for c in restored.counters}
+        att = attribute(
+            restored,
+            counter_rates=rates,
+            voltage_v=float(full_dataset.voltage_v[0]),
+            frequency_mhz=float(full_dataset.frequency_mhz[0]),
+        )
+        assert att.check_consistency()
+
+    def test_restored_model_streams(self, fitted, full_dataset, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        restored = load_model(path)
+        est = OnlineEstimator(restored)
+        cycles = 2.4e9
+        deltas = {
+            c: float(full_dataset.column(c)[0]) * cycles
+            for c in restored.counters
+        }
+        out = est.update(
+            deltas, interval_s=1.0, voltage_v=0.97, frequency_mhz=2400
+        )
+        assert out.power_w > 0
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, fitted):
+        payload = model_to_dict(fitted)
+        payload["format"] = "something-else/9"
+        with pytest.raises(ValueError, match="unsupported model format"):
+            model_from_dict(payload)
+
+    def test_missing_coefficient_rejected(self, fitted):
+        payload = model_to_dict(fitted)
+        del payload["coefficients"]["beta:V2f"]
+        with pytest.raises(ValueError, match="missing coefficients"):
+            model_from_dict(payload)
+
+    def test_inconsistent_bse_rejected(self, fitted):
+        payload = model_to_dict(fitted)
+        payload["fit"]["bse"] = [1.0]
+        with pytest.raises(ValueError, match="standard-error"):
+            model_from_dict(payload)

@@ -1,0 +1,44 @@
+"""Tests for model prediction intervals (HC3-based)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerModel
+
+
+class TestPredictInterval:
+    @pytest.fixture(scope="class")
+    def fitted(self, full_dataset, selected_counters):
+        return PowerModel(selected_counters).fit(full_dataset)
+
+    def test_shape_and_ordering(self, fitted, full_dataset):
+        ci = fitted.predict_interval(full_dataset)
+        assert ci.shape == (full_dataset.n_samples, 2)
+        assert np.all(ci[:, 0] <= ci[:, 1])
+
+    def test_centered_on_prediction(self, fitted, full_dataset):
+        ci = fitted.predict_interval(full_dataset)
+        pred = fitted.predict(full_dataset)
+        assert np.allclose((ci[:, 0] + ci[:, 1]) / 2, pred)
+
+    def test_wider_at_lower_confidence_level(self, fitted, full_dataset):
+        narrow = fitted.predict_interval(full_dataset, alpha=0.32)
+        wide = fitted.predict_interval(full_dataset, alpha=0.01)
+        assert np.all(
+            (wide[:, 1] - wide[:, 0]) >= (narrow[:, 1] - narrow[:, 0])
+        )
+
+    def test_mean_interval_narrower_than_power_spread(
+        self, fitted, full_dataset
+    ):
+        """Coefficient uncertainty over 645 rows must be small relative
+        to the signal (otherwise the model learned nothing)."""
+        ci = fitted.predict_interval(full_dataset)
+        widths = ci[:, 1] - ci[:, 0]
+        assert widths.mean() < 0.2 * full_dataset.power_w.std()
+
+    def test_invalid_alpha(self, fitted, full_dataset):
+        with pytest.raises(ValueError):
+            fitted.predict_interval(full_dataset, alpha=0.0)
+        with pytest.raises(ValueError):
+            fitted.predict_interval(full_dataset, alpha=1.0)

@@ -1,0 +1,109 @@
+"""Unit tests for the four training scenarios (on the small campaign)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SCENARIO_NAMES,
+    cv_out_of_fold_predictions,
+    run_all_scenarios,
+    scenario_cv_all,
+    scenario_cv_synthetic,
+    scenario_random_workloads,
+    scenario_synthetic_to_spec,
+)
+
+COUNTERS = ("CA_SNP", "TOT_CYC", "PRF_DM", "STL_ICY")
+
+
+class TestCvPredictions:
+    def test_every_row_predicted_once(self, small_dataset):
+        preds, fold_mapes, fold_fits = cv_out_of_fold_predictions(
+            small_dataset, COUNTERS, n_splits=5
+        )
+        assert preds.shape == (small_dataset.n_samples,)
+        assert np.all(np.isfinite(preds))
+        assert len(fold_mapes) == 5
+        assert len(fold_fits) == 5
+
+    def test_deterministic_in_seed(self, small_dataset):
+        a, _, _ = cv_out_of_fold_predictions(small_dataset, COUNTERS, seed=1)
+        b, _, _ = cv_out_of_fold_predictions(small_dataset, COUNTERS, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_folds(self, small_dataset):
+        a, _, _ = cv_out_of_fold_predictions(small_dataset, COUNTERS, seed=1)
+        b, _, _ = cv_out_of_fold_predictions(small_dataset, COUNTERS, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestScenarios:
+    def test_scenario1_split(self, small_dataset):
+        r = scenario_random_workloads(
+            small_dataset, COUNTERS, n_train=2, n_repeats=1
+        )
+        assert len(r.train_workloads) == 2
+        valid_names = set(r.validation.workloads)
+        assert not valid_names & set(r.train_workloads)
+        assert r.mape > 0
+
+    def test_scenario1_repeats_median(self, small_dataset):
+        r = scenario_random_workloads(
+            small_dataset, COUNTERS, n_train=2, n_repeats=3
+        )
+        assert len(r.fold_mapes) == 3
+        assert r.aggregate == "median"
+        import numpy as np
+
+        assert r.mape == pytest.approx(float(np.median(r.fold_mapes)))
+        # Validation parts are concatenated across draws.
+        assert r.validation.n_samples > small_dataset.n_samples / 2
+
+    def test_scenario1_needs_enough_workloads(self, small_dataset):
+        with pytest.raises(ValueError):
+            scenario_random_workloads(small_dataset, COUNTERS, n_train=10)
+
+    def test_scenario2_trains_on_roco2_only(self, small_dataset):
+        r = scenario_synthetic_to_spec(small_dataset, COUNTERS)
+        assert set(r.validation.suites) == {"spec_omp2012"}
+        assert all(w != "md" for w in r.train_workloads)
+
+    def test_scenario3_covers_all_rows(self, small_dataset):
+        r = scenario_cv_all(small_dataset, COUNTERS, n_splits=5)
+        assert r.validation.n_samples == small_dataset.n_samples
+        assert len(r.fold_mapes) == 5
+        assert r.mape == pytest.approx(np.mean(r.fold_mapes))
+
+    def test_scenario4_synthetic_only(self, small_dataset):
+        r = scenario_cv_synthetic(small_dataset, COUNTERS, n_splits=5)
+        assert set(r.validation.suites) == {"roco2"}
+
+    def test_run_all_returns_four(self, small_dataset):
+        out = run_all_scenarios(small_dataset, COUNTERS, n_train_random=2)
+        assert set(out) == set(SCENARIO_NAMES)
+
+
+class TestScenarioResultAnalysis:
+    @pytest.fixture()
+    def result(self, small_dataset):
+        return scenario_cv_all(small_dataset, COUNTERS, n_splits=5)
+
+    def test_per_workload_mape_covers_workloads(self, result, small_dataset):
+        per_wl = result.per_workload_mape()
+        assert set(per_wl) == set(small_dataset.workloads)
+        assert all(v >= 0 for v in per_wl.values())
+
+    def test_per_workload_bias_sign_convention(self, result):
+        bias = result.per_workload_bias()
+        # Biases must average (weighted) near the overall bias.
+        overall = np.mean(result.predicted - result.validation.power_w)
+        assert min(bias.values()) <= overall <= max(bias.values())
+
+    def test_experiment_scatter_one_point_per_experiment(
+        self, result, small_dataset
+    ):
+        scatter = result.experiment_scatter()
+        assert len(scatter) == len(small_dataset.experiment_keys())
+        for w, suite, f, t, actual, predicted in scatter:
+            assert actual > 0 and predicted > 0
+            assert f in (1200, 2400)

@@ -1,0 +1,143 @@
+"""Unit tests for Algorithm 1 (greedy PMC event selection)."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import PowerDataset
+from repro.core import PowerModel, select_events
+
+
+def _dataset(n=120, seed=0, noise=0.5):
+    """Power driven by three known counters with decreasing weight,
+    plus a counter that duplicates another (collinearity trap)."""
+    rng = np.random.default_rng(seed)
+    counters = rng.uniform(0.0, 1.0, size=(n, 54))
+    # Make column 5 a near-copy of column 0 (the CA_SNP-style trap).
+    counters[:, 5] = counters[:, 0] * 1.5 + rng.normal(0, 0.01, n)
+    v = np.full(n, 0.97)
+    f = np.full(n, 2400.0)
+    v2f = v * v * f / 1000.0
+    power = (
+        50.0 * counters[:, 0] * v2f
+        + 20.0 * counters[:, 1] * v2f
+        + 8.0 * counters[:, 2] * v2f
+        + 15.0 * v2f
+        + 40.0
+        + rng.normal(0, noise, n)
+    )
+    return PowerDataset(
+        counters=counters,
+        power_w=power,
+        voltage_v=v,
+        frequency_mhz=f,
+        threads=np.full(n, 24),
+        workloads=tuple("w" for _ in range(n)),
+        suites=tuple("roco2" for _ in range(n)),
+        phase_names=tuple(f"p{i}" for i in range(n)),
+    )
+
+
+class TestGreedy:
+    def test_picks_informative_counters_in_weight_order(self):
+        ds = _dataset()
+        result = select_events(ds, 3)
+        names = ds.counter_names
+        assert result.selected[0] in (names[0], names[5])
+        assert names[1] in result.selected
+        assert names[2] in result.selected
+
+    def test_r2_monotone_nondecreasing(self):
+        ds = _dataset()
+        result = select_events(ds, 6)
+        r2s = [s.rsquared for s in result.steps]
+        assert all(b >= a - 1e-12 for a, b in zip(r2s, r2s[1:]))
+
+    def test_first_step_vif_is_nan(self):
+        result = select_events(_dataset(), 2)
+        assert np.isnan(result.steps[0].mean_vif)
+        assert not np.isnan(result.steps[1].mean_vif)
+
+    def test_no_duplicates(self):
+        result = select_events(_dataset(), 8)
+        assert len(set(result.selected)) == 8
+
+    def test_each_step_matches_refit(self):
+        """Step R² must equal a fresh Equation 1 fit on the prefix."""
+        ds = _dataset()
+        result = select_events(ds, 4)
+        for i in range(1, 5):
+            refit = PowerModel(result.selected[:i]).fit(ds)
+            assert result.steps[i - 1].rsquared == pytest.approx(refit.rsquared)
+
+    def test_collinear_trap_detected(self):
+        """Selecting both the counter and its near-copy must blow the
+        VIF — and first_unstable_step must see it."""
+        ds = _dataset()
+        names = ds.counter_names
+        forced = select_events(ds, 2, candidates=[names[0], names[5]])
+        assert forced.steps[-1].mean_vif > 10.0
+        assert forced.first_unstable_step() == 2
+        assert forced.stable_prefix() == (forced.selected[0],)
+
+    def test_stable_prefix_full_when_no_blowup(self):
+        result = select_events(_dataset(), 3)
+        if result.first_unstable_step() is None:
+            assert result.stable_prefix() == result.selected
+
+
+class TestOptions:
+    def test_candidates_restriction(self):
+        ds = _dataset()
+        pool = list(ds.counter_names[10:20])
+        result = select_events(ds, 3, candidates=pool)
+        assert all(c in pool for c in result.selected)
+
+    def test_unknown_candidate(self):
+        with pytest.raises(KeyError):
+            select_events(_dataset(), 1, candidates=["NOPE"])
+
+    def test_bad_n_events(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            select_events(ds, 0)
+        with pytest.raises(ValueError):
+            select_events(ds, 3, candidates=list(ds.counter_names[:2]))
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError, match="criterion"):
+            select_events(_dataset(), 2, criterion="vibes")
+
+    def test_max_vif_constraint_avoids_trap(self):
+        ds = _dataset()
+        names = ds.counter_names
+        constrained = select_events(
+            ds, 2, candidates=[names[0], names[5], names[1]], max_vif=5.0
+        )
+        # The near-copy would blow VIF; the constrained greedy must
+        # pick the independent counter instead.
+        assert set(constrained.selected) == {names[0], names[1]} or set(
+            constrained.selected
+        ) == {names[5], names[1]}
+        assert constrained.steps[-1].mean_vif <= 5.0
+
+    def test_max_vif_can_exhaust_candidates(self):
+        ds = _dataset()
+        names = ds.counter_names
+        result = select_events(
+            ds, 2, candidates=[names[0], names[5]], max_vif=2.0
+        )
+        # Only one candidate survives the constraint.
+        assert len(result.selected) == 1
+
+    def test_alternative_criteria_run(self):
+        ds = _dataset()
+        for crit in ("adj_r2", "aic", "bic"):
+            result = select_events(ds, 3, criterion=crit)
+            assert len(result.selected) == 3
+            assert result.criterion == crit
+
+    def test_table_rows_shape(self):
+        result = select_events(_dataset(), 3)
+        rows = result.table_rows()
+        assert len(rows) == 3
+        assert all(len(r) == 4 for r in rows)

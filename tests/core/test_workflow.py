@@ -1,0 +1,57 @@
+"""Integration test of the end-to-end workflow (Fig. 1) on a reduced
+campaign — the full-scale workflow is covered by the experiments."""
+
+import pytest
+
+from repro.core import run_workflow
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def workflow_result():
+    return run_workflow(
+        workloads=[
+            get_workload("idle"),
+            get_workload("busywait"),
+            get_workload("compute"),
+            get_workload("memory_read"),
+            get_workload("md"),
+            get_workload("swim"),
+        ],
+        frequencies_mhz=(1200, 2400),
+        selection_frequency_mhz=2400,
+        n_events=4,
+    )
+
+
+class TestWorkflow:
+    def test_selection_at_requested_frequency(self, workflow_result):
+        ds = workflow_result.selection_dataset
+        assert set(ds.frequency_mhz) == {2400}
+
+    def test_full_dataset_covers_both_frequencies(self, workflow_result):
+        ds = workflow_result.full_dataset
+        assert set(ds.frequency_mhz) == {1200, 2400}
+
+    def test_selected_counter_count(self, workflow_result):
+        assert len(workflow_result.selected_counters) == 4
+
+    def test_model_fit_quality(self, workflow_result):
+        assert workflow_result.model.rsquared > 0.8
+
+    def test_validation_ran(self, workflow_result):
+        assert workflow_result.validation.mape > 0
+        assert len(workflow_result.validation.fold_mapes) == 10
+
+    def test_summary_text(self, workflow_result):
+        text = workflow_result.summary()
+        assert "selected events" in text
+        assert "MAPE" in text
+
+    def test_selection_frequency_must_be_in_campaign(self):
+        with pytest.raises(ValueError, match="selection frequency"):
+            run_workflow(
+                workloads=[get_workload("idle"), get_workload("compute")],
+                frequencies_mhz=(1200,),
+                selection_frequency_mhz=2400,
+            )

@@ -1,0 +1,72 @@
+"""Tests for the CSV/JSON export of the regenerated evaluation."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import EXPORTERS, export_all
+from repro.experiments.runner import main
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory, full_dataset):
+        out = tmp_path_factory.mktemp("export")
+        export_all(out)
+        return out
+
+    def test_every_artifact_exported(self, exported):
+        names = {p.name for p in exported.iterdir()}
+        for expected in (
+            "table1.csv",
+            "table1.json",
+            "table2.json",
+            "table3.csv",
+            "table4.csv",
+            "fig2.csv",
+            "fig3.csv",
+            "fig4.json",
+            "fig5a.csv",
+            "fig5b.csv",
+            "fig6.csv",
+        ):
+            assert expected in names
+
+    def test_table1_csv_contents(self, exported):
+        with (exported / "table1.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) >= 6
+        assert rows[0]["mean_vif"] == ""  # n/a on the first step
+        assert 0.8 < float(rows[0]["r2"]) < 1.0
+
+    def test_table2_json_structure(self, exported):
+        payload = json.loads((exported / "table2.json").read_text())
+        assert set(payload["summary"]) == {"R2", "Adj.R2", "MAPE"}
+        assert len(payload["fold_mape"]) == 10
+        assert payload["summary"]["MAPE"]["min"] <= payload["summary"]["MAPE"]["mean"]
+
+    def test_fig6_covers_all_counters(self, exported):
+        with (exported / "fig6.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 54
+        assert all(-1.0 <= float(r["pcc"]) <= 1.0 for r in rows)
+
+    def test_fig5_scatter_columns(self, exported):
+        with (exported / "fig5a.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows
+        assert float(rows[0]["actual_w"]) > 0
+        assert rows[0]["suite"] == "spec_omp2012"
+
+    def test_registry_matches_runner_artifacts(self):
+        assert set(EXPORTERS) == {
+            "table1", "table2", "table3", "table4",
+            "fig2", "fig3", "fig4", "fig5", "fig6",
+        }
+
+    def test_cli_flag(self, tmp_path, capsys, full_dataset):
+        assert main(["table3", "--export-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "exported" in out
+        assert (tmp_path / "table3.csv").exists()

@@ -1,0 +1,43 @@
+"""Unit tests for platform configuration."""
+
+import pytest
+
+from repro.hardware import HASWELL_EP_CONFIG, PlatformConfig, SKYLAKE_SP_CONFIG
+
+
+class TestHaswellConfig:
+    def test_matches_paper_system(self):
+        # Dual-socket Xeon E5-2690v3, 24 cores total.
+        cfg = HASWELL_EP_CONFIG
+        assert cfg.sockets == 2
+        assert cfg.cores_per_socket == 12
+        assert cfg.total_cores == 24
+
+    def test_pmu_slots(self):
+        # 4 programmable counters without Hyper-Threading.
+        assert HASWELL_EP_CONFIG.programmable_slots == 4
+
+
+class TestValidation:
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(sockets=0)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(programmable_slots=0)
+
+    def test_rejects_bad_memory_params(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(peak_dram_bw_gbs=-1.0)
+        with pytest.raises(ValueError):
+            PlatformConfig(dram_latency_ns=0.0)
+
+
+class TestSkylakeConfig:
+    def test_is_a_different_generation(self):
+        sk, hw = SKYLAKE_SP_CONFIG, HASWELL_EP_CONFIG
+        assert sk.total_cores != hw.total_cores
+        assert sk.peak_dram_bw_gbs > hw.peak_dram_bw_gbs
+        # 14 nm: lower voltage at the shared 2400 MHz point.
+        assert sk.curve.voltage_at(2400) < hw.curve.voltage_at(2400)

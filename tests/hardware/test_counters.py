@@ -1,0 +1,89 @@
+"""Unit tests for the PAPI preset counter definitions."""
+
+import pytest
+
+from repro.hardware import (
+    COUNTER_NAMES,
+    FIXED_COUNTERS,
+    PAPI_PRESETS,
+    PROGRAMMABLE_COUNTERS,
+    counter_index,
+    counters_in_group,
+    describe,
+)
+
+
+class TestCounterTable:
+    def test_exactly_54_presets(self):
+        # The paper: "we use 54 PAPI counters that are available on the
+        # system".
+        assert len(PAPI_PRESETS) == 54
+        assert len(COUNTER_NAMES) == 54
+
+    def test_names_unique(self):
+        assert len(set(COUNTER_NAMES)) == len(COUNTER_NAMES)
+
+    def test_fixed_plus_programmable_partition(self):
+        assert set(FIXED_COUNTERS) | set(PROGRAMMABLE_COUNTERS) == set(
+            COUNTER_NAMES
+        )
+        assert not set(FIXED_COUNTERS) & set(PROGRAMMABLE_COUNTERS)
+
+    def test_fixed_counters_are_the_architectural_three(self):
+        assert set(FIXED_COUNTERS) == {"TOT_CYC", "REF_CYC", "TOT_INS"}
+
+    def test_paper_counters_present(self):
+        """Every counter named in the paper's tables must exist."""
+        for name in (
+            "PRF_DM", "TOT_CYC", "TLB_IM", "FUL_CCY", "STL_ICY", "BR_MSP",
+            "CA_SNP", "L1_LDM", "REF_CYC", "BR_PRC", "L3_LDM",
+        ):
+            assert name in COUNTER_NAMES
+
+    def test_descriptions_nonempty(self):
+        for spec in PAPI_PRESETS:
+            assert spec.description
+            assert spec.group
+
+
+class TestLookups:
+    def test_counter_index_roundtrip(self):
+        for i, name in enumerate(COUNTER_NAMES):
+            assert counter_index(name) == i
+
+    def test_counter_index_unknown(self):
+        with pytest.raises(KeyError, match="unknown PAPI preset"):
+            counter_index("NOT_A_COUNTER")
+
+    def test_describe(self):
+        spec = describe("PRF_DM")
+        assert "prefetch" in spec.description.lower()
+        assert spec.group == "prefetch"
+
+    def test_describe_unknown(self):
+        with pytest.raises(KeyError):
+            describe("FOO")
+
+    def test_counters_in_group(self):
+        branch = counters_in_group("branch")
+        assert "BR_MSP" in branch and "BR_PRC" in branch
+        assert all(describe(c).group == "branch" for c in branch)
+
+    def test_counters_in_unknown_group(self):
+        with pytest.raises(KeyError, match="unknown counter group"):
+            counters_in_group("gpu")
+
+    def test_groups_cover_families(self):
+        groups = {spec.group for spec in PAPI_PRESETS}
+        assert {
+            "cycle",
+            "instruction",
+            "branch",
+            "cache_l1",
+            "cache_l2",
+            "cache_l3",
+            "coherence",
+            "tlb",
+            "prefetch",
+            "stall",
+        } <= groups

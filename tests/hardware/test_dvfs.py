@@ -1,0 +1,85 @@
+"""Unit tests for DVFS states and the V/f curve."""
+
+import pytest
+
+from repro.hardware import (
+    HASWELL_EP_CURVE,
+    PAPER_FREQUENCIES_MHZ,
+    SELECTION_FREQUENCY_MHZ,
+    OperatingPoint,
+    PState,
+    VoltageFrequencyCurve,
+)
+
+
+class TestPState:
+    def test_valid(self):
+        p = PState(2400, 0.97)
+        assert p.frequency_mhz == 2400
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            PState(0, 0.9)
+
+    def test_rejects_implausible_voltage(self):
+        with pytest.raises(ValueError):
+            PState(2400, 2.0)
+        with pytest.raises(ValueError):
+            PState(2400, 0.1)
+
+
+class TestCurve:
+    def test_paper_frequencies_supported(self):
+        for f in PAPER_FREQUENCIES_MHZ:
+            v = HASWELL_EP_CURVE.voltage_at(f)
+            assert 0.6 < v < 1.1
+
+    def test_five_paper_frequencies(self):
+        # "5 distinct operating frequencies between 1200 and 2600 MHz".
+        assert len(PAPER_FREQUENCIES_MHZ) == 5
+        assert min(PAPER_FREQUENCIES_MHZ) == 1200
+        assert max(PAPER_FREQUENCIES_MHZ) == 2600
+        assert SELECTION_FREQUENCY_MHZ in PAPER_FREQUENCIES_MHZ
+
+    def test_voltage_monotone_in_frequency(self):
+        volts = [
+            HASWELL_EP_CURVE.voltage_at(f)
+            for f in range(1200, 2601, 100)
+        ]
+        assert all(b >= a for a, b in zip(volts, volts[1:]))
+
+    def test_interpolation_between_anchors(self):
+        v_mid = HASWELL_EP_CURVE.voltage_at(1400)
+        v_lo = HASWELL_EP_CURVE.voltage_at(1200)
+        v_hi = HASWELL_EP_CURVE.voltage_at(1600)
+        assert v_mid == pytest.approx((v_lo + v_hi) / 2)
+
+    def test_anchor_exact(self):
+        assert HASWELL_EP_CURVE.voltage_at(2400) == pytest.approx(0.97)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside supported range"):
+            HASWELL_EP_CURVE.voltage_at(800)
+        with pytest.raises(ValueError):
+            HASWELL_EP_CURVE.voltage_at(3000)
+
+    def test_operating_point(self):
+        op = HASWELL_EP_CURVE.operating_point(2000)
+        assert isinstance(op, OperatingPoint)
+        assert op.frequency_hz == pytest.approx(2.0e9)
+        assert op.frequency_ghz == pytest.approx(2.0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="at least two"):
+            VoltageFrequencyCurve((PState(1200, 0.7),))
+        with pytest.raises(ValueError, match="duplicate"):
+            VoltageFrequencyCurve((PState(1200, 0.7), PState(1200, 0.8)))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            VoltageFrequencyCurve((PState(1200, 0.9), PState(2400, 0.7)))
+
+    def test_pstates_sorted(self):
+        curve = VoltageFrequencyCurve(
+            (PState(2400, 0.97), PState(1200, 0.70))
+        )
+        freqs = [p.frequency_mhz for p in curve.pstates]
+        assert freqs == sorted(freqs)

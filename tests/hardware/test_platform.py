@@ -1,0 +1,100 @@
+"""Unit tests for the Platform orchestration layer."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    HASWELL_EP_CONFIG,
+    Platform,
+    SKYLAKE_SP_CONFIG,
+    SKYLAKE_SP_POWER,
+)
+from repro.workloads import get_workload
+
+
+class TestExecute:
+    def test_run_structure(self, platform):
+        run = platform.execute(get_workload("compute"), 2400, 8)
+        assert run.workload_name == "compute"
+        assert run.suite == "roco2"
+        assert run.op.frequency_mhz == 2400
+        assert run.threads == 8
+        assert len(run.phases) == 1
+        phase = run.phases[0]
+        assert phase.duration_s == pytest.approx(10.0)
+        assert phase.power.measured_w > 0
+
+    def test_spec_run_has_multiple_phases(self, platform):
+        run = platform.execute(get_workload("md"), 2400, 24)
+        assert len(run.phases) >= 5
+        # Phases tile the timeline without gaps.
+        for a, b in zip(run.phases, run.phases[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+        assert run.total_duration_s == pytest.approx(run.phases[-1].end_s)
+
+    def test_invalid_thread_count(self, platform):
+        with pytest.raises(ValueError):
+            platform.execute(get_workload("compute"), 2400, 0)
+        with pytest.raises(ValueError):
+            platform.execute(get_workload("compute"), 2400, 99)
+
+    def test_invalid_frequency(self, platform):
+        with pytest.raises(ValueError):
+            platform.execute(get_workload("compute"), 5000, 8)
+
+
+class TestDeterminismAndJitter:
+    def test_same_run_index_identical(self, platform):
+        a = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
+        b = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
+        assert a.phases[0].power.measured_w == b.phases[0].power.measured_w
+        assert np.array_equal(
+            a.phases[0].state.counter_rates, b.phases[0].state.counter_rates
+        )
+
+    def test_different_run_index_jitters(self, platform):
+        a = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
+        b = platform.execute(get_workload("compute"), 2400, 8, run_index=1)
+        assert a.phases[0].power.measured_w != b.phases[0].power.measured_w
+
+    def test_jitter_small(self, platform):
+        powers = [
+            platform.execute(get_workload("compute"), 2400, 8, run_index=i)
+            .phases[0]
+            .power.measured_w
+            for i in range(20)
+        ]
+        assert np.std(powers) / np.mean(powers) < 0.05
+
+    def test_cycle_counters_exempt_from_jitter(self, platform):
+        a = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
+        b = platform.execute(get_workload("compute"), 2400, 8, run_index=1)
+        assert a.phases[0].state.rate("TOT_CYC") == pytest.approx(
+            b.phases[0].state.rate("TOT_CYC")
+        )
+        assert a.phases[0].state.rate("TOT_INS") != b.phases[0].state.rate(
+            "TOT_INS"
+        )
+
+    def test_seed_changes_everything(self):
+        p1 = Platform(seed=1)
+        p2 = Platform(seed=2)
+        a = p1.execute(get_workload("compute"), 2400, 8)
+        b = p2.execute(get_workload("compute"), 2400, 8)
+        assert a.phases[0].power.measured_w != b.phases[0].power.measured_w
+
+
+class TestOtherPlatforms:
+    def test_skylake_platform_runs(self):
+        p = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER)
+        run = p.execute(get_workload("compute"), 2000, 40)
+        assert run.phases[0].power.measured_w > 80.0
+
+    def test_describe_mentions_key_facts(self, platform):
+        text = platform.describe()
+        assert "2 sockets" in text
+        assert "54" in text
+
+    def test_supported_frequencies(self, platform):
+        lo, hi = platform.supported_frequencies()
+        assert (lo, hi) == (1200, 2600)

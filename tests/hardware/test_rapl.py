@@ -1,0 +1,112 @@
+"""Unit tests for the RAPL energy-counter model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Platform
+from repro.hardware.rapl import (
+    ENERGY_UNIT_J,
+    REGISTER_MASK,
+    RaplEnergyCounter,
+    RaplMeter,
+    rapl_power_between,
+)
+from repro.workloads import get_workload
+
+
+class TestCounter:
+    def test_accumulates_energy(self):
+        c = RaplEnergyCounter()
+        c.advance(100.0, 1.0)  # 100 J
+        assert c.read() == pytest.approx(100.0 / ENERGY_UNIT_J, abs=1)
+
+    def test_quantized_to_energy_unit(self):
+        c = RaplEnergyCounter()
+        c.advance(ENERGY_UNIT_J * 2.7, 1.0)
+        assert c.read() == 2  # floor to whole units
+
+    def test_wraps_at_32_bits(self):
+        c = RaplEnergyCounter(initial_raw=REGISTER_MASK)
+        c.advance(ENERGY_UNIT_J * 5, 1.0)
+        assert c.read() == 4  # wrapped past zero
+
+    def test_wrap_period_plausible(self):
+        # ~65 kJ capacity: at 100 W the register wraps in ~11 minutes.
+        c = RaplEnergyCounter()
+        assert 600 < c.wrap_period_s_at < 700
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RaplEnergyCounter(initial_raw=-1)
+        c = RaplEnergyCounter()
+        with pytest.raises(ValueError):
+            c.advance(-1.0, 1.0)
+
+
+class TestPowerBetween:
+    def test_simple_interval(self):
+        raw0 = 1000
+        raw1 = raw0 + int(50.0 / ENERGY_UNIT_J)  # 50 J later
+        assert rapl_power_between(raw0, raw1, 2.0) == pytest.approx(25.0, rel=1e-6)
+
+    def test_handles_single_wrap(self):
+        raw0 = REGISTER_MASK - 10
+        raw1 = 20  # wrapped
+        power = rapl_power_between(raw0, raw1, 1.0)
+        assert power == pytest.approx(31 * ENERGY_UNIT_J, rel=1e-9)
+
+    def test_end_to_end_through_counter_with_wrap(self):
+        c = RaplEnergyCounter(initial_raw=REGISTER_MASK - 100)
+        before = c.read()
+        c.advance(120.0, 3.0)
+        after = c.read()
+        assert rapl_power_between(before, after, 3.0) == pytest.approx(
+            120.0, rel=1e-4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rapl_power_between(0, 10, 0.0)
+        with pytest.raises(ValueError):
+            rapl_power_between(-1, 10, 1.0)
+        with pytest.raises(ValueError):
+            rapl_power_between(0, REGISTER_MASK + 1, 1.0)
+
+
+class TestMeter:
+    @pytest.fixture(scope="class")
+    def meter(self, platform):
+        return RaplMeter(platform)
+
+    def test_scope_excludes_board_plane(self, platform, meter):
+        """RAPL must read systematically below the 12 V sensors."""
+        for name, threads in (("compute", 24), ("memory_read", 24), ("idle", 1)):
+            run = platform.execute(get_workload(name), 2400, threads)
+            phase = run.phases[0]
+            rapl = meter.measure_phase(phase)
+            wall = phase.power.measured_w
+            assert rapl < wall
+            # But it covers the package: more than half the wall power.
+            assert rapl > 0.5 * wall
+
+    def test_gap_grows_with_power(self, platform, meter):
+        """VR losses are proportional: the RAPL-wall gap widens with
+        load — the scope effect a RAPL-trained model inherits."""
+        idle = platform.execute(get_workload("idle"), 2400, 1).phases[0]
+        busy = platform.execute(get_workload("compute"), 2600, 24).phases[0]
+        gap_idle = idle.power.measured_w - meter.measure_phase(idle)
+        gap_busy = busy.power.measured_w - meter.measure_phase(busy)
+        assert gap_busy > gap_idle
+
+    def test_per_die_calibration_stable(self, platform):
+        a = RaplMeter(platform)
+        b = RaplMeter(platform)
+        assert a.gains == b.gains
+        other = RaplMeter(Platform(seed=99))
+        assert other.gains != a.gains
+
+    def test_measure_run_weighted_average(self, platform, meter):
+        run = platform.execute(get_workload("md"), 2400, 24)
+        avg = meter.measure_run(run)
+        per_phase = [meter.measure_phase(p) for p in run.phases]
+        assert min(per_phase) <= avg <= max(per_phase)

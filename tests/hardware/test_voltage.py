@@ -1,0 +1,59 @@
+"""Unit tests for the per-core voltage telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import HASWELL_EP_CONFIG, HASWELL_EP_CURVE, VoltageTelemetry
+
+CFG = HASWELL_EP_CONFIG
+OP = HASWELL_EP_CURVE.operating_point(2400)
+
+
+class TestTrueVoltage:
+    def test_nominal_at_idle(self):
+        t = VoltageTelemetry(CFG)
+        assert t.true_voltage(OP, 0) == pytest.approx(OP.voltage_v)
+
+    def test_load_bump_under_full_load(self):
+        t = VoltageTelemetry(CFG, load_bump_frac=0.008)
+        full = t.true_voltage(OP, CFG.total_cores)
+        assert full == pytest.approx(OP.voltage_v * 1.008)
+
+    def test_bump_monotone_in_load(self):
+        t = VoltageTelemetry(CFG)
+        volts = [t.true_voltage(OP, n) for n in (0, 6, 12, 24)]
+        assert all(b >= a for a, b in zip(volts, volts[1:]))
+
+    def test_out_of_range_cores(self):
+        t = VoltageTelemetry(CFG)
+        with pytest.raises(ValueError):
+            t.true_voltage(OP, 25)
+        with pytest.raises(ValueError):
+            t.true_voltage(OP, -1)
+
+
+class TestReadout:
+    def test_average_near_truth(self):
+        t = VoltageTelemetry(CFG)
+        reading = t.read_average(OP, 12, 1000, np.random.default_rng(0))
+        assert reading == pytest.approx(t.true_voltage(OP, 12), abs=0.002)
+
+    def test_quantized_to_vid_step(self):
+        t = VoltageTelemetry(CFG, read_noise_v=0.0)
+        reading = t.read_average(OP, 12, 1, np.random.default_rng(0))
+        assert reading % t.VID_STEP == pytest.approx(0.0, abs=1e-9)
+
+    def test_more_samples_less_spread(self):
+        t = VoltageTelemetry(CFG)
+        few = np.std(
+            [t.read_average(OP, 12, 2, np.random.default_rng(i)) for i in range(200)]
+        )
+        many = np.std(
+            [t.read_average(OP, 12, 500, np.random.default_rng(i)) for i in range(200)]
+        )
+        assert many < few
+
+    def test_requires_samples(self):
+        t = VoltageTelemetry(CFG)
+        with pytest.raises(ValueError):
+            t.read_average(OP, 12, 0, np.random.default_rng(0))

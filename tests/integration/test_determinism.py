@@ -1,0 +1,54 @@
+"""Bit-reproducibility: the whole reproduction must regenerate
+identically from the root seed."""
+
+import numpy as np
+
+from repro.acquisition import run_campaign
+from repro.core import select_events
+from repro.hardware import Platform
+from repro.workloads import get_workload
+
+
+def _mini_campaign(seed):
+    platform = Platform(seed=seed)
+    return run_campaign(
+        platform,
+        [get_workload("compute"), get_workload("memory_read"), get_workload("md")],
+        [2400],
+        thread_counts=[8, 24],
+    )
+
+
+class TestDeterminism:
+    def test_campaign_bit_identical_across_builds(self):
+        a = _mini_campaign(seed=42)
+        b = _mini_campaign(seed=42)
+        assert np.array_equal(a.counters, b.counters)
+        assert np.array_equal(a.power_w, b.power_w)
+        assert np.array_equal(a.voltage_v, b.voltage_v)
+        assert a.workloads == b.workloads
+
+    def test_selection_deterministic(self):
+        ds = _mini_campaign(seed=42)
+        a = select_events(ds, 3)
+        b = select_events(ds, 3)
+        assert a.selected == b.selected
+        assert [s.rsquared for s in a.steps] == [s.rsquared for s in b.steps]
+
+    def test_different_seed_different_measurements(self):
+        a = _mini_campaign(seed=1)
+        b = _mini_campaign(seed=2)
+        assert not np.array_equal(a.power_w, b.power_w)
+
+    def test_noise_sources_independent(self):
+        """Power measurements and counter noise derive from independent
+        streams: same seed, same workload set, but the noise across
+        rows is uncorrelated between the two quantities."""
+        ds = _mini_campaign(seed=3)
+        # Relative deviations of two unrelated columns.
+        a = ds.column("TOT_INS")
+        b = ds.power_w
+        # Nothing to assert about correlation magnitudes on 6 rows —
+        # instead assert the streams were at least not byte-identical
+        # reuse (catches accidental RNG sharing).
+        assert not np.allclose(a / a.max(), b / b.max())

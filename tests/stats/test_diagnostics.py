@@ -1,0 +1,64 @@
+"""Unit tests for heteroscedasticity diagnostics and conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.stats import breusch_pagan, condition_number, fit_ols, white_test
+
+
+def _fit_residuals(rng, heteroscedastic: bool, n=2000):
+    x = rng.uniform(1.0, 10.0, size=(n, 2))
+    scale = x[:, 0] if heteroscedastic else np.ones(n)
+    y = 5 + 2 * x[:, 0] - x[:, 1] + rng.normal(size=n) * scale
+    res = fit_ols(y, x)
+    return res.residuals, x
+
+
+class TestBreuschPagan:
+    def test_detects_heteroscedasticity(self, rng):
+        resid, x = _fit_residuals(rng, heteroscedastic=True)
+        test = breusch_pagan(resid, x)
+        assert test.rejects_homoscedasticity(0.01)
+
+    def test_accepts_homoscedastic(self, rng):
+        resid, x = _fit_residuals(rng, heteroscedastic=False)
+        test = breusch_pagan(resid, x)
+        assert test.pvalue > 0.01
+
+    def test_statistic_nonnegative(self, rng):
+        resid, x = _fit_residuals(rng, heteroscedastic=False, n=200)
+        assert breusch_pagan(resid, x).statistic >= 0.0
+
+
+class TestWhite:
+    def test_detects_nonlinear_heteroscedasticity(self, rng):
+        n = 3000
+        x = rng.normal(size=(n, 2))
+        # Variance depends on x² — invisible to BP levels, visible to White.
+        y = 1 + x[:, 0] + rng.normal(size=n) * (0.2 + x[:, 0] ** 2)
+        res = fit_ols(y, x)
+        assert white_test(res.residuals, x).rejects_homoscedasticity(0.01)
+
+    def test_df_larger_than_bp(self, rng):
+        resid, x = _fit_residuals(rng, heteroscedastic=False, n=500)
+        assert white_test(resid, x).df > breusch_pagan(resid, x).df
+
+
+class TestConditionNumber:
+    def test_orthonormal_design_is_one(self):
+        q, _ = np.linalg.qr(np.random.default_rng(0).normal(size=(100, 4)))
+        assert condition_number(q) == pytest.approx(1.0, abs=1e-8)
+
+    def test_collinear_design_is_large(self, rng):
+        a = rng.normal(size=200)
+        x = np.column_stack([a, a * 1.0000001])
+        assert condition_number(x) > 1e4
+
+    def test_scaling_invariance(self, rng):
+        """Column scaling must not change the (scaled) condition number —
+        the whole point of the Belsley pre-treatment."""
+        x = rng.normal(size=(300, 3))
+        scaled = x * np.array([1e-9, 1.0, 1e9])
+        assert condition_number(scaled) == pytest.approx(
+            condition_number(x), rel=1e-6
+        )

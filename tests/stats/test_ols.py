@@ -1,0 +1,201 @@
+"""Unit tests for the OLS implementation (replaces statsmodels)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import fit_ols
+
+
+def _make_data(rng, n=300, k=3, noise=0.5, beta=None, intercept=2.0):
+    x = rng.normal(size=(n, k))
+    beta = np.asarray(beta if beta is not None else [1.5, -2.0, 0.7][:k])
+    y = intercept + x @ beta + rng.normal(scale=noise, size=n)
+    return x, y, beta, intercept
+
+
+class TestCoefficients:
+    def test_recovers_known_coefficients(self, rng):
+        x, y, beta, intercept = _make_data(rng, noise=0.01)
+        res = fit_ols(y, x)
+        assert res.params[0] == pytest.approx(intercept, abs=0.01)
+        assert np.allclose(res.params[1:], beta, atol=0.01)
+
+    def test_exact_fit_noiseless(self, rng):
+        x, y, _, _ = _make_data(rng, noise=0.0)
+        res = fit_ols(y, x)
+        assert res.rsquared == pytest.approx(1.0, abs=1e-12)
+        assert np.allclose(res.residuals, 0.0, atol=1e-9)
+
+    def test_no_intercept(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = x @ np.array([3.0, -1.0])
+        res = fit_ols(y, x, intercept=False)
+        assert res.params.shape == (2,)
+        assert np.allclose(res.params, [3.0, -1.0], atol=1e-10)
+
+    def test_fitted_plus_residuals_is_y(self, rng):
+        x, y, _, _ = _make_data(rng)
+        res = fit_ols(y, x)
+        assert np.allclose(res.fitted_values + res.residuals, y)
+
+    def test_residuals_orthogonal_to_design(self, rng):
+        x, y, _, _ = _make_data(rng)
+        res = fit_ols(y, x)
+        # Normal equations: X'u = 0 (including the intercept column).
+        assert abs(res.residuals.sum()) < 1e-8
+        assert np.allclose(x.T @ res.residuals, 0.0, atol=1e-7)
+
+
+class TestRSquared:
+    def test_r2_between_zero_and_one_for_centered_model(self, rng):
+        x, y, _, _ = _make_data(rng, noise=5.0)
+        res = fit_ols(y, x)
+        assert 0.0 <= res.rsquared <= 1.0
+
+    def test_adj_r2_below_r2(self, rng):
+        x, y, _, _ = _make_data(rng, noise=2.0)
+        res = fit_ols(y, x)
+        assert res.rsquared_adj <= res.rsquared
+
+    def test_centered_r2_with_explicit_constant_column(self, rng):
+        """An explicit ones column must trigger centered R² (Equation 1
+        carries its constant as delta*Z)."""
+        x, y, _, _ = _make_data(rng, noise=2.0)
+        x_with_const = np.hstack([x, np.ones((x.shape[0], 1))])
+        res_implicit = fit_ols(y, x)
+        res_explicit = fit_ols(y, x_with_const, intercept=False)
+        assert res_explicit.rsquared == pytest.approx(
+            res_implicit.rsquared, abs=1e-10
+        )
+
+    def test_uncentered_r2_without_constant(self, rng):
+        x = rng.uniform(0.0, 1.0, size=(50, 1))
+        y = 10.0 + x[:, 0]
+        res = fit_ols(y, x, intercept=False)
+        # Without any constant the R² is uncentered: it stays clearly
+        # positive here, whereas the centered version (SS_tot around the
+        # mean, var(y) ≈ 1/12) would be hugely negative.
+        ss_res = float(res.residuals @ res.residuals)
+        centered = 1.0 - ss_res / float(((y - y.mean()) ** 2).sum())
+        assert res.rsquared > 0.5
+        assert centered < 0.0
+
+    def test_irrelevant_regressors_drop_adjusted_r2(self, rng):
+        x, y, _, _ = _make_data(rng, k=1, beta=[1.0], noise=2.0)
+        junk = rng.normal(size=(x.shape[0], 10))
+        res_small = fit_ols(y, x)
+        res_big = fit_ols(y, np.hstack([x, junk]))
+        assert res_big.rsquared >= res_small.rsquared  # R2 can't drop
+        # Adjusted R2 penalizes the junk columns.
+        assert res_big.rsquared_adj < res_big.rsquared
+
+
+class TestRobustErrors:
+    def test_hc3_inflates_se_under_heteroscedasticity(self, rng):
+        n = 2000
+        x = rng.uniform(1.0, 10.0, size=(n, 1))
+        # Error variance grows with x — HC3 should exceed nonrobust SEs.
+        y = 2.0 + 3.0 * x[:, 0] + rng.normal(size=n) * x[:, 0]
+        robust = fit_ols(y, x, cov_type="HC3")
+        plain = fit_ols(y, x, cov_type="nonrobust")
+        assert robust.bse[1] > plain.bse[1]
+
+    def test_hc_variants_agree_asymptotically(self, rng):
+        x, y, _, _ = _make_data(rng, n=5000, noise=1.0)
+        results = {
+            kind: fit_ols(y, x, cov_type=kind).bse
+            for kind in ("HC0", "HC1", "HC2", "HC3")
+        }
+        for kind in ("HC1", "HC2", "HC3"):
+            assert np.allclose(results["HC0"], results[kind], rtol=0.02)
+
+    def test_hc3_largest_of_hc_family_small_sample(self, rng):
+        x, y, _, _ = _make_data(rng, n=25, noise=2.0)
+        bse = {
+            kind: fit_ols(y, x, cov_type=kind).bse.sum()
+            for kind in ("HC0", "HC2", "HC3")
+        }
+        assert bse["HC3"] >= bse["HC2"] >= bse["HC0"]
+
+    def test_tvalues_and_pvalues(self, rng):
+        x, y, _, _ = _make_data(rng, noise=0.1)
+        res = fit_ols(y, x)
+        # Strong true effects: tiny p-values.
+        assert np.all(res.pvalues[1:] < 1e-6)
+        assert np.all(np.abs(res.tvalues[1:]) > 10)
+
+    def test_conf_int_contains_truth(self, rng):
+        x, y, beta, intercept = _make_data(rng, n=2000, noise=0.5)
+        res = fit_ols(y, x)
+        ci = res.conf_int(alpha=0.01)
+        truth = np.concatenate([[intercept], beta])
+        assert np.all(ci[:, 0] <= truth) and np.all(truth <= ci[:, 1])
+
+    def test_conf_int_invalid_alpha(self, rng):
+        x, y, _, _ = _make_data(rng)
+        res = fit_ols(y, x)
+        with pytest.raises(ValueError):
+            res.conf_int(alpha=1.5)
+
+
+class TestPredict:
+    def test_predict_matches_fitted_on_training_data(self, rng):
+        x, y, _, _ = _make_data(rng)
+        res = fit_ols(y, x)
+        assert np.allclose(res.predict(x), res.fitted_values)
+
+    def test_predict_wrong_width_raises(self, rng):
+        x, y, _, _ = _make_data(rng, k=3)
+        res = fit_ols(y, x)
+        with pytest.raises(ValueError, match="columns"):
+            res.predict(x[:, :2])
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.array([]), np.empty((0, 2)))
+
+    def test_rejects_row_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            fit_ols(rng.normal(size=10), rng.normal(size=(11, 2)))
+
+    def test_rejects_nonfinite(self, rng):
+        x = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        y[3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            fit_ols(y, x)
+
+    def test_rejects_underdetermined(self, rng):
+        with pytest.raises(ValueError, match="underdetermined"):
+            fit_ols(rng.normal(size=3), rng.normal(size=(3, 5)))
+
+    def test_rejects_unknown_cov_type(self, rng):
+        x, y, _, _ = _make_data(rng)
+        with pytest.raises(ValueError, match="cov_type"):
+            fit_ols(y, x, cov_type="HC9")
+
+    def test_rejects_bad_name_count(self, rng):
+        x, y, _, _ = _make_data(rng, k=3)
+        with pytest.raises(ValueError, match="names"):
+            fit_ols(y, x, exog_names=["a", "b"])
+
+    def test_collinear_design_does_not_crash(self, rng):
+        """Perfectly collinear columns must yield a (minimum-norm)
+        solution, as the VIF stress cases require."""
+        x = rng.normal(size=(100, 2))
+        x = np.hstack([x, (x[:, :1] * 2.0)])  # third = 2 * first
+        y = x[:, 0] + rng.normal(size=100) * 0.1
+        res = fit_ols(y, x)
+        assert np.isfinite(res.params).all()
+        assert res.rsquared > 0.9
+
+
+class TestSummary:
+    def test_summary_contains_names_and_stats(self, rng):
+        x, y, _, _ = _make_data(rng)
+        res = fit_ols(y, x, exog_names=["alpha", "beta", "gamma"])
+        text = res.summary()
+        for token in ("const", "alpha", "beta", "gamma", "R2=", "HC3"):
+            assert token in text

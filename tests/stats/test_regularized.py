@@ -1,0 +1,111 @@
+"""Unit tests for ridge and lasso (from-scratch implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import fit_ols, lasso, lasso_path, ridge
+
+
+def _sparse_problem(rng, n=300, k=12, noise=0.2):
+    """Only the first three features matter."""
+    x = rng.normal(size=(n, k))
+    beta = np.zeros(k)
+    beta[:3] = [4.0, -3.0, 2.0]
+    y = 7.0 + x @ beta + rng.normal(scale=noise, size=n)
+    return x, y, beta
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        r = ridge(y, x, alpha=0.0)
+        ols = fit_ols(y, x)
+        assert r.intercept == pytest.approx(ols.params[0], abs=1e-8)
+        assert np.allclose(r.coef, ols.params[1:], atol=1e-8)
+
+    def test_shrinkage_monotone(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        norms = [
+            np.linalg.norm(ridge(y, x, alpha=a).coef)
+            for a in (0.0, 10.0, 100.0, 1000.0)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(norms, norms[1:]))
+
+    def test_handles_perfect_collinearity(self, rng):
+        a = rng.normal(size=200)
+        x = np.column_stack([a, a, rng.normal(size=200)])
+        y = a * 2 + rng.normal(size=200) * 0.1
+        r = ridge(y, x, alpha=1.0)
+        assert np.all(np.isfinite(r.coef))
+        # The two copies share the weight.
+        assert r.coef[0] == pytest.approx(r.coef[1], rel=1e-6)
+
+    def test_predict(self, rng):
+        x, y, _ = _sparse_problem(rng, noise=0.01)
+        r = ridge(y, x, alpha=0.1)
+        assert np.corrcoef(r.predict(x), y)[0, 1] > 0.999
+
+    def test_rejects_negative_alpha(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        with pytest.raises(ValueError):
+            ridge(y, x, alpha=-1.0)
+
+
+class TestLasso:
+    def test_zero_alpha_close_to_ols(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        l = lasso(y, x, alpha=0.0, max_iter=5000)
+        ols = fit_ols(y, x)
+        assert np.allclose(l.coef, ols.params[1:], atol=1e-4)
+
+    def test_recovers_sparse_support(self, rng):
+        x, y, beta = _sparse_problem(rng, noise=0.1)
+        l = lasso(y, x, alpha=0.05)
+        support = set(l.selected_features())
+        assert {0, 1, 2} <= support
+        # Most noise features are dropped.
+        assert len(support) <= 6
+
+    def test_huge_alpha_zeroes_everything(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        l = lasso(y, x, alpha=1e6)
+        assert l.selected_features() == []
+        assert l.intercept == pytest.approx(y.mean(), rel=1e-9)
+
+    def test_sparsity_monotone_in_alpha(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        counts = [
+            len(lasso(y, x, alpha=a).selected_features())
+            for a in (0.001, 0.05, 0.5, 5.0)
+        ]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_converges(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        l = lasso(y, x, alpha=0.05)
+        assert l.n_iter < 2000
+
+
+class TestLassoPath:
+    def test_path_starts_empty_and_densifies(self, rng):
+        x, y, _ = _sparse_problem(rng)
+        path = lasso_path(y, x, n_alphas=15)
+        assert len(path[0].selected_features()) == 0
+        assert len(path[-1].selected_features()) >= 3
+
+    def test_strong_features_enter_first(self, rng):
+        x, y, _ = _sparse_problem(rng, noise=0.05)
+        path = lasso_path(y, x, n_alphas=25)
+        first_entrants = []
+        for fit in path:
+            for idx in fit.selected_features():
+                if idx not in first_entrants:
+                    first_entrants.append(idx)
+            if len(first_entrants) >= 3:
+                break
+        assert set(first_entrants[:3]) == {0, 1, 2}
+
+    def test_constant_target_rejected(self, rng):
+        x = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError):
+            lasso_path(np.full(30, 5.0), x)

@@ -1,0 +1,63 @@
+"""Unit tests for the AIC/BIC selection criteria (future-work ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import CRITERIA, aic, bic, criterion_value, fit_ols
+
+
+@pytest.fixture()
+def fits(rng):
+    """A good fit and the same data with junk regressors appended."""
+    n = 200
+    x = rng.normal(size=(n, 2))
+    y = 3 + x @ np.array([1.0, -1.0]) + rng.normal(scale=0.5, size=n)
+    good = fit_ols(y, x)
+    bloated = fit_ols(y, np.hstack([x, rng.normal(size=(n, 12))]))
+    return good, bloated
+
+
+class TestInformationCriteria:
+    def test_aic_penalizes_junk_regressors(self, fits):
+        good, bloated = fits
+        assert aic(good) < aic(bloated)
+
+    def test_bic_penalizes_junk_harder_than_aic(self, fits):
+        good, bloated = fits
+        aic_gap = aic(bloated) - aic(good)
+        bic_gap = bic(bloated) - bic(good)
+        assert bic_gap > aic_gap  # ln(n) > 2 for n > 7
+
+    def test_better_fit_lowers_both(self, rng):
+        n = 300
+        x = rng.normal(size=(n, 1))
+        y = x[:, 0] * 2 + rng.normal(scale=0.1, size=n)
+        res_full = fit_ols(y, x)
+        res_null = fit_ols(y, np.zeros((n, 1)))
+        assert aic(res_full) < aic(res_null)
+        assert bic(res_full) < bic(res_null)
+
+
+class TestRegistry:
+    def test_r2_criterion_matches_result(self, fits):
+        good, _ = fits
+        assert criterion_value("r2", good) == good.rsquared
+        assert criterion_value("adj_r2", good) == good.rsquared_adj
+
+    def test_aic_bic_registered_negated(self, fits):
+        good, _ = fits
+        assert criterion_value("aic", good) == pytest.approx(-aic(good))
+        assert criterion_value("bic", good) == pytest.approx(-bic(good))
+
+    def test_all_criteria_larger_is_better(self, fits):
+        good, bloated = fits
+        for name in CRITERIA:
+            if name == "r2":
+                # Plain R2 cannot penalize extra regressors.
+                continue
+            assert criterion_value(name, good) > criterion_value(name, bloated)
+
+    def test_unknown_criterion(self, fits):
+        good, _ = fits
+        with pytest.raises(ValueError, match="unknown criterion"):
+            criterion_value("mystery", good)

@@ -1,0 +1,85 @@
+"""Unit tests for the variance inflation factor."""
+
+import numpy as np
+import pytest
+
+from repro.stats import mean_vif, variance_inflation_factor, vif_table
+from repro.stats.vif import VIF_PROBLEM_THRESHOLD
+
+
+class TestVIF:
+    def test_independent_columns_vif_near_one(self, rng):
+        x = rng.normal(size=(2000, 4))
+        for j in range(4):
+            assert variance_inflation_factor(x, j) == pytest.approx(1.0, abs=0.02)
+
+    def test_known_correlation_vif(self, rng):
+        """For two regressors with correlation rho, VIF = 1/(1-rho²)."""
+        rho = 0.9
+        n = 200_000
+        a = rng.normal(size=n)
+        b = rho * a + np.sqrt(1 - rho**2) * rng.normal(size=n)
+        x = np.column_stack([a, b])
+        expected = 1.0 / (1.0 - rho**2)
+        assert variance_inflation_factor(x, 0) == pytest.approx(expected, rel=0.02)
+
+    def test_perfect_collinearity_is_huge(self, rng):
+        a = rng.normal(size=100)
+        x = np.column_stack([a, 2.0 * a, rng.normal(size=100)])
+        assert variance_inflation_factor(x, 0) > 1e6
+
+    def test_linear_combination_collinearity(self, rng):
+        """A column equal to the sum of two others inflates all three —
+        the CA_SNP mechanism of Section IV-A."""
+        a = rng.normal(size=500)
+        b = rng.normal(size=500)
+        x = np.column_stack([a, b, a + b + rng.normal(scale=0.01, size=500)])
+        assert mean_vif(x) > VIF_PROBLEM_THRESHOLD
+
+    def test_single_column_vif_is_one(self, rng):
+        x = rng.normal(size=(50, 1))
+        assert variance_inflation_factor(x, 0) == 1.0
+
+    def test_constant_column_vif_is_one(self, rng):
+        x = np.column_stack([np.full(50, 3.0), rng.normal(size=50)])
+        assert variance_inflation_factor(x, 0) == 1.0
+
+    def test_out_of_range_column(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(IndexError):
+            variance_inflation_factor(x, 2)
+
+
+class TestMeanVIF:
+    def test_single_column_is_nan(self, rng):
+        # The paper prints "n/a" for the first selection step.
+        assert np.isnan(mean_vif(rng.normal(size=(50, 1))))
+
+    def test_mean_of_per_column_vifs(self, rng):
+        x = rng.normal(size=(500, 3))
+        per_col = [variance_inflation_factor(x, j) for j in range(3)]
+        assert mean_vif(x) == pytest.approx(np.mean(per_col))
+
+    def test_grows_with_added_collinear_column(self, rng):
+        a = rng.normal(size=(300, 3))
+        base = mean_vif(a)
+        extended = np.hstack(
+            [a, (a[:, :1] + a[:, 1:2] + rng.normal(scale=0.05, size=(300, 1)))]
+        )
+        assert mean_vif(extended) > base
+
+
+class TestVIFTable:
+    def test_names_and_values(self, rng):
+        x = rng.normal(size=(200, 2))
+        table = vif_table(x, names=["one", "two"])
+        assert set(table) == {"one", "two"}
+        assert all(v >= 1.0 - 1e-9 for v in table.values())
+
+    def test_default_names(self, rng):
+        table = vif_table(rng.normal(size=(100, 3)))
+        assert set(table) == {"x0", "x1", "x2"}
+
+    def test_name_count_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            vif_table(rng.normal(size=(100, 3)), names=["a"])

@@ -1,0 +1,63 @@
+"""Smoke tests: the shipped examples must run and produce their key
+output lines.  (The two heaviest examples are exercised with the
+session cache warm, so the whole module stays fast.)"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 600) -> str:
+    env = dict(os.environ)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.usefixtures("full_dataset")  # warm the shared cache first
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Selected counters (Algorithm 1):" in out
+        assert "10-fold CV MAPE" in out
+        assert "Per-workload MAPE" in out
+
+    def test_dvfs_sweep(self):
+        out = _run("dvfs_sweep.py")
+        assert "Cross-validated estimation error per DVFS state" in out
+        assert "2600 MHz" in out
+
+    def test_energy_tuning(self):
+        out = _run("energy_tuning.py")
+        assert "E-optimal" in out
+        assert "memory_read" in out
+        assert "static+system=" in out
+
+    def test_online_monitoring(self):
+        out = _run("online_monitoring.py")
+        assert "Calibrated model saved" in out
+        assert "streamed estimate vs reference sensors" in out
+
+    def test_unseen_workloads(self):
+        out = _run("unseen_workloads.py")
+        assert "2:synthetic-to-spec" in out
+        assert "generated workloads" in out
+
+    def test_cross_platform(self):
+        out = _run("cross_platform.py")
+        assert "skylake" in out.lower()
+        assert "coefficients do not transfer" in out

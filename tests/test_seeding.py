@@ -1,0 +1,58 @@
+"""Unit tests for deterministic seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.seeding import DEFAULT_SEED, derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_distinct_roots(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_distinct_keys(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, 1) != derive_seed(1, 2)
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_type_distinction(self):
+        # The string "1" and the int 1 are different key parts.
+        assert derive_seed(1, "1") != derive_seed(1, 1)
+        assert derive_seed(1, 1.0) != derive_seed(1, 1)
+
+    def test_float_keys(self):
+        assert derive_seed(1, 0.1) != derive_seed(1, 0.2)
+
+    def test_bytes_keys(self):
+        assert derive_seed(1, b"x") != derive_seed(1, "x")
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            derive_seed(1, ["list"])
+
+    def test_64_bit_range(self):
+        s = derive_seed(DEFAULT_SEED, "anything")
+        assert 0 <= s < 2**64
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(5, "x").normal(size=10)
+        b = derive_rng(5, "x").normal(size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_key_different_stream(self):
+        a = derive_rng(5, "x").normal(size=10)
+        b = derive_rng(5, "y").normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_streams_statistically_independent(self):
+        a = derive_rng(5, "s", 1).normal(size=5000)
+        b = derive_rng(5, "s", 2).normal(size=5000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05

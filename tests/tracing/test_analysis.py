@@ -1,0 +1,79 @@
+"""Unit tests for trace statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import EventSet, FIXED_COUNTERS
+from repro.tracing import Trace, MetricDef, MetricStream, trace_run, trace_statistics
+from repro.workloads import get_workload
+
+
+class TestTraceStatistics:
+    def test_region_accounting(self):
+        t = Trace(meta={})
+        t.record_enter("a", 0.0, 1)
+        t.record_leave("a", 2.0, 1)
+        t.record_enter("b", 2.0, 1)
+        t.record_leave("b", 3.0, 1)
+        t.record_enter("a", 3.0, 1)
+        t.record_leave("a", 7.0, 1)
+        stats = trace_statistics(t)
+        a = stats.region("a")
+        assert a.visits == 2
+        assert a.total_time_s == pytest.approx(6.0)
+        assert a.min_time_s == pytest.approx(2.0)
+        assert a.max_time_s == pytest.approx(4.0)
+        assert a.mean_time_s == pytest.approx(3.0)
+        assert stats.coverage() == pytest.approx(1.0)
+
+    def test_metric_statistics(self):
+        t = Trace(meta={})
+        t.record_enter("a", 0.0, 1)
+        t.record_leave("a", 3.0, 1)
+        t.add_metric_stream(
+            MetricStream(
+                MetricDef("power", "W"),
+                np.array([0.5, 1.5, 2.5]),
+                np.array([10.0, 20.0, 30.0]),
+            )
+        )
+        stats = trace_statistics(t)
+        m = stats.metric("power")
+        assert m.mean == pytest.approx(20.0)
+        assert m.minimum == 10.0 and m.maximum == 30.0
+        assert m.n_samples == 3
+
+    def test_empty_metric_stream(self):
+        t = Trace(meta={})
+        t.add_metric_stream(
+            MetricStream(MetricDef("x", ""), np.array([]), np.array([]))
+        )
+        stats = trace_statistics(t)
+        assert stats.metric("x").n_samples == 0
+        assert math.isnan(stats.metric("x").mean)
+
+    def test_unknown_lookups(self):
+        stats = trace_statistics(Trace(meta={}))
+        with pytest.raises(KeyError):
+            stats.region("nope")
+        with pytest.raises(KeyError):
+            stats.metric("nope")
+
+    def test_on_real_trace(self, platform):
+        run = platform.execute(get_workload("md"), 2400, 24)
+        trace = trace_run(
+            platform,
+            run,
+            EventSet(events=tuple(FIXED_COUNTERS)),
+            sampling_interval_s=0.5,
+        )
+        stats = trace_statistics(trace)
+        assert stats.coverage() > 0.95
+        assert stats.duration_s == pytest.approx(run.total_duration_s)
+        power = stats.metric("power")
+        truth = np.mean([p.power.measured_w for p in run.phases])
+        assert power.mean == pytest.approx(truth, rel=0.15)
+        text = stats.render()
+        assert "md.phase0" in text and "power" in text

@@ -1,0 +1,120 @@
+"""Unit tests for the OTF2-like trace format."""
+
+import numpy as np
+import pytest
+
+from repro.tracing import MetricDef, MetricStream, Trace
+
+
+def _stream(name="power", times=(0.5, 1.5, 2.5), values=(1.0, 2.0, 3.0)):
+    return MetricStream(
+        definition=MetricDef(name, "W"),
+        times_s=np.asarray(times, dtype=float),
+        values=np.asarray(values, dtype=float),
+    )
+
+
+class TestMetricStream:
+    def test_window_mean(self):
+        s = _stream()
+        assert s.window_mean(0.0, 2.0) == pytest.approx(1.5)
+        assert s.window_mean(0.0, 3.0) == pytest.approx(2.0)
+
+    def test_empty_window_is_nan(self):
+        s = _stream()
+        assert np.isnan(s.window_mean(10.0, 11.0))
+
+    def test_window_boundaries_half_open(self):
+        s = _stream(times=(1.0, 2.0), values=(10.0, 20.0))
+        # [1.0, 2.0) includes the sample at exactly 1.0, not 2.0.
+        assert s.window_mean(1.0, 2.0) == pytest.approx(10.0)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="chronological"):
+            _stream(times=(2.0, 1.0), values=(1.0, 2.0))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MetricStream(MetricDef("x", ""), np.arange(3.0), np.arange(4.0))
+
+    def test_rejects_invalid_window(self):
+        with pytest.raises(ValueError):
+            _stream().window_mean(2.0, 1.0)
+
+
+class TestTraceEvents:
+    def test_balanced_regions(self):
+        t = Trace()
+        t.record_enter("a", 0.0, 4)
+        t.record_leave("a", 1.0, 4)
+        t.record_enter("b", 1.0, 8)
+        t.record_leave("b", 3.0, 8)
+        assert t.phase_intervals() == [
+            ("a", 0.0, 1.0, 4),
+            ("b", 1.0, 3.0, 8),
+        ]
+        assert t.duration_s == 3.0
+
+    def test_rejects_unbalanced_leave(self):
+        t = Trace()
+        t.record_enter("a", 0.0, 1)
+        with pytest.raises(ValueError, match="unbalanced"):
+            t.record_leave("b", 1.0, 1)
+
+    def test_rejects_time_travel(self):
+        t = Trace()
+        t.record_enter("a", 5.0, 1)
+        with pytest.raises(ValueError, match="chronological"):
+            t.record_leave("a", 1.0, 1)
+
+    def test_unclosed_region_detected(self):
+        t = Trace()
+        t.record_enter("a", 0.0, 1)
+        with pytest.raises(ValueError, match="unclosed"):
+            t.phase_intervals()
+
+    def test_duplicate_metric_rejected(self):
+        t = Trace()
+        t.add_metric_stream(_stream())
+        with pytest.raises(ValueError, match="duplicate"):
+            t.add_metric_stream(_stream())
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        t = Trace(meta={"workload": "x", "frequency_mhz": 2400})
+        t.record_enter("p0", 0.0, 2)
+        t.record_leave("p0", 2.0, 2)
+        t.add_metric_stream(_stream())
+        path = tmp_path / "trace.jsonl"
+        t.write(path)
+
+        back = Trace.read(path)
+        assert back.meta["workload"] == "x"
+        assert back.meta["frequency_mhz"] == 2400
+        assert back.phase_intervals() == t.phase_intervals()
+        s = back.metrics["power"]
+        assert np.array_equal(s.times_s, np.array([0.5, 1.5, 2.5]))
+        assert np.array_equal(s.values, np.array([1.0, 2.0, 3.0]))
+        assert s.definition.unit == "W"
+
+    def test_read_missing_meta(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "event", "kind": "enter", "region": "a", "time_s": 0, "active_threads": 1}\n')
+        with pytest.raises(ValueError, match="meta"):
+            Trace.read(path)
+
+    def test_read_samples_for_undefined_metric(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"record": "meta"}\n'
+            '{"record": "metric_samples", "name": "ghost", "times_s": [], "values": []}\n'
+        )
+        with pytest.raises(ValueError, match="undefined metric"):
+            Trace.read(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "meta"}\n{"record": "wat"}\n')
+        with pytest.raises(ValueError, match="unknown record"):
+            Trace.read(path)

@@ -1,0 +1,129 @@
+"""Tests for the tracer, plugins and phase-profile extraction —
+exercised together because they form the acquisition data path."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import EventSet, FIXED_COUNTERS
+from repro.tracing import (
+    ApapiPlugin,
+    PowerPlugin,
+    ScorePTracer,
+    VoltagePlugin,
+    haecsim_profiles,
+    postprocess_profiles,
+    profile_trace,
+    trace_run,
+)
+from repro.workloads import get_workload
+
+EVENTS = EventSet(events=tuple(FIXED_COUNTERS) + ("PRF_DM",))
+
+
+@pytest.fixture(scope="module")
+def roco2_trace(platform):
+    run = platform.execute(get_workload("compute"), 2400, 8)
+    return run, trace_run(platform, run, EVENTS, sampling_interval_s=0.1)
+
+
+@pytest.fixture(scope="module")
+def spec_trace(platform):
+    run = platform.execute(get_workload("md"), 2400, 24)
+    return run, trace_run(platform, run, EVENTS, sampling_interval_s=0.5)
+
+
+class TestTracer:
+    def test_metadata(self, roco2_trace):
+        run, trace = roco2_trace
+        assert trace.meta["workload"] == "compute"
+        assert trace.meta["frequency_mhz"] == 2400
+        assert trace.meta["threads"] == 8
+
+    def test_all_plugin_metrics_present(self, roco2_trace):
+        _, trace = roco2_trace
+        assert "power" in trace.metrics
+        assert "voltage" in trace.metrics
+        for name in EVENTS.events:
+            assert f"papi:{name}" in trace.metrics
+
+    def test_sample_grid_density(self, roco2_trace):
+        run, trace = roco2_trace
+        n = trace.metrics["power"].times_s.size
+        expected = run.total_duration_s / 0.1
+        assert abs(n - expected) <= 2
+
+    def test_samples_within_run(self, roco2_trace):
+        run, trace = roco2_trace
+        for stream in trace.metrics.values():
+            assert np.all(stream.times_s > 0)
+            assert np.all(stream.times_s <= run.total_duration_s + 1e-9)
+
+    def test_power_samples_near_truth(self, roco2_trace):
+        run, trace = roco2_trace
+        truth = run.phases[0].power.measured_w
+        mean = trace.metrics["power"].values.mean()
+        assert mean == pytest.approx(truth, rel=0.02)
+
+    def test_papi_rate_near_truth(self, roco2_trace):
+        run, trace = roco2_trace
+        truth_per_s = run.phases[0].state.rate("TOT_INS") * run.op.frequency_hz
+        mean = trace.metrics["papi:TOT_INS"].values.mean()
+        assert mean == pytest.approx(truth_per_s, rel=0.05)
+
+    def test_tracer_validation(self, platform):
+        with pytest.raises(ValueError):
+            ScorePTracer(platform, [], sampling_interval_s=0.1)
+        with pytest.raises(ValueError):
+            ScorePTracer(platform, [PowerPlugin(platform)], sampling_interval_s=0.0)
+
+    def test_duplicate_metric_plugins_rejected(self, platform):
+        run = platform.execute(get_workload("compute"), 2400, 2)
+        tracer = ScorePTracer(
+            platform, [PowerPlugin(platform), PowerPlugin(platform)]
+        )
+        with pytest.raises(ValueError, match="twice"):
+            tracer.trace(run)
+
+
+class TestPhaseProfiles:
+    def test_profile_per_phase(self, spec_trace):
+        run, trace = spec_trace
+        profiles = postprocess_profiles(trace)
+        long_phases = [p for p in run.phases if p.duration_s >= 0.5]
+        assert len(profiles) == len(long_phases)
+
+    def test_profile_contents(self, roco2_trace):
+        run, trace = roco2_trace
+        (profile,) = haecsim_profiles(trace)
+        assert profile.workload == "compute"
+        assert profile.active_threads == 8
+        assert profile.power_w == pytest.approx(
+            run.phases[0].power.measured_w, rel=0.02
+        )
+        assert profile.voltage_v == pytest.approx(
+            run.phases[0].true_voltage_v, abs=0.005
+        )
+        assert set(profile.counter_rates_per_s) == set(EVENTS.events)
+
+    def test_rate_per_cycle_normalization(self, roco2_trace):
+        run, trace = roco2_trace
+        (profile,) = haecsim_profiles(trace)
+        # TOT_CYC per cycle must equal the active core count.
+        assert profile.rate_per_cycle("TOT_CYC") == pytest.approx(8, rel=0.02)
+
+    def test_haecsim_rejects_spec_traces(self, spec_trace):
+        _, trace = spec_trace
+        with pytest.raises(ValueError, match="synthetic"):
+            haecsim_profiles(trace)
+
+    def test_missing_metadata_rejected(self, roco2_trace):
+        _, trace = roco2_trace
+        broken = type(trace)(meta={"workload": "x"})
+        with pytest.raises(ValueError, match="metadata"):
+            profile_trace(broken)
+
+    def test_short_phases_dropped(self, platform):
+        run = platform.execute(get_workload("md"), 2400, 24)
+        trace = trace_run(platform, run, EVENTS, sampling_interval_s=0.5)
+        profiles = profile_trace(trace, min_duration_s=1e9)
+        assert profiles == []

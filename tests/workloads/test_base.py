@@ -1,0 +1,99 @@
+"""Unit tests for workload abstractions and characterizations."""
+
+import pytest
+
+from repro.workloads import Characterization, PhaseSpec, StaticWorkload
+
+
+class TestCharacterization:
+    def test_defaults_valid(self):
+        Characterization()
+
+    def test_rejects_out_of_range_fractions(self):
+        with pytest.raises(ValueError):
+            Characterization(load_frac=1.5)
+        with pytest.raises(ValueError):
+            Characterization(branch_mispred_rate=-0.1)
+
+    def test_rejects_infeasible_mix(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            Characterization(load_frac=0.5, store_frac=0.4, branch_frac=0.3)
+
+    def test_rejects_ipc_above_issue_width(self):
+        with pytest.raises(ValueError):
+            Characterization(ipc_base=4.5)
+
+    def test_rejects_bad_vector_width(self):
+        with pytest.raises(ValueError):
+            Characterization(vector_width=3)
+
+    def test_rejects_implausible_latent(self):
+        with pytest.raises(ValueError):
+            Characterization(latent_efficiency=0.1)
+        with pytest.raises(ValueError):
+            Characterization(uop_expansion=5.0)
+
+    def test_with_updates_validates(self):
+        c = Characterization()
+        updated = c.with_updates(ipc_base=2.0)
+        assert updated.ipc_base == 2.0
+        assert c.ipc_base == 1.0  # original untouched
+        with pytest.raises(ValueError):
+            c.with_updates(l3_miss_ratio=2.0)
+
+    def test_frozen(self):
+        c = Characterization()
+        with pytest.raises(Exception):
+            c.ipc_base = 3.0
+
+
+class TestBlend:
+    def test_weighted_average(self):
+        a = Characterization(ipc_base=1.0, load_frac=0.2)
+        b = Characterization(ipc_base=3.0, load_frac=0.4)
+        mixed = Characterization.blend([(a, 1.0), (b, 1.0)])
+        assert mixed.ipc_base == pytest.approx(2.0)
+        assert mixed.load_frac == pytest.approx(0.3)
+
+    def test_vector_width_from_heaviest(self):
+        a = Characterization(vector_width=1)
+        b = Characterization(vector_width=4)
+        assert Characterization.blend([(a, 0.9), (b, 0.1)]).vector_width == 1
+        assert Characterization.blend([(a, 0.1), (b, 0.9)]).vector_width == 4
+
+    def test_empty_or_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Characterization.blend([])
+        with pytest.raises(ValueError):
+            Characterization.blend([(Characterization(), 0.0)])
+
+
+class TestPhaseSpec:
+    def test_valid(self):
+        PhaseSpec("p", 1.0, Characterization(), 4)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("p", 0.0, Characterization(), 4)
+
+    def test_rejects_negative_threads(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("p", 1.0, Characterization(), -1)
+
+
+class TestStaticWorkload:
+    def test_single_phase(self):
+        w = StaticWorkload("k", Characterization(), duration_s=5.0)
+        phases = w.phases(8)
+        assert len(phases) == 1
+        assert phases[0].active_threads == 8
+        assert phases[0].duration_s == 5.0
+        assert phases[0].name == "k.loop"
+
+    def test_validate_threads(self):
+        w = StaticWorkload("k", Characterization())
+        w.validate_threads(24, 24)
+        with pytest.raises(ValueError):
+            w.validate_threads(25, 24)
+        with pytest.raises(ValueError):
+            w.validate_threads(0, 24)

@@ -1,0 +1,64 @@
+"""Unit tests for the randomized workload generator."""
+
+import pytest
+
+from repro.workloads import (
+    DEFAULT_SPACE,
+    WIDE_SPACE,
+    GeneratorSpace,
+    generate_workloads,
+)
+
+
+class TestGenerator:
+    def test_count_and_names(self):
+        ws = generate_workloads(5)
+        assert len(ws) == 5
+        assert [w.name for w in ws] == [f"gen{i:03d}" for i in range(5)]
+
+    def test_deterministic_in_seed(self):
+        a = generate_workloads(4, seed=1)
+        b = generate_workloads(4, seed=1)
+        for wa, wb in zip(a, b):
+            assert wa.characterization == wb.characterization
+
+    def test_seed_changes_output(self):
+        a = generate_workloads(4, seed=1)
+        b = generate_workloads(4, seed=2)
+        assert any(
+            wa.characterization != wb.characterization for wa, wb in zip(a, b)
+        )
+
+    def test_characterizations_within_space(self):
+        ws = generate_workloads(50, space=DEFAULT_SPACE, seed=3)
+        for w in ws:
+            c = w.characterization
+            lo, hi = DEFAULT_SPACE.ipc_base
+            assert lo <= c.ipc_base <= hi
+            lo, hi = DEFAULT_SPACE.l3_miss_ratio
+            assert lo <= c.l3_miss_ratio <= hi
+            assert c.vector_width in (1, 2, 4)
+
+    def test_instruction_mix_always_feasible(self):
+        for w in generate_workloads(100, seed=9):
+            c = w.characterization
+            assert c.load_frac + c.store_frac + c.branch_frac <= 0.951
+
+    def test_wide_space_spans_latents(self):
+        ws = generate_workloads(200, space=WIDE_SPACE, seed=5)
+        latents = [w.characterization.latent_efficiency for w in ws]
+        assert min(latents) < 0.9 and max(latents) > 1.1
+
+    def test_suite_tag_and_threads(self):
+        w = generate_workloads(1, thread_counts=(2, 4))[0]
+        assert w.suite == "synthetic"
+        assert w.default_thread_counts == (2, 4)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            generate_workloads(0)
+
+    def test_custom_space(self):
+        space = GeneratorSpace(ipc_base=(2.0, 2.1))
+        ws = generate_workloads(10, space=space, seed=0)
+        assert all(2.0 <= w.characterization.ipc_base <= 2.1 for w in ws)

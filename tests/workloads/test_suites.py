@@ -1,0 +1,130 @@
+"""Unit tests for the roco2 and SPEC OMP2012 workload suites."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    EXCLUDED_BENCHMARKS,
+    ROCO2_KERNELS,
+    ROCO2_THREAD_COUNTS,
+    SPEC_OMP2012_BENCHMARKS,
+    IdleWorkload,
+    all_workloads,
+    get_workload,
+    roco2_suite,
+    spec_omp2012_suite,
+    suite,
+)
+
+
+class TestRoco2:
+    def test_ten_kernels_incl_idle(self):
+        names = [w.name for w in ROCO2_KERNELS]
+        assert len(names) == 10
+        assert "idle" in names
+        for expected in ("busywait", "compute", "sinus", "sqrt", "matmul",
+                         "memory_read", "memory_write", "memory_copy", "addpd"):
+            assert expected in names
+
+    def test_all_tagged_roco2(self):
+        assert all(w.suite == "roco2" for w in ROCO2_KERNELS)
+
+    def test_single_phase_kernels(self):
+        for w in ROCO2_KERNELS:
+            assert len(w.phases(8)) == 1
+
+    def test_idle_always_zero_active(self):
+        idle = IdleWorkload()
+        for threads in (1, 8):
+            assert idle.phases(threads)[0].active_threads == 0
+
+    def test_thread_sweep_defined(self):
+        assert ROCO2_THREAD_COUNTS[0] == 1
+        assert ROCO2_THREAD_COUNTS[-1] == 24
+        busy = get_workload("busywait")
+        assert busy.default_thread_counts == ROCO2_THREAD_COUNTS
+
+    def test_memory_kernels_are_memory_bound(self):
+        mem = get_workload("memory_read").phases(1)[0].characterization
+        cpu = get_workload("compute").phases(1)[0].characterization
+        assert mem.l3_miss_ratio > 5 * cpu.l3_miss_ratio
+        assert mem.l1d_load_miss_rate > 10 * cpu.l1d_load_miss_rate
+
+
+class TestSpec:
+    def test_ten_benchmarks(self):
+        # OMP2012 has 14; the paper excludes 4 that failed to build.
+        assert len(SPEC_OMP2012_BENCHMARKS) == 10
+        assert len(EXCLUDED_BENCHMARKS) == 4
+
+    def test_excluded_not_present(self):
+        names = {w.name for w in SPEC_OMP2012_BENCHMARKS}
+        assert not names & set(EXCLUDED_BENCHMARKS)
+
+    def test_paper_benchmarks_present(self):
+        names = {w.name for w in SPEC_OMP2012_BENCHMARKS}
+        assert {"md", "nab", "ilbdc", "swim", "bwaves"} <= names
+
+    def test_phase_structure_multi_phase(self):
+        for w in SPEC_OMP2012_BENCHMARKS:
+            phases = w.phases(24)
+            assert len(phases) >= 3
+            assert sum(p.duration_s for p in phases) > 30.0
+
+    def test_phases_deterministic(self):
+        a = get_workload("md").phases(24)
+        # A fresh object must regenerate the identical structure.
+        fresh = [w for w in spec_omp2012_suite() if w.name == "md"][0]
+        b = fresh.phases(24)
+        assert len(a) == len(b)
+        for pa, pb in zip(a, b):
+            assert pa.duration_s == pb.duration_s
+            assert pa.characterization == pb.characterization
+
+    def test_internal_variability(self):
+        """Phases of one benchmark differ (the Fig. 5b variability)."""
+        phases = get_workload("mgrid331").phases(24)
+        ipcs = {p.characterization.ipc_base for p in phases}
+        assert len(ipcs) > 1
+
+    def test_latents_per_benchmark_constant_across_phases(self):
+        for w in SPEC_OMP2012_BENCHMARKS:
+            latents = {p.characterization.latent_efficiency for p in w.phases(24)}
+            assert len(latents) == 1
+
+    def test_md_nab_low_latent_efficiency(self):
+        """The Fig. 5a overestimation mechanism."""
+        by_name = {w.name: w for w in SPEC_OMP2012_BENCHMARKS}
+        assert by_name["md"].base.latent_efficiency < 0.95
+        assert by_name["nab"].base.latent_efficiency < 0.95
+
+    def test_suites_span_wider_latent_range_than_roco2(self):
+        spec_latents = [
+            w.base.latent_efficiency for w in SPEC_OMP2012_BENCHMARKS
+        ]
+        roco_latents = [
+            w.characterization.latent_efficiency
+            for w in ROCO2_KERNELS
+            if hasattr(w, "characterization")
+        ]
+        assert np.ptp(spec_latents) > 2 * np.ptp(roco_latents)
+
+
+class TestRegistry:
+    def test_all_workloads_is_both_suites(self):
+        assert len(all_workloads()) == 20
+
+    def test_get_workload(self):
+        assert get_workload("sqrt").name == "sqrt"
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("doom")
+
+    def test_suite_lookup(self):
+        assert len(suite("roco2")) == 10
+        assert len(suite("spec_omp2012")) == 10
+        with pytest.raises(KeyError):
+            suite("parsec")
+
+    def test_names_globally_unique(self):
+        names = [w.name for w in all_workloads()]
+        assert len(set(names)) == len(names)
