@@ -17,7 +17,7 @@ from benchmarks.conftest import report
 from repro.acquisition import run_campaign
 from repro.core import render_table, scenario_cv_all, select_events
 from repro.experiments.paper_values import PAPER_ARM_MAPE, PAPER_CV_MAPE
-from repro.hardware import CORTEX_A15_CONFIG, CORTEX_A15_POWER, Platform
+from repro.hardware import CORTEX_A15_CONFIG, CORTEX_A15_POWER_PARAMS, Platform
 from repro.workloads import all_workloads
 
 
@@ -25,7 +25,7 @@ from repro.workloads import all_workloads
 def arm_dataset():
     # Sensor noise floor scaled to the watt-level board.
     platform = Platform(
-        CORTEX_A15_CONFIG, CORTEX_A15_POWER, power_offset_sigma_w=0.05
+        CORTEX_A15_CONFIG, CORTEX_A15_POWER_PARAMS, power_offset_sigma_w=0.05
     )
     return run_campaign(
         platform,

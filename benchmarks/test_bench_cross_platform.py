@@ -16,13 +16,13 @@ import pytest
 from benchmarks.conftest import report
 from repro.acquisition import run_campaign
 from repro.core import PowerModel, render_table, scenario_cv_all, select_events
-from repro.hardware import Platform, SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER
+from repro.hardware import Platform, SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER_PARAMS
 from repro.workloads import all_workloads
 
 
 @pytest.fixture(scope="module")
 def skylake_dataset():
-    platform = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER)
+    platform = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER_PARAMS)
     return run_campaign(platform, all_workloads(), [1200, 1600, 2000, 2400])
 
 

@@ -13,7 +13,7 @@ showing that the *method* generalizes while the *coefficients* do not.
 from repro import Platform, PowerModel, all_workloads, run_campaign
 from repro.core import scenario_cv_all, select_events
 from repro.experiments import full_dataset, selected_counters
-from repro.hardware import SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER
+from repro.hardware import SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER_PARAMS
 
 
 def main() -> None:
@@ -21,7 +21,7 @@ def main() -> None:
     hw_counters = selected_counters()
 
     print("Acquiring the Skylake-SP campaign (2 x 20 cores, 14 nm)…")
-    skylake = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER)
+    skylake = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER_PARAMS)
     print(f"  {skylake.describe()}")
     skylake_ds = run_campaign(skylake, all_workloads(), [1200, 1600, 2000, 2400])
     print(f"  {skylake_ds.n_samples} phase profiles")

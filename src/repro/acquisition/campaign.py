@@ -90,11 +90,11 @@ class Campaign:
     ) -> List[PhaseProfile]:
         """Execute all runs and extract phase profiles."""
         profiles: List[PhaseProfile] = []
-        for workload, freq, threads in self.plan.experiments():
+        for workload, freq_mhz, threads in self.plan.experiments():
             if progress is not None:
-                progress(f"{workload.name} @ {freq} MHz, {threads} threads")
+                progress(f"{workload.name} @ {freq_mhz} MHz, {threads} threads")
             if self.plan.multiplexing == "time-division":
-                run = self.platform.execute(workload, freq, threads)
+                run = self.platform.execute(workload, freq_mhz, threads)
                 trace = trace_multiplexed_run(
                     self.platform,
                     run,
@@ -108,7 +108,7 @@ class Campaign:
                 continue
             for run_index, event_set in enumerate(self.event_sets):
                 run = self.platform.execute(
-                    workload, freq, threads, run_index=run_index
+                    workload, freq_mhz, threads, run_index=run_index
                 )
                 trace = trace_run(
                     self.platform,

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.hardware.counters import COUNTER_NAMES
+from repro.io.atomic import atomic_savez
 
 __all__ = ["PowerDataset", "ExperimentKey"]
 
@@ -194,8 +195,13 @@ class PowerDataset:
 
     # ------------------------------------------------------------------
     def save_npz(self, path: Union[str, Path]) -> None:
-        """Persist to a compressed npz (the campaign cache format)."""
-        np.savez_compressed(
+        """Persist to a compressed npz (the campaign cache format).
+
+        The write is atomic (temp file + ``os.replace``): an
+        interrupted save must never publish a truncated archive that
+        later loads die on.
+        """
+        atomic_savez(
             Path(path),
             counters=self.counters,
             power_w=self.power_w,

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hardware.config import HASWELL_EP_CONFIG, PlatformConfig
-from repro.hardware.power import HASWELL_EP_POWER, PowerModelParams
+from repro.hardware.power import HASWELL_EP_POWER_PARAMS, PowerModelParams
 from repro.hardware.platform import Platform
 from repro.seeding import DEFAULT_SEED, derive_rng
 
@@ -75,7 +75,7 @@ def build_cluster(
     n_nodes: int,
     *,
     cfg: PlatformConfig = HASWELL_EP_CONFIG,
-    base_params: PowerModelParams = HASWELL_EP_POWER,
+    base_params: PowerModelParams = HASWELL_EP_POWER_PARAMS,
     variation: Optional[NodeVariation] = None,
     seed: int = DEFAULT_SEED,
     hostname_prefix: str = "node",

@@ -68,14 +68,14 @@ def phase_energy(run: RunExecution) -> List[Tuple[str, float]]:
     accounting uses the same integral with estimated power.
     """
     return [
-        (p.phase.name, p.power.measured_w * p.duration_s)
+        (p.phase.name, p.power_breakdown.measured_w * p.duration_s)
         for p in run.phases
     ]
 
 
 def run_energy(run: RunExecution) -> EnergyAccount:
     """Total energy account of one run (ground truth)."""
-    energy = sum(e for _, e in phase_energy(run))
+    energy_j = sum(e for _, e in phase_energy(run))
     duration = run.total_duration_s
     instructions = sum(
         p.state.rate("TOT_INS") * run.op.frequency_hz * p.duration_s
@@ -86,9 +86,9 @@ def run_energy(run: RunExecution) -> EnergyAccount:
         frequency_mhz=run.op.frequency_mhz,
         threads=run.threads,
         duration_s=duration,
-        energy_j=energy,
+        energy_j=energy_j,
         instructions=instructions,
-        average_power_w=energy / duration if duration > 0 else 0.0,
+        average_power_w=energy_j / duration if duration > 0 else 0.0,
     )
 
 

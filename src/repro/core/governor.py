@@ -64,14 +64,14 @@ class PowerCapGovernor:
     def predict_at(
         self, counter_rates: Dict[str, float], frequency_mhz: int
     ) -> float:
-        """Predicted power if the same per-cycle rates ran at ``f``."""
+        """Predicted power in W if the same per-cycle rates ran at ``f``."""
         v = self.cfg.curve.voltage_at(frequency_mhz)
         v2f = v * v * frequency_mhz / 1000.0
         coeffs = self.model.coefficients
-        power = coeffs["beta:V2f"] * v2f + coeffs["gamma:V"] * v + coeffs["delta:Z"]
+        power_w = coeffs["beta:V2f"] * v2f + coeffs["gamma:V"] * v + coeffs["delta:Z"]
         for counter in self.model.counters:
-            power += coeffs[f"alpha:{counter}"] * counter_rates[counter] * v2f
-        return power
+            power_w += coeffs[f"alpha:{counter}"] * counter_rates[counter] * v2f
+        return power_w
 
     def choose_frequency(self, counter_rates: Dict[str, float]) -> int:
         """Highest P-state predicted to stay under cap − headroom.
@@ -155,7 +155,7 @@ def govern_workload(
             state = evaluate(
                 phase.characterization, op, phase.active_threads, cfg
             )
-            power = compute_power(
+            breakdown = compute_power(
                 state.hidden, op, cfg, platform.power_params
             )
             # PMU read with noise, normalized to per-cycle rates.
@@ -168,7 +168,7 @@ def govern_workload(
             t += interval_s
             times.append(t)
             freqs.append(current_f)
-            true_p.append(power.measured_w)
+            true_p.append(breakdown.measured_w)
             pred_p.append(governor.predict_at(rates, current_f))
             current_f = governor.choose_frequency(rates)
 

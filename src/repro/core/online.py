@@ -89,23 +89,23 @@ class OnlineEstimator:
         cycles = frequency_mhz * 1e6 * interval_s
         v2f = voltage_v * voltage_v * (frequency_mhz / 1000.0)
         coeffs = self.model.coefficients
-        power = coeffs["beta:V2f"] * v2f
-        power += coeffs["gamma:V"] * voltage_v
-        power += coeffs["delta:Z"]
+        power_w = coeffs["beta:V2f"] * v2f
+        power_w += coeffs["gamma:V"] * voltage_v
+        power_w += coeffs["delta:Z"]
         for counter in self.model.counters:
             rate = counter_deltas[counter] / cycles
-            power += coeffs[f"alpha:{counter}"] * rate * v2f
+            power_w += coeffs[f"alpha:{counter}"] * rate * v2f
         if self._smoothed is None:
-            self._smoothed = power
+            self._smoothed = power_w
         else:
             self._smoothed = (
-                self.smoothing * power + (1.0 - self.smoothing) * self._smoothed
+                self.smoothing * power_w + (1.0 - self.smoothing) * self._smoothed
             )
         t = time_s if time_s is not None else (
             self._history[-1].time_s + interval_s if self._history else interval_s
         )
         estimate = OnlineEstimate(
-            time_s=t, power_w=power, smoothed_w=self._smoothed
+            time_s=t, power_w=power_w, smoothed_w=self._smoothed
         )
         self._history.append(estimate)
         return estimate
@@ -169,19 +169,19 @@ def estimate_run(
                 true = phase.state.rate(counter) * f_hz * interval_s
                 noise = 1.0 + rng.normal(0.0, platform.pmu.read_noise_sigma)
                 deltas[counter] = max(true * noise, 0.0)
-            voltage = platform.voltage.read_average(
+            voltage_v_mean = platform.voltage.read_average(
                 run.op, phase.phase.active_threads, 1, rng
             )
             estimator.update(
                 deltas,
                 interval_s=interval_s,
-                voltage_v=voltage,
+                voltage_v=voltage_v_mean,
                 frequency_mhz=run.op.frequency_mhz,
                 time_s=t,
             )
             measured.append(
                 platform.sensors.measure_node_average(
-                    phase.power.per_socket_w, interval_s, rng
+                    phase.power_breakdown.per_socket_w, interval_s, rng
                 )
             )
             times.append(t)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.model import FittedPowerModel
 from repro.core.features import feature_names
+from repro.io.atomic import atomic_write_text
 from repro.stats.ols import OLSResult
 
 __all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model"]
@@ -91,8 +92,9 @@ def model_from_dict(payload: Dict) -> FittedPowerModel:
 
 
 def save_model(model: FittedPowerModel, path: Union[str, Path]) -> None:
-    """Write the model to a JSON file."""
-    Path(path).write_text(json.dumps(model_to_dict(model), indent=2) + "\n")
+    """Write the model to a JSON file (atomically: a crash mid-write
+    must never leave a half-serialized model for deployment to load)."""
+    atomic_write_text(Path(path), json.dumps(model_to_dict(model), indent=2) + "\n")
 
 
 def load_model(path: Union[str, Path]) -> FittedPowerModel:

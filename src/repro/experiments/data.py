@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -33,8 +34,9 @@ __all__ = [
 ]
 
 #: Bump when the simulated platform or workload definitions change in a
-#: way that alters campaign output.
-DATA_VERSION = 3
+#: way that alters campaign output.  Lint rule RL005 enforces the bump
+#: whenever a diff touches the physics modules (hardware/, workloads/).
+DATA_VERSION = 4
 
 _MEMORY_CACHE: Dict[Tuple[int, Tuple[int, ...]], PowerDataset] = {}
 _SELECTION_CACHE: Dict[Tuple[int, int, int], SelectionResult] = {}
@@ -74,9 +76,20 @@ def full_dataset(
     if key in _MEMORY_CACHE:
         return _MEMORY_CACHE[key]
     path = _cache_path(seed, tuple(frequencies_mhz))
+    ds: Optional[PowerDataset] = None
     if use_disk_cache and path.exists():
-        ds = PowerDataset.load_npz(path)
-    else:
+        try:
+            ds = PowerDataset.load_npz(path)
+        except (zipfile.BadZipFile, KeyError, OSError, EOFError, ValueError):
+            # Truncated / partially written / otherwise corrupt cache
+            # (e.g. a crash before save_npz went atomic).  Drop it and
+            # fall through to regeneration — a stale artifact must
+            # never be fatal, only slow.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    if ds is None:
         from repro.workloads.registry import all_workloads
 
         platform = Platform(seed=seed)

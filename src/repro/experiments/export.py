@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.experiments import fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4
+from repro.io.atomic import atomic_open, atomic_write_text
 from repro.seeding import DEFAULT_SEED
 
 __all__ = ["export_all", "EXPORTERS"]
@@ -27,11 +28,11 @@ def _clean(value):
 
 
 def _write_json(path: Path, payload) -> None:
-    path.write_text(json.dumps(payload, indent=2, default=_clean) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, default=_clean) + "\n")
 
 
 def _write_csv(path: Path, headers: List[str], rows) -> None:
-    with path.open("w", newline="") as fh:
+    with atomic_open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(headers)
         for row in rows:

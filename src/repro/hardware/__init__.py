@@ -10,7 +10,7 @@ maps onto the paper's experimental observations.
 from repro.hardware.arm import (
     CORTEX_A15_CONFIG,
     CORTEX_A15_CURVE,
-    CORTEX_A15_POWER,
+    CORTEX_A15_POWER_PARAMS,
 )
 from repro.hardware.config import HASWELL_EP_CONFIG, PlatformConfig
 from repro.hardware.counters import (
@@ -40,7 +40,7 @@ from repro.hardware.microarch import (
 from repro.hardware.platform import PhaseExecution, Platform, RunExecution
 from repro.hardware.pmu import PMU, EventSet, schedule_events
 from repro.hardware.power import (
-    HASWELL_EP_POWER,
+    HASWELL_EP_POWER_PARAMS,
     PowerBreakdown,
     PowerModelParams,
     compute_power,
@@ -49,7 +49,7 @@ from repro.hardware.sensors import PowerSensor, SensorArray, SensorCalibration
 from repro.hardware.skylake import (
     SKYLAKE_SP_CONFIG,
     SKYLAKE_SP_CURVE,
-    SKYLAKE_SP_POWER,
+    SKYLAKE_SP_POWER_PARAMS,
 )
 from repro.hardware.voltage import VoltageTelemetry
 
@@ -77,7 +77,7 @@ __all__ = [
     "PowerModelParams",
     "PowerBreakdown",
     "compute_power",
-    "HASWELL_EP_POWER",
+    "HASWELL_EP_POWER_PARAMS",
     "PMU",
     "EventSet",
     "schedule_events",
@@ -90,8 +90,8 @@ __all__ = [
     "PhaseExecution",
     "SKYLAKE_SP_CONFIG",
     "SKYLAKE_SP_CURVE",
-    "SKYLAKE_SP_POWER",
+    "SKYLAKE_SP_POWER_PARAMS",
     "CORTEX_A15_CONFIG",
     "CORTEX_A15_CURVE",
-    "CORTEX_A15_POWER",
+    "CORTEX_A15_POWER_PARAMS",
 ]

@@ -27,7 +27,7 @@ from repro.hardware.config import PlatformConfig
 from repro.hardware.dvfs import PState, VoltageFrequencyCurve
 from repro.hardware.power import PowerModelParams
 
-__all__ = ["CORTEX_A15_CURVE", "CORTEX_A15_CONFIG", "CORTEX_A15_POWER"]
+__all__ = ["CORTEX_A15_CURVE", "CORTEX_A15_CONFIG", "CORTEX_A15_POWER_PARAMS"]
 
 #: Typical big-cluster DVFS ladder of a 28 nm Cortex-A15 SoC.
 CORTEX_A15_CURVE = VoltageFrequencyCurve(
@@ -60,7 +60,7 @@ CORTEX_A15_CONFIG = PlatformConfig(
 #: 28 nm embedded-class energies (roughly 1/8 of the Haswell values)
 #: with the latent channels closed: this is what makes ARM models
 #: accurate.
-CORTEX_A15_POWER = PowerModelParams(
+CORTEX_A15_POWER_PARAMS = PowerModelParams(
     v_ref=1.1,
     e_core_active=0.11,
     clock_gate_saving=0.55,

@@ -26,7 +26,7 @@ from repro.hardware.dvfs import OperatingPoint
 from repro.hardware.microarch import MicroarchState, evaluate
 from repro.hardware.pmu import PMU
 from repro.hardware.power import (
-    HASWELL_EP_POWER,
+    HASWELL_EP_POWER_PARAMS,
     PowerBreakdown,
     PowerModelParams,
     compute_power,
@@ -51,7 +51,7 @@ class PhaseExecution:
     start_s: float
     end_s: float
     state: MicroarchState
-    power: PowerBreakdown
+    power_breakdown: PowerBreakdown
     true_voltage_v: float
 
     @property
@@ -82,7 +82,7 @@ class Platform:
     def __init__(
         self,
         cfg: PlatformConfig = HASWELL_EP_CONFIG,
-        power_params: PowerModelParams = HASWELL_EP_POWER,
+        power_params: PowerModelParams = HASWELL_EP_POWER_PARAMS,
         *,
         seed: int = DEFAULT_SEED,
         run_jitter_sigma: float = 0.004,
@@ -142,18 +142,18 @@ class Platform:
                 phase.characterization, op, phase.active_threads, self.cfg
             )
             state = self._apply_jitter(state, jitter)
-            power = compute_power(state.hidden, op, self.cfg, self.power_params)
+            breakdown = compute_power(state.hidden, op, self.cfg, self.power_params)
             per_socket_offset = power_offset / self.cfg.sockets
-            power = PowerBreakdown(
+            breakdown = PowerBreakdown(
                 per_socket_w=tuple(
                     max(p * power_jitter + per_socket_offset, 0.0)
-                    for p in power.per_socket_w
+                    for p in breakdown.per_socket_w
                 ),
-                dynamic_core_w=power.dynamic_core_w,
-                uncore_w=power.uncore_w,
-                static_w=power.static_w,
-                board_w=power.board_w,
-                temperature_c=power.temperature_c,
+                dynamic_core_w=breakdown.dynamic_core_w,
+                uncore_w=breakdown.uncore_w,
+                static_w=breakdown.static_w,
+                board_w=breakdown.board_w,
+                temperature_c=breakdown.temperature_c,
             )
             true_v = self.voltage.true_voltage(op, phase.active_threads)
             executions.append(
@@ -162,7 +162,7 @@ class Platform:
                     start_s=t,
                     end_s=t + phase.duration_s,
                     state=state,
-                    power=power,
+                    power_breakdown=breakdown,
                     true_voltage_v=true_v,
                 )
             )

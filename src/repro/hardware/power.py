@@ -35,7 +35,7 @@ from repro.hardware.config import PlatformConfig
 from repro.hardware.dvfs import OperatingPoint
 from repro.hardware.microarch import HiddenActivity
 
-__all__ = ["PowerModelParams", "PowerBreakdown", "compute_power", "HASWELL_EP_POWER"]
+__all__ = ["PowerModelParams", "PowerBreakdown", "compute_power", "HASWELL_EP_POWER_PARAMS"]
 
 _NANO = 1e-9
 
@@ -114,7 +114,7 @@ class PowerModelParams:
 
 
 #: Default parameterization for the simulated Xeon E5-2690v3.
-HASWELL_EP_POWER = PowerModelParams()
+HASWELL_EP_POWER_PARAMS = PowerModelParams()
 
 
 @dataclass(frozen=True)
@@ -226,7 +226,7 @@ def compute_power(
     hidden: HiddenActivity,
     op: OperatingPoint,
     cfg: PlatformConfig,
-    params: PowerModelParams = HASWELL_EP_POWER,
+    params: PowerModelParams = HASWELL_EP_POWER_PARAMS,
 ) -> PowerBreakdown:
     """Ground-truth node power for one phase execution."""
     totals, dyns, uncs, stats, boards, temps = [], [], [], [], [], []

@@ -117,7 +117,7 @@ class RaplMeter:
     def package_power_true(self, phase: PhaseExecution, socket: int) -> float:
         """What the PKG domain physically covers: cores + uncore +
         leakage — everything except the board/VR plane."""
-        p = phase.power
+        p = phase.power_breakdown
         return (
             p.dynamic_core_w[socket]
             + p.uncore_w[socket]
@@ -161,7 +161,7 @@ class RaplMeter:
 
     def measure_run(self, run: RunExecution) -> float:
         """Duration-weighted run-average RAPL power."""
-        total_energy = sum(
+        total_energy_j = sum(
             self.measure_phase(p) * p.duration_s for p in run.phases
         )
-        return total_energy / run.total_duration_s
+        return total_energy_j / run.total_duration_s

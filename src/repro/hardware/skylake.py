@@ -18,7 +18,7 @@ from repro.hardware.config import PlatformConfig
 from repro.hardware.dvfs import PState, VoltageFrequencyCurve
 from repro.hardware.power import PowerModelParams
 
-__all__ = ["SKYLAKE_SP_CURVE", "SKYLAKE_SP_CONFIG", "SKYLAKE_SP_POWER"]
+__all__ = ["SKYLAKE_SP_CURVE", "SKYLAKE_SP_CONFIG", "SKYLAKE_SP_POWER_PARAMS"]
 
 #: 14 nm V/f curve: lower voltages at equal frequency than Haswell.
 SKYLAKE_SP_CURVE = VoltageFrequencyCurve(
@@ -50,7 +50,7 @@ SKYLAKE_SP_CONFIG = PlatformConfig(
 
 #: 14 nm energies: lower switching energy per event, larger uncore
 #: (mesh) base power, higher idle DRAM power (six channels).
-SKYLAKE_SP_POWER = PowerModelParams(
+SKYLAKE_SP_POWER_PARAMS = PowerModelParams(
     v_ref=0.9,
     e_core_active=0.62,
     clock_gate_saving=0.50,

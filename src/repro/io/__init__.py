@@ -1,0 +1,15 @@
+"""Crash-safe I/O primitives shared by every artifact writer."""
+
+from repro.io.atomic import (
+    atomic_open,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+__all__ = [
+    "atomic_open",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]

@@ -1,0 +1,36 @@
+"""``replint`` — statistical-rigor static analysis for this reproduction.
+
+The paper's claims depend on invariants no unit test observes directly:
+per-cycle event normalization (Eq. 1), root-seed-derived randomness,
+versioned campaign caches and crash-safe artifact writes.  This package
+encodes each as a lint rule; see :mod:`repro.lint.rules` for the rule
+set and ``python -m repro.lint --list-rules`` for a summary.
+"""
+
+from repro.lint.config import LintConfig, find_pyproject
+from repro.lint.engine import iter_python_files, lint_paths, lint_source
+from repro.lint.framework import (
+    FileContext,
+    FileRule,
+    Finding,
+    RepoRule,
+    Rule,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import all_rules
+
+__all__ = [
+    "LintConfig",
+    "find_pyproject",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "FileContext",
+    "FileRule",
+    "Finding",
+    "RepoRule",
+    "Rule",
+    "render_json",
+    "render_text",
+    "all_rules",
+]

@@ -1,0 +1,104 @@
+"""``replint`` command line: ``python -m repro.lint [paths...]``.
+
+Exit codes follow the linter convention: 0 clean, 1 findings, 2 usage
+or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.config import LintConfig, find_pyproject
+from repro.lint.engine import iter_python_files, lint_paths
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description=(
+            "Statistical-rigor static analysis for the power-model "
+            "reproduction: seeding discipline, per-cycle unit hygiene, "
+            "cache versioning and atomic artifact writes."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "-f", "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. RL001,RL003)",
+    )
+    parser.add_argument(
+        "--disable", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--diff-base", default="HEAD", metavar="REV",
+        help="git revision repo-state rules diff against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--no-repo-rules", action="store_true",
+        help="skip repository-state rules (RL005)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = all_rules(diff_base=args.diff_base)
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name:28s} {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    pyproject = find_pyproject(
+        paths[0] if paths and paths[0].exists() else Path.cwd()
+    )
+    config = LintConfig.from_pyproject(pyproject)
+    if args.select:
+        config.enable = {s.strip().upper() for s in args.select.split(",") if s.strip()}
+    if args.disable:
+        config.disable |= {
+            s.strip().upper() for s in args.disable.split(",") if s.strip()
+        }
+
+    repo_root = pyproject.parent if pyproject is not None else Path.cwd()
+    try:
+        files = iter_python_files(paths)
+        findings = lint_paths(
+            paths,
+            config,
+            rules,
+            repo_root=repo_root,
+            run_repo_rules=not args.no_repo_rules,
+        )
+    except FileNotFoundError as exc:
+        print(f"replint: error: {exc}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked=len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""File collection and rule execution for ``replint``.
+
+The engine walks the requested paths, parses each Python file once,
+runs every enabled :class:`~repro.lint.framework.FileRule` over the
+AST, runs each :class:`~repro.lint.framework.RepoRule` once per
+invocation, then filters the merged findings through inline
+suppressions and the configured per-path ignores.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.framework import (
+    PARSE_ERROR_ID,
+    FileContext,
+    FileRule,
+    Finding,
+    RepoRule,
+    Rule,
+    is_suppressed,
+    parse_suppressions,
+)
+
+__all__ = ["iter_python_files", "lint_source", "lint_paths"]
+
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".repro-cache", ".pytest_cache",
+    ".hypothesis", ".benchmarks", "build", "dist",
+}
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for sub in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in sub.parts):
+                continue
+            out.append(sub)
+    return sorted(set(out))
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    Applies inline suppressions and the config's per-path ignores, so
+    fixture tests exercise exactly what the CLI would report.
+    """
+    config = config or LintConfig()
+    if rules is None:
+        from repro.lint.rules import all_rules
+
+        rules = all_rules()
+    posix = path.as_posix()
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree, config=config)
+    suppressions = parse_suppressions(source)
+    ignored = config.ignored_for_path(posix)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not isinstance(rule, FileRule):
+            continue
+        if not config.rule_enabled(rule.id) or rule.id in ignored:
+            continue
+        for finding in rule.check(ctx):
+            if not is_suppressed(finding, suppressions):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    repo_root: Optional[Path] = None,
+    run_repo_rules: bool = True,
+) -> List[Finding]:
+    """Lint files/directories plus the repository-state rules."""
+    config = config or LintConfig()
+    if rules is None:
+        from repro.lint.rules import all_rules
+
+        rules = all_rules()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=file_path.as_posix(),
+                    line=1,
+                    col=1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, file_path, config, rules))
+    if run_repo_rules:
+        root = repo_root or Path.cwd()
+        for rule in rules:
+            if not isinstance(rule, RepoRule):
+                continue
+            if not config.rule_enabled(rule.id):
+                continue
+            findings.extend(rule.check_repo(root, config))
+    return sorted(findings)

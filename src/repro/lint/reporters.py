@@ -1,0 +1,40 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.lint.framework import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding], *, files_checked: int) -> str:
+    """flake8-style ``path:line:col: RLxxx message`` lines + summary."""
+    lines: List[str] = [f.format() for f in findings]
+    if findings:
+        by_rule = Counter(f.rule_id for f in findings)
+        breakdown = ", ".join(
+            f"{rule} ×{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"replint: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} in {files_checked} files "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"replint: clean ({files_checked} files)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, files_checked: int) -> str:
+    payload = {
+        "version": 1,
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,85 @@
+"""RL001 — no unseeded randomness outside the seeding module.
+
+Bit-reproducibility of every table and figure (Section IV) requires
+every random draw to descend from the root seed via
+:func:`repro.seeding.derive_rng`.  Two constructs silently break that:
+
+* ``np.random.<fn>()`` module-state calls (``np.random.normal``,
+  ``np.random.seed``, …) share one hidden global generator, so the
+  draw order of unrelated components becomes coupled;
+* ``np.random.default_rng()`` *without* an explicit seed pulls fresh
+  OS entropy, so the same campaign produces different numbers on
+  every run.
+
+The seeding module itself (``seeding-modules`` config glob) is exempt:
+it is the one place allowed to touch generator construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NoUnseededRng"]
+
+#: numpy.random module-level functions that mutate/use the global state.
+_MODULE_STATE_FNS = frozenset(
+    {
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "random_integers", "ranf", "sample", "choice", "shuffle",
+        "permutation", "bytes", "normal", "uniform", "standard_normal",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "beta", "binomial", "chisquare", "dirichlet", "exponential",
+        "gamma", "geometric", "gumbel", "hypergeometric", "laplace",
+        "logistic", "lognormal", "multinomial", "multivariate_normal",
+        "negative_binomial", "pareto", "poisson", "power", "rayleigh",
+        "triangular", "vonmises", "wald", "weibull", "zipf",
+        "get_state", "set_state",
+    }
+)
+
+
+class NoUnseededRng(FileRule):
+    id = "RL001"
+    name = "no-unseeded-rng"
+    description = (
+        "numpy module-state RNG calls and seedless default_rng() break "
+        "root-seed reproducibility; derive generators via repro.seeding"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(ctx.posix_path, ctx.config.seeding_modules):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, ctx.aliases)
+            if name is None:
+                continue
+            if name.startswith("numpy.random.") and name.rsplit(".", 1)[1] in _MODULE_STATE_FNS:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"module-state RNG call {name}() couples unrelated "
+                        "random streams; use a Generator from "
+                        "repro.seeding.derive_rng instead",
+                    )
+                )
+            elif name.endswith("default_rng") and (
+                name == "numpy.random.default_rng" or name == "default_rng"
+            ):
+                if not node.args and not node.keywords:
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            "default_rng() without an explicit seed draws OS "
+                            "entropy and is not reproducible; pass a seed "
+                            "derived from the root seed",
+                        )
+                    )
+        return findings

@@ -1,0 +1,55 @@
+"""RL002 — every ``np.load`` must pass ``allow_pickle=False``.
+
+The campaign cache is a plain-array ``.npz``; nothing in it needs
+pickling.  ``np.load`` defaults to ``allow_pickle=False`` on modern
+numpy, but relying on the default is fragile (older numpy flipped it)
+and spelling it out documents that cache files are treated as *data*,
+never as code — a corrupted or attacker-supplied cache must fail the
+array parse, not execute a pickle payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["RequireAllowPickleFalse"]
+
+
+class RequireAllowPickleFalse(FileRule):
+    id = "RL002"
+    name = "require-allow-pickle-false"
+    description = "np.load must pass allow_pickle=False explicitly"
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func, ctx.aliases) != "numpy.load":
+                continue
+            kw = next(
+                (k for k in node.keywords if k.arg == "allow_pickle"), None
+            )
+            if kw is None:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "np.load without explicit allow_pickle=False; cache "
+                        "files are data, not code",
+                    )
+                )
+            elif not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            ):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "np.load must pass the literal allow_pickle=False",
+                    )
+                )
+        return findings

@@ -1,0 +1,152 @@
+"""RL003 — physical-quantity names carry a unit suffix; no mixed time bases.
+
+Equation 1 regresses power against event rates normalized **per cpu
+cycle**; the raw plugins record events **per second**.  Hofmann et
+al. (2018) and Mazzola et al. (2024) both identify unit and
+normalization slips as the dominant source of irreproducible power
+models, and a name like ``power`` or ``freq`` is exactly where such a
+slip hides — nothing stops a caller passing MHz where Hz is expected.
+
+Two checks:
+
+* every binding (assignment target, loop variable, function parameter,
+  annotated field) whose final name component is a bare quantity stem
+  (``power``, ``voltage``, ``energy``, ``frequency``/``freq``,
+  ``temperature``) must instead carry a registered unit suffix
+  (``_w``, ``_v``, ``_mhz``, ``_per_cycle``, ``_per_second``, …) or be
+  renamed to a non-quantity word (``power_breakdown``, ``power_model``);
+* additive arithmetic or comparisons mixing a ``_per_cycle`` operand
+  with a ``_per_second`` operand is an error — that is precisely the
+  Eq. 1 normalization bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.framework import FileContext, FileRule, Finding
+
+__all__ = ["UnitSuffixConsistency"]
+
+_PER_CYCLE = ("_per_cycle",)
+_PER_SECOND = ("_per_second", "_per_s")
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The identifier a value expression is named by, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        # x.rate_per_cycle(...) — the call result carries the suffix
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _time_base(node: ast.AST) -> Optional[str]:
+    name = _terminal_name(node)
+    if name is None:
+        return None
+    lowered = name.lower()
+    if lowered.endswith(_PER_CYCLE):
+        return "per_cycle"
+    if lowered.endswith(_PER_SECOND):
+        return "per_second"
+    return None
+
+
+class UnitSuffixConsistency(FileRule):
+    id = "RL003"
+    name = "unit-suffix-consistency"
+    description = (
+        "physical-quantity names need a registered unit suffix; "
+        "per-cycle and per-second operands must not mix"
+    )
+
+    # ------------------------------------------------------------------
+    def _bad_stem(self, name: str, ctx: FileContext) -> Optional[str]:
+        """The offending stem if ``name`` is an unsuffixed quantity."""
+        if name.startswith("_"):
+            stripped = name.lstrip("_")
+        else:
+            stripped = name
+        last = stripped.rsplit("_", 1)[-1].lower()
+        if last in ctx.config.quantity_stems:
+            return last
+        return None
+
+    def _bindings(self, tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+        """All (name, node) binding sites the rule inspects."""
+
+        def targets(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+            if isinstance(node, ast.Name):
+                yield node.id, node
+            elif isinstance(node, ast.Starred):
+                yield from targets(node.value)
+            elif isinstance(node, (ast.Tuple, ast.List)):
+                for elt in node.elts:
+                    yield from targets(elt)
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                a = node.args
+                for arg in [
+                    *a.posonlyargs, *a.args, *a.kwonlyargs,
+                    *([a.vararg] if a.vararg else []),
+                    *([a.kwarg] if a.kwarg else []),
+                ]:
+                    yield arg.arg, arg
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    yield from targets(t)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                yield from targets(node.target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from targets(node.target)
+            elif isinstance(node, ast.comprehension):
+                yield from targets(node.target)
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                yield from targets(node.optional_vars)
+            elif isinstance(node, ast.NamedExpr):
+                yield from targets(node.target)
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        suffixes = ", ".join(f"_{s}" for s in ctx.config.unit_suffixes[:6])
+        for name, node in self._bindings(ctx.tree):
+            stem = self._bad_stem(name, ctx)
+            if stem is None:
+                continue
+            findings.append(
+                ctx.finding(
+                    self,
+                    node,
+                    f"quantity name {name!r} lacks a unit suffix "
+                    f"(e.g. {suffixes}, …); ambiguous units are how "
+                    "Eq. 1 normalization bugs start",
+                )
+            )
+        for node in ast.walk(ctx.tree):
+            operands: List[ast.AST] = []
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+            bases = {b for b in (_time_base(o) for o in operands) if b}
+            if len(bases) > 1:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "mixing _per_cycle and _per_second operands; convert "
+                        "to one time base first (Eq. 1 normalizes per cycle)",
+                    )
+                )
+        return findings

@@ -1,0 +1,92 @@
+"""RL004 — no ``==`` / ``!=`` between float-typed expressions.
+
+Power, voltage and rate values pass through enough floating-point
+arithmetic (windowed means, regression, DVFS interpolation) that exact
+equality is either vacuously true (comparing a value to itself) or
+flakily false.  Comparisons should use ``np.isclose`` /
+``math.isclose`` with an explicit tolerance.
+
+An operand counts as float-typed when it is a float literal, a
+``float(...)`` call, or a name/attribute carrying one of the
+registered float unit suffixes (``_w``, ``_v``, ``_per_cycle``, …).
+Discrete-valued quantities (``_mhz`` frequencies, thread counts) are
+intentionally *not* in the float-suffix set: they are exact integers
+by construction and may be compared directly.
+
+Intentional exact comparisons — the exact-zero sentinel guards in the
+stats layer, bit-reproducibility assertions — carry an inline
+``# replint: ignore[RL004] -- <why>`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NoFloatEquality"]
+
+#: Comparators that make an equality check acceptable (test idiom).
+_APPROX_CALLS = {"pytest.approx", "approx"}
+
+
+def _is_float_typed(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_typed(node.operand, ctx)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func, ctx.aliases)
+        return name == "float"
+    name: Optional[str] = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Subscript):
+        return _is_float_typed(node.value, ctx)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(lowered.endswith(s) for s in ctx.config.float_suffixes)
+
+
+def _is_approx(node: ast.AST, ctx: FileContext) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func, ctx.aliases)
+    return name in _APPROX_CALLS
+
+
+class NoFloatEquality(FileRule):
+    id = "RL004"
+    name = "no-float-equality"
+    description = (
+        "== / != on float-typed expressions; use np.isclose or "
+        "math.isclose with an explicit tolerance"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_approx(left, ctx) or _is_approx(right, ctx):
+                    continue
+                if _is_float_typed(left, ctx) or _is_float_typed(right, ctx):
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            "float equality comparison; use np.isclose/"
+                            "math.isclose, or suppress with a reason if the "
+                            "exact comparison is intentional",
+                        )
+                    )
+                    break
+        return findings

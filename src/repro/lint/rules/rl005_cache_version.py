@@ -1,0 +1,102 @@
+"""RL005 — physics changes must bump ``DATA_VERSION``.
+
+The on-disk campaign cache is keyed by root seed *and* a data-version
+stamp.  If a diff changes the simulated physics (anything under
+``src/repro/hardware/`` or ``src/repro/workloads/``) without bumping
+``DATA_VERSION`` in ``src/repro/experiments/data.py``, every developer
+and CI cache silently keeps serving pre-change campaign data — the
+figures regenerate "successfully" from stale physics, which is the
+worst reproducibility failure mode because nothing errors.
+
+This is a *repository-state* rule: it inspects the working diff
+against a base revision (``HEAD`` by default) rather than a single
+file's AST.  Outside a git checkout, or with a clean tree, it reports
+nothing.  The rule is deliberately conservative — comment-only physics
+edits also demand a bump; suppress with ``--disable RL005`` for such
+one-offs.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.framework import Finding, RepoRule
+
+__all__ = ["CacheVersionDiscipline"]
+
+
+def _git(root: Path, *args: str) -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+class CacheVersionDiscipline(RepoRule):
+    id = "RL005"
+    name = "cache-version-discipline"
+    description = (
+        "diffs touching physics modules must bump DATA_VERSION so "
+        "cached campaign data cannot leak across revisions"
+    )
+
+    def __init__(self, base: str = "HEAD") -> None:
+        self.base = base
+
+    def check_repo(self, root: Path, config) -> List[Finding]:
+        changed = _git(root, "diff", "--name-only", self.base, "--")
+        if changed is None:
+            return []  # not a git checkout, or unknown base: nothing to say
+        changed_paths = [line.strip() for line in changed.splitlines() if line.strip()]
+        physics = [
+            p
+            for p in changed_paths
+            if any(p.startswith(prefix) for prefix in config.physics_paths)
+        ]
+        if not physics:
+            return []
+        version_diff = _git(
+            root, "diff", self.base, "--", config.version_file
+        ) or ""
+        bump_re = re.compile(
+            rf"^\+.*\b{re.escape(config.version_symbol)}\b", re.MULTILINE
+        )
+        if bump_re.search(version_diff):
+            return []
+        line = self._version_line(root / config.version_file, config.version_symbol)
+        shown = ", ".join(physics[:3]) + ("…" if len(physics) > 3 else "")
+        return [
+            Finding(
+                path=config.version_file,
+                line=line,
+                col=1,
+                rule_id=self.id,
+                message=(
+                    f"physics modules changed ({shown}) but "
+                    f"{config.version_symbol} was not bumped; stale campaign "
+                    "caches would leak across revisions"
+                ),
+            )
+        ]
+
+    @staticmethod
+    def _version_line(version_file: Path, symbol: str) -> int:
+        try:
+            source = version_file.read_text()
+        except OSError:
+            return 1
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if re.match(rf"\s*{re.escape(symbol)}\s*[:=]", text):
+                return lineno
+        return 1

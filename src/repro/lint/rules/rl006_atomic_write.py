@@ -1,0 +1,102 @@
+"""RL006 — no raw artifact writes outside the atomic-write helpers.
+
+A process killed mid-``np.savez_compressed`` leaves a truncated
+``.npz`` in the campaign cache; every later run then dies with
+``zipfile.BadZipFile`` instead of regenerating — exactly the failure
+this repository shipped with.  The cure is structural: *all* durable
+artifact writes (cache files, exported tables, serialized models,
+trace dumps) go through :mod:`repro.io.atomic`, which writes to a
+sibling temp file and publishes with the atomic ``os.replace``.
+
+Because an AST pass cannot reliably prove which paths point into a
+cache directory, the enforced invariant is the simpler, stronger one:
+raw write primitives — ``np.save*``, ``open(..., "w"/"a"/"x")``,
+``Path.write_text`` / ``write_bytes`` — may appear only inside the
+designated helper module (``atomic-modules`` config glob).  Test
+fixture writes don't need crash-safety and are excused via
+``per-path-ignores``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NonAtomicCacheWrite"]
+
+_NUMPY_WRITERS = {"numpy.save", "numpy.savez", "numpy.savez_compressed"}
+_WRITE_METHODS = {"write_text", "write_bytes"}
+_WRITE_MODE_CHARS = set("wax")
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode of an open()-style call, if determinable."""
+    mode_node: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    elif node.func and isinstance(node.func, ast.Attribute) and node.args:
+        mode_node = node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return "r"  # open() defaults to read
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None  # dynamic mode: assume the worst
+
+
+class NonAtomicCacheWrite(FileRule):
+    id = "RL006"
+    name = "non-atomic-cache-write"
+    description = (
+        "durable writes must go through repro.io.atomic (temp file + "
+        "os.replace) so a crash can never publish a truncated artifact"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(ctx.posix_path, ctx.config.atomic_modules):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, ctx.aliases)
+            if name in _NUMPY_WRITERS:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"direct {name.split('.', 1)[1]}() is not crash-safe; "
+                        "use repro.io.atomic.atomic_savez",
+                    )
+                )
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _WRITE_METHODS:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f".{node.func.attr}() publishes a partial file on "
+                        "crash; use repro.io.atomic.atomic_write_text/"
+                        "atomic_write_bytes",
+                    )
+                )
+                continue
+            is_open = name == "open" or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+            )
+            if is_open:
+                mode = _open_mode(node)
+                if mode is None or _WRITE_MODE_CHARS & set(mode):
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            "open() for writing is not crash-safe; use "
+                            "repro.io.atomic.atomic_open",
+                        )
+                    )
+        return findings

@@ -31,7 +31,7 @@ def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
     a zero here indicates a pipeline bug rather than a valid sample.
     """
     a, p = _pair(actual, predicted)
-    if np.any(a == 0.0):
+    if np.any(a == 0.0):  # replint: ignore[RL004] -- exact-zero guard: MAPE division sentinel
         raise ValueError("MAPE undefined: actual contains zeros")
     return float(np.mean(np.abs((a - p) / a)) * 100.0)
 
@@ -39,7 +39,7 @@ def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
 def max_ape(actual: np.ndarray, predicted: np.ndarray) -> float:
     """Worst-case absolute percentage error, in percent."""
     a, p = _pair(actual, predicted)
-    if np.any(a == 0.0):
+    if np.any(a == 0.0):  # replint: ignore[RL004] -- exact-zero guard: MAPE division sentinel
         raise ValueError("APE undefined: actual contains zeros")
     return float(np.max(np.abs((a - p) / a)) * 100.0)
 
@@ -76,6 +76,6 @@ def r2_score(actual: np.ndarray, predicted: np.ndarray) -> float:
     resid = a - p
     centered = a - a.mean()
     ss_tot = float(centered @ centered)
-    if ss_tot == 0.0:
+    if ss_tot == 0.0:  # replint: ignore[RL004] -- exact-zero guard: constant target
         return 0.0
     return float(1.0 - (resid @ resid) / ss_tot)

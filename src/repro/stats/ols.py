@@ -209,7 +209,7 @@ def fit_ols(
     # (statsmodels' k_constant detection; Equation 1 carries its
     # constant as the delta*Z term).
     has_constant = intercept or any(
-        np.ptp(design[:, j]) == 0.0 and design[0, j] != 0.0
+        np.ptp(design[:, j]) == 0.0 and design[0, j] != 0.0  # replint: ignore[RL004] -- k_constant detection needs exact zeros
         for j in range(design.shape[1])
     )
     ss_res = float(resid @ resid)

@@ -48,7 +48,7 @@ class RegularizedFit:
 def _standardize(x: np.ndarray, y: np.ndarray):
     x_mean = x.mean(axis=0)
     x_std = x.std(axis=0)
-    x_std[x_std == 0.0] = 1.0
+    x_std[x_std == 0.0] = 1.0  # replint: ignore[RL004] -- exact-zero guard: constant column
     y_mean = y.mean()
     return (x - x_mean) / x_std, y - y_mean, x_mean, x_std, y_mean
 
@@ -109,7 +109,7 @@ def lasso(
     coef = np.zeros(k)
     residual = yc.copy()
     col_sq = (xs**2).sum(axis=0) / n
-    col_sq[col_sq == 0.0] = 1.0
+    col_sq[col_sq == 0.0] = 1.0  # replint: ignore[RL004] -- exact-zero guard: constant column
     n_iter = 0
     for n_iter in range(1, max_iter + 1):
         max_delta = 0.0
@@ -153,7 +153,7 @@ def lasso_path(
     xs, yc, *_ = _standardize(x, y)
     n = xs.shape[0]
     alpha_max = float(np.max(np.abs(xs.T @ yc)) / n)
-    if alpha_max == 0.0:
+    if alpha_max == 0.0:  # replint: ignore[RL004] -- exact-zero guard: constant target
         raise ValueError("target is constant; lasso path undefined")
     alphas = np.geomspace(alpha_max, alpha_max * alpha_min_ratio, n_alphas)
     return [lasso(y, x, float(a)) for a in alphas]

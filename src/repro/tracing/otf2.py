@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.io.atomic import atomic_open
+
 __all__ = ["MetricDef", "RegionEvent", "MetricStream", "Trace"]
 
 
@@ -161,7 +163,7 @@ class Trace:
     def write(self, path: Union[str, Path]) -> None:
         """Write the trace to a JSON-lines file."""
         path = Path(path)
-        with path.open("w") as fh:
+        with atomic_open(path, "w") as fh:
             fh.write(json.dumps({"record": "meta", **self.meta}) + "\n")
             for m in self.metrics.values():
                 fh.write(

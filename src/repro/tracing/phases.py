@@ -62,9 +62,9 @@ def profile_trace(trace: Trace, *, min_duration_s: float = 0.5) -> List[PhasePro
     for key in ("workload", "suite", "frequency_mhz", "threads", "run_index"):
         if key not in meta:
             raise ValueError(f"trace metadata missing {key!r}")
-    power = trace.metrics.get(PowerPlugin.METRIC)
-    voltage = trace.metrics.get(VoltagePlugin.METRIC)
-    if power is None or voltage is None:
+    power_metric = trace.metrics.get(PowerPlugin.METRIC)
+    voltage_metric = trace.metrics.get(VoltagePlugin.METRIC)
+    if power_metric is None or voltage_metric is None:
         raise ValueError("trace lacks power/voltage metric streams")
     papi_names = [
         name
@@ -76,8 +76,8 @@ def profile_trace(trace: Trace, *, min_duration_s: float = 0.5) -> List[PhasePro
     for region, start, end, active in trace.phase_intervals():
         if end - start < min_duration_s:
             continue
-        p = power.window_mean(start, end)
-        v = voltage.window_mean(start, end)
+        p = power_metric.window_mean(start, end)
+        v = voltage_metric.window_mean(start, end)
         if math.isnan(p) or math.isnan(v):
             continue
         rates = {}

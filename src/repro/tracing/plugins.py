@@ -65,7 +65,7 @@ class PowerPlugin(MetricPlugin):
         n = sample_times.size
         total = np.zeros(n)
         for sensor, true_w in zip(
-            self.platform.sensors.sensors, phase.power.per_socket_w
+            self.platform.sensors.sensors, phase.power_breakdown.per_socket_w
         ):
             raw_per_sample = max(
                 int(round(interval_s * sensor.sample_rate_hz)), 1

@@ -85,7 +85,7 @@ class TestCampaignRun:
         assert np.allclose(again.counters, small_dataset.counters)
 
 
-def _profile(run_index, counters, power=100.0, phase="k.loop", threads=8):
+def _profile(run_index, counters, power_w=100.0, phase="k.loop", threads=8):
     return PhaseProfile(
         workload="k",
         suite="roco2",
@@ -96,7 +96,7 @@ def _profile(run_index, counters, power=100.0, phase="k.loop", threads=8):
         start_s=0.0,
         end_s=10.0,
         active_threads=threads,
-        power_w=power,
+        power_w=power_w,
         voltage_v=0.97,
         counter_rates_per_s=counters,
     )
@@ -106,8 +106,8 @@ class TestMerge:
     def test_power_averaged_across_runs(self):
         merged = merge_runs(
             [
-                _profile(0, {"TOT_CYC": 1e9}, power=100.0),
-                _profile(1, {"PRF_DM": 1e6}, power=104.0),
+                _profile(0, {"TOT_CYC": 1e9}, power_w=100.0),
+                _profile(1, {"PRF_DM": 1e6}, power_w=104.0),
             ]
         )
         assert len(merged) == 1

@@ -56,12 +56,12 @@ class TestConstruction:
 
     def test_rejects_nonpositive_power(self):
         ds = _dataset()
-        bad_power = ds.power_w.copy()
-        bad_power[0] = 0.0
+        bad_power_w = ds.power_w.copy()
+        bad_power_w[0] = 0.0
         with pytest.raises(ValueError, match="positive"):
             PowerDataset(
                 counters=ds.counters,
-                power_w=bad_power,
+                power_w=bad_power_w,
                 voltage_v=ds.voltage_v,
                 frequency_mhz=ds.frequency_mhz,
                 threads=ds.threads,

@@ -64,7 +64,7 @@ class TestBuildCluster:
         powers = set()
         for node in cluster:
             run = node.platform.execute(get_workload("compute"), 2400, 24)
-            powers.add(round(run.phases[0].power.measured_w, 1))
+            powers.add(round(run.phases[0].power_breakdown.measured_w, 1))
         assert len(powers) == 4
 
     def test_variation_knobs(self):

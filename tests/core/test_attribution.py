@@ -92,7 +92,7 @@ class TestAttributeDataset:
             run = platform.execute(
                 get_workload(name), 2400, int(sub.threads[i])
             )
-            p = run.phases[0].power
+            p = run.phases[0].power_breakdown
             truth[name] = sum(p.dynamic_core_w) / p.measured_w
         # Ranking must agree: compute > busywait > idle.
         assert shares["compute"] > shares["busywait"] > shares["idle"]

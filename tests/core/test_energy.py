@@ -17,7 +17,7 @@ class TestAccounting:
         phases = phase_energy(run)
         assert len(phases) == 1
         name, joules = phases[0]
-        expected = run.phases[0].power.measured_w * 10.0
+        expected = run.phases[0].power_breakdown.measured_w * 10.0
         assert joules == pytest.approx(expected)
 
     def test_run_energy_account(self, platform):

@@ -18,10 +18,10 @@ def _dataset(n=40, seed=0):
     # Ground truth that Equation 1 can express exactly:
     # P = 3*E0*V²f + 10*V²f + 12*V + 40  (f in GHz)
     v2f = v * v * (f / 1000.0)
-    power = 3.0 * counters[:, 0] * v2f + 10.0 * v2f + 12.0 * v + 40.0
+    power_w = 3.0 * counters[:, 0] * v2f + 10.0 * v2f + 12.0 * v + 40.0
     return PowerDataset(
         counters=counters,
-        power_w=power,
+        power_w=power_w,
         voltage_v=v,
         frequency_mhz=f,
         threads=np.full(n, 24),

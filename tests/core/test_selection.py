@@ -17,7 +17,7 @@ def _dataset(n=120, seed=0, noise=0.5):
     v = np.full(n, 0.97)
     f = np.full(n, 2400.0)
     v2f = v * v * f / 1000.0
-    power = (
+    power_w = (
         50.0 * counters[:, 0] * v2f
         + 20.0 * counters[:, 1] * v2f
         + 8.0 * counters[:, 2] * v2f
@@ -27,7 +27,7 @@ def _dataset(n=120, seed=0, noise=0.5):
     )
     return PowerDataset(
         counters=counters,
-        power_w=power,
+        power_w=power_w,
         voltage_v=v,
         frequency_mhz=f,
         threads=np.full(n, 24),

@@ -1,0 +1,93 @@
+"""Corrupt campaign caches must regenerate transparently, never error.
+
+The repository once shipped with two truncated ``.npz`` files in
+``.repro-cache/`` that made every fixture-backed test die with
+``zipfile.BadZipFile``.  These tests pin the recovery contract:
+``full_dataset`` treats any unreadable cache file as a miss — delete,
+regenerate, rewrite — and ``save_npz`` publishes atomically so a
+killed writer cannot produce such a file in the first place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import data as expdata
+from repro.io.atomic import atomic_savez
+
+#: One cheap configuration: single DVFS state keeps regeneration fast.
+FREQS = (1200,)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    expdata.clear_memory_cache()
+    yield tmp_path
+    expdata.clear_memory_cache()
+
+
+def _cache_file(cache_dir):
+    return expdata._cache_path(expdata.DEFAULT_SEED, FREQS)
+
+
+def _build(use_disk_cache=True):
+    return expdata.full_dataset(
+        frequencies_mhz=FREQS, use_disk_cache=use_disk_cache
+    )
+
+
+class TestCorruptionRecovery:
+    def _corrupt_and_reload(self, cache_dir, corrupt):
+        ds = _build()
+        path = _cache_file(cache_dir)
+        assert path.exists()
+        corrupt(path)
+        expdata.clear_memory_cache()
+        recovered = _build()
+        # Regeneration is bit-reproducible from the root seed.
+        np.testing.assert_array_equal(recovered.counters, ds.counters)
+        np.testing.assert_array_equal(recovered.power_w, ds.power_w)
+        # And the cache was rewritten healthy.
+        expdata.clear_memory_cache()
+        again = _build()
+        assert again.n_samples == ds.n_samples
+
+    def test_truncated_npz_regenerates(self, cache_dir):
+        self._corrupt_and_reload(
+            cache_dir,
+            lambda p: p.write_bytes(p.read_bytes()[: p.stat().st_size // 2]),
+        )
+
+    def test_empty_file_regenerates(self, cache_dir):
+        self._corrupt_and_reload(cache_dir, lambda p: p.write_bytes(b""))
+
+    def test_partially_written_file_regenerates(self, cache_dir):
+        # A file that is valid-prefix garbage: the zip magic followed by
+        # noise, as a non-atomic writer killed mid-write would leave.
+        self._corrupt_and_reload(
+            cache_dir, lambda p: p.write_bytes(b"PK\x03\x04" + b"\x00" * 512)
+        )
+
+    def test_missing_key_regenerates(self, cache_dir):
+        # A structurally valid npz missing required arrays (e.g. written
+        # by an older code revision) is also treated as a cache miss.
+        def corrupt(p):
+            atomic_savez(p, counters=np.zeros((2, 54)))
+
+        self._corrupt_and_reload(cache_dir, corrupt)
+
+
+class TestAtomicSave:
+    def test_no_temp_debris_after_save(self, cache_dir):
+        _build()
+        leftovers = [p for p in cache_dir.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_cache_file_is_healthy_npz(self, cache_dir):
+        _build()
+        from repro.acquisition.dataset import PowerDataset
+
+        ds = PowerDataset.load_npz(_cache_file(cache_dir))
+        assert ds.n_samples > 0

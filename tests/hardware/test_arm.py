@@ -6,7 +6,7 @@ import pytest
 from repro.hardware import (
     CORTEX_A15_CONFIG,
     CORTEX_A15_CURVE,
-    CORTEX_A15_POWER,
+    CORTEX_A15_POWER_PARAMS,
     HASWELL_EP_CONFIG,
     Platform,
     compute_power,
@@ -18,17 +18,17 @@ from repro.workloads import Characterization, get_workload
 
 class TestArmPlatform:
     def test_board_scale_power(self):
-        p = Platform(CORTEX_A15_CONFIG, CORTEX_A15_POWER, power_offset_sigma_w=0.05)
+        p = Platform(CORTEX_A15_CONFIG, CORTEX_A15_POWER_PARAMS, power_offset_sigma_w=0.05)
         idle = p.execute(get_workload("idle"), 600, 1)
         busy = p.execute(get_workload("compute"), 1800, 4)
-        assert 1.0 < idle.phases[0].power.measured_w < 4.0
-        assert 4.0 < busy.phases[0].power.measured_w < 12.0
+        assert 1.0 < idle.phases[0].power_breakdown.measured_w < 4.0
+        assert 4.0 < busy.phases[0].power_breakdown.measured_w < 12.0
 
     def test_single_cluster(self):
         assert CORTEX_A15_CONFIG.sockets == 1
         assert CORTEX_A15_CONFIG.total_cores == 4
         with pytest.raises(ValueError):
-            Platform(CORTEX_A15_CONFIG, CORTEX_A15_POWER).execute(
+            Platform(CORTEX_A15_CONFIG, CORTEX_A15_POWER_PARAMS).execute(
                 get_workload("compute"), 1800, 8
             )
 
@@ -72,4 +72,4 @@ class TestLatentSensitivity:
         )
 
     def test_arm_sensitivity_is_reduced(self):
-        assert CORTEX_A15_POWER.latent_sensitivity < 0.5
+        assert CORTEX_A15_POWER_PARAMS.latent_sensitivity < 0.5

@@ -7,7 +7,7 @@ from repro.hardware import (
     HASWELL_EP_CONFIG,
     Platform,
     SKYLAKE_SP_CONFIG,
-    SKYLAKE_SP_POWER,
+    SKYLAKE_SP_POWER_PARAMS,
 )
 from repro.workloads import get_workload
 
@@ -22,7 +22,7 @@ class TestExecute:
         assert len(run.phases) == 1
         phase = run.phases[0]
         assert phase.duration_s == pytest.approx(10.0)
-        assert phase.power.measured_w > 0
+        assert phase.power_breakdown.measured_w > 0
 
     def test_spec_run_has_multiple_phases(self, platform):
         run = platform.execute(get_workload("md"), 2400, 24)
@@ -47,7 +47,7 @@ class TestDeterminismAndJitter:
     def test_same_run_index_identical(self, platform):
         a = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
         b = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
-        assert a.phases[0].power.measured_w == b.phases[0].power.measured_w
+        assert a.phases[0].power_breakdown.measured_w == b.phases[0].power_breakdown.measured_w
         assert np.array_equal(
             a.phases[0].state.counter_rates, b.phases[0].state.counter_rates
         )
@@ -55,13 +55,13 @@ class TestDeterminismAndJitter:
     def test_different_run_index_jitters(self, platform):
         a = platform.execute(get_workload("compute"), 2400, 8, run_index=0)
         b = platform.execute(get_workload("compute"), 2400, 8, run_index=1)
-        assert a.phases[0].power.measured_w != b.phases[0].power.measured_w
+        assert a.phases[0].power_breakdown.measured_w != b.phases[0].power_breakdown.measured_w
 
     def test_jitter_small(self, platform):
         powers = [
             platform.execute(get_workload("compute"), 2400, 8, run_index=i)
             .phases[0]
-            .power.measured_w
+            .power_breakdown.measured_w
             for i in range(20)
         ]
         assert np.std(powers) / np.mean(powers) < 0.05
@@ -81,14 +81,14 @@ class TestDeterminismAndJitter:
         p2 = Platform(seed=2)
         a = p1.execute(get_workload("compute"), 2400, 8)
         b = p2.execute(get_workload("compute"), 2400, 8)
-        assert a.phases[0].power.measured_w != b.phases[0].power.measured_w
+        assert a.phases[0].power_breakdown.measured_w != b.phases[0].power_breakdown.measured_w
 
 
 class TestOtherPlatforms:
     def test_skylake_platform_runs(self):
-        p = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER)
+        p = Platform(SKYLAKE_SP_CONFIG, SKYLAKE_SP_POWER_PARAMS)
         run = p.execute(get_workload("compute"), 2000, 40)
-        assert run.phases[0].power.measured_w > 80.0
+        assert run.phases[0].power_breakdown.measured_w > 80.0
 
     def test_describe_mentions_key_facts(self, platform):
         text = platform.describe()

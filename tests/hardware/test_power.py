@@ -5,7 +5,7 @@ import pytest
 from repro.hardware import (
     HASWELL_EP_CONFIG,
     HASWELL_EP_CURVE,
-    HASWELL_EP_POWER,
+    HASWELL_EP_POWER_PARAMS,
     PowerModelParams,
     compute_power,
     evaluate,
@@ -15,10 +15,10 @@ from repro.workloads import Characterization, get_workload
 CFG = HASWELL_EP_CONFIG
 
 
-def _power(workload_name, freq, threads, params=HASWELL_EP_POWER):
+def _power(workload_name, freq_mhz, threads, params=HASWELL_EP_POWER_PARAMS):
     w = get_workload(workload_name)
     char = w.phases(max(threads, 1))[0].characterization
-    op = HASWELL_EP_CURVE.operating_point(freq)
+    op = HASWELL_EP_CURVE.operating_point(freq_mhz)
     hidden = evaluate(char, op, threads, CFG).hidden
     return compute_power(hidden, op, CFG, params)
 

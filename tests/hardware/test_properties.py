@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.hardware import (
     HASWELL_EP_CONFIG,
     HASWELL_EP_CURVE,
-    HASWELL_EP_POWER,
+    HASWELL_EP_POWER_PARAMS,
     compute_power,
     evaluate,
 )
@@ -58,7 +58,7 @@ class TestPowerPhysicsProperties:
     def test_power_positive_and_bounded(self, char, threads):
         op = HASWELL_EP_CURVE.operating_point(2400)
         hidden = evaluate(char, op, threads, CFG).hidden
-        p = compute_power(hidden, op, CFG, HASWELL_EP_POWER)
+        p = compute_power(hidden, op, CFG, HASWELL_EP_POWER_PARAMS)
         assert 20.0 < p.measured_w < 500.0
         assert all(t < 120.0 for t in p.temperature_c)
 
@@ -70,7 +70,7 @@ class TestPowerPhysicsProperties:
         for threads in (1, 8, 16, 24):
             hidden = evaluate(char, op, threads, CFG).hidden
             powers.append(
-                compute_power(hidden, op, CFG, HASWELL_EP_POWER).measured_w
+                compute_power(hidden, op, CFG, HASWELL_EP_POWER_PARAMS).measured_w
             )
         assert all(b >= a - 1e-6 for a, b in zip(powers, powers[1:]))
 
@@ -82,7 +82,7 @@ class TestPowerPhysicsProperties:
             op = HASWELL_EP_CURVE.operating_point(f)
             hidden = evaluate(char, op, threads, CFG).hidden
             powers.append(
-                compute_power(hidden, op, CFG, HASWELL_EP_POWER).measured_w
+                compute_power(hidden, op, CFG, HASWELL_EP_POWER_PARAMS).measured_w
             )
         assert all(b >= a - 1e-6 for a, b in zip(powers, powers[1:]))
 

@@ -52,8 +52,8 @@ class TestPowerBetween:
     def test_handles_single_wrap(self):
         raw0 = REGISTER_MASK - 10
         raw1 = 20  # wrapped
-        power = rapl_power_between(raw0, raw1, 1.0)
-        assert power == pytest.approx(31 * ENERGY_UNIT_J, rel=1e-9)
+        power_w = rapl_power_between(raw0, raw1, 1.0)
+        assert power_w == pytest.approx(31 * ENERGY_UNIT_J, rel=1e-9)
 
     def test_end_to_end_through_counter_with_wrap(self):
         c = RaplEnergyCounter(initial_raw=REGISTER_MASK - 100)
@@ -84,7 +84,7 @@ class TestMeter:
             run = platform.execute(get_workload(name), 2400, threads)
             phase = run.phases[0]
             rapl = meter.measure_phase(phase)
-            wall = phase.power.measured_w
+            wall = phase.power_breakdown.measured_w
             assert rapl < wall
             # But it covers the package: more than half the wall power.
             assert rapl > 0.5 * wall
@@ -94,8 +94,8 @@ class TestMeter:
         load — the scope effect a RAPL-trained model inherits."""
         idle = platform.execute(get_workload("idle"), 2400, 1).phases[0]
         busy = platform.execute(get_workload("compute"), 2600, 24).phases[0]
-        gap_idle = idle.power.measured_w - meter.measure_phase(idle)
-        gap_busy = busy.power.measured_w - meter.measure_phase(busy)
+        gap_idle = idle.power_breakdown.measured_w - meter.measure_phase(idle)
+        gap_busy = busy.power_breakdown.measured_w - meter.measure_phase(busy)
         assert gap_busy > gap_idle
 
     def test_per_die_calibration_stable(self, platform):

@@ -11,7 +11,7 @@ from repro.tracing import PhaseProfile
 from repro.workloads import get_workload
 
 
-def _profile(run_index, counters, power=100.0, voltage=0.97):
+def _profile(run_index, counters, power_w=100.0, voltage_v=0.97):
     return PhaseProfile(
         workload="k",
         suite="roco2",
@@ -22,8 +22,8 @@ def _profile(run_index, counters, power=100.0, voltage=0.97):
         start_s=0.0,
         end_s=10.0,
         active_threads=8,
-        power_w=power,
-        voltage_v=voltage,
+        power_w=power_w,
+        voltage_v=voltage_v,
         counter_rates_per_s=counters,
     )
 
@@ -82,7 +82,7 @@ class TestSensorFailures:
         """A sensor reading zero/negative power violates dataset
         invariants at construction."""
         complete = {c: 1e6 for c in COUNTER_NAMES}
-        merged = merge_runs([_profile(0, complete, power=-5.0)])
+        merged = merge_runs([_profile(0, complete, power_w=-5.0)])
         with pytest.raises(ValueError, match="positive"):
             build_dataset(merged)
 
@@ -120,6 +120,6 @@ class TestPlatformEdgeCases:
         a = quiet.execute(get_workload("compute"), 2400, 8, run_index=0)
         b = quiet.execute(get_workload("compute"), 2400, 8, run_index=1)
         # Without jitter, different run indices give identical truth.
-        assert a.phases[0].power.measured_w == pytest.approx(
-            b.phases[0].power.measured_w
+        assert a.phases[0].power_breakdown.measured_w == pytest.approx(
+            b.phases[0].power_breakdown.measured_w
         )

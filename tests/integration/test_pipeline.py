@@ -16,7 +16,7 @@ class TestTruthRecovery:
 
     def test_dataset_power_matches_ground_truth(self, platform, small_dataset):
         run = platform.execute(get_workload("compute"), 2400, 24)
-        truth = run.phases[0].power.measured_w
+        truth = run.phases[0].power_breakdown.measured_w
         row = small_dataset.filter(
             workloads=["compute"], frequency_mhz=2400
         )

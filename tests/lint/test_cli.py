@@ -1,0 +1,167 @@
+"""CLI smoke tests: exit codes, reporters, config loading."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, lint_source, render_json, render_text
+from repro.lint.framework import Finding
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+BAD_FILE = """\
+import numpy as np
+
+data = np.load("cache.npz")
+rng = np.random.default_rng()
+"""
+
+GOOD_FILE = """\
+import numpy as np
+
+data = np.load("cache.npz", allow_pickle=False)
+rng = np.random.default_rng(12345)
+"""
+
+
+def run_cli(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_FILE)
+        proc = run_cli("bad.py", "--no-repo-rules", cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "RL002" in proc.stdout and "RL001" in proc.stdout
+
+    def test_clean_exit_0(self, tmp_path):
+        (tmp_path / "good.py").write_text(GOOD_FILE)
+        proc = run_cli("good.py", "--no-repo-rules", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_missing_path_exit_2(self, tmp_path):
+        proc = run_cli("no/such/dir", cwd=tmp_path)
+        assert proc.returncode == 2
+
+    def test_select_narrows_rules(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_FILE)
+        proc = run_cli(
+            "bad.py", "--select", "RL002", "--no-repo-rules", cwd=tmp_path
+        )
+        assert proc.returncode == 1
+        assert "RL002" in proc.stdout and "RL001" not in proc.stdout
+
+    def test_disable_silences_rule(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_FILE)
+        proc = run_cli(
+            "bad.py", "--disable", "RL001,RL002", "--no-repo-rules", cwd=tmp_path
+        )
+        assert proc.returncode == 0
+
+    def test_list_rules(self, tmp_path):
+        proc = run_cli("--list-rules", cwd=tmp_path)
+        assert proc.returncode == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in proc.stdout
+
+    def test_json_format(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_FILE)
+        proc = run_cli(
+            "bad.py", "-f", "json", "--no-repo-rules", cwd=tmp_path
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == len(payload["findings"]) > 0
+        assert {f["rule"] for f in payload["findings"]} == {"RL001", "RL002"}
+
+    def test_syntax_error_reported_not_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        proc = run_cli("broken.py", "--no-repo-rules", cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "RL000" in proc.stdout
+
+
+class TestConfigDiscovery:
+    def test_pyproject_per_path_ignores(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.replint.per-path-ignores]\n"
+            '"generated/*" = ["RL001", "RL002"]\n'
+        )
+        gen = tmp_path / "generated"
+        gen.mkdir()
+        (gen / "bad.py").write_text(BAD_FILE)
+        proc = run_cli("generated", "--no-repo-rules", cwd=tmp_path)
+        assert proc.returncode == 0
+
+    def test_pyproject_disable(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.replint]\ndisable = [\"RL001\", \"RL002\"]\n"
+        )
+        (tmp_path / "bad.py").write_text(BAD_FILE)
+        proc = run_cli("bad.py", "--no-repo-rules", cwd=tmp_path)
+        assert proc.returncode == 0
+
+
+class TestReporters:
+    FINDINGS = [
+        Finding(path="a.py", line=3, col=1, rule_id="RL002", message="m"),
+        Finding(path="a.py", line=4, col=7, rule_id="RL001", message="n"),
+    ]
+
+    def test_text_format_is_clickable(self):
+        text = render_text(self.FINDINGS, files_checked=1)
+        assert "a.py:3:1: RL002 m" in text
+        assert "2 findings in 1 files" in text
+
+    def test_text_clean_summary(self):
+        assert "clean" in render_text([], files_checked=5)
+
+    def test_json_round_trips(self):
+        payload = json.loads(render_json(self.FINDINGS, files_checked=1))
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["line"] == 3
+
+
+class TestRepoIsClean:
+    def test_replint_clean_on_this_repository(self):
+        """The acceptance criterion: replint passes on src/ and tests/."""
+        root = REPO_SRC.parent
+        config = LintConfig.from_pyproject(root / "pyproject.toml")
+        findings = lint_paths(
+            [root / "src", root / "tests"],
+            config,
+            repo_root=root,
+            run_repo_rules=False,  # working diff is exercised pre-commit
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_blanket_suppression(self):
+        code = 'import numpy as np\ndata = np.load("c.npz")  # replint: ignore\n'
+        assert lint_source(code, Path("x.py"), LintConfig()) == []
+
+    def test_targeted_suppression_leaves_other_rules(self):
+        code = (
+            "import numpy as np\n"
+            'power = np.load("c.npz")  # replint: ignore[RL002]\n'
+        )
+        findings = lint_source(code, Path("x.py"), LintConfig())
+        assert [f.rule_id for f in findings] == ["RL003"]

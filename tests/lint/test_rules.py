@@ -1,0 +1,325 @@
+"""Per-rule fixtures: every rule flags a seeded violation and passes a
+known-good twin of the same code."""
+
+from __future__ import annotations
+
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.rules import (
+    CacheVersionDiscipline,
+    NoFloatEquality,
+    NonAtomicCacheWrite,
+    NoUnseededRng,
+    RequireAllowPickleFalse,
+    UnitSuffixConsistency,
+)
+
+SRC = Path("src/repro/somewhere.py")
+
+
+def run_rule(rule, code, path=SRC, config=None):
+    return lint_source(
+        textwrap.dedent(code), path, config or LintConfig(), [rule]
+    )
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+class TestRL001UnseededRng:
+    def test_flags_module_state_call(self):
+        bad = """
+            import numpy as np
+            def jitter():
+                return np.random.normal(0.0, 1.0)
+        """
+        assert ids(run_rule(NoUnseededRng(), bad)) == ["RL001"]
+
+    def test_flags_seedless_default_rng(self):
+        bad = """
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        assert ids(run_rule(NoUnseededRng(), bad)) == ["RL001"]
+
+    def test_flags_from_import_alias(self):
+        bad = """
+            from numpy.random import default_rng
+            rng = default_rng()
+        """
+        assert ids(run_rule(NoUnseededRng(), bad)) == ["RL001"]
+
+    def test_passes_seeded_default_rng(self):
+        good = """
+            import numpy as np
+            rng = np.random.default_rng(12345)
+            draws = rng.normal(0.0, 1.0, size=10)
+        """
+        assert run_rule(NoUnseededRng(), good) == []
+
+    def test_seeding_module_is_exempt(self):
+        code = """
+            import numpy as np
+            def derive_rng(seed):
+                return np.random.default_rng()
+        """
+        assert run_rule(NoUnseededRng(), code, path=Path("src/repro/seeding.py")) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL002AllowPickle:
+    def test_flags_missing_kwarg(self):
+        bad = """
+            import numpy as np
+            data = np.load("cache.npz")
+        """
+        assert ids(run_rule(RequireAllowPickleFalse(), bad)) == ["RL002"]
+
+    def test_flags_allow_pickle_true(self):
+        bad = """
+            import numpy as np
+            data = np.load("cache.npz", allow_pickle=True)
+        """
+        assert ids(run_rule(RequireAllowPickleFalse(), bad)) == ["RL002"]
+
+    def test_passes_explicit_false(self):
+        good = """
+            import numpy as np
+            data = np.load("cache.npz", allow_pickle=False)
+        """
+        assert run_rule(RequireAllowPickleFalse(), good) == []
+
+    def test_resolves_import_alias(self):
+        bad = """
+            import numpy
+            data = numpy.load("cache.npz")
+        """
+        assert ids(run_rule(RequireAllowPickleFalse(), bad)) == ["RL002"]
+
+
+# ---------------------------------------------------------------------------
+class TestRL003UnitSuffix:
+    def test_flags_bare_quantity_assignment(self):
+        bad = """
+            power = counters @ coefficients
+        """
+        assert ids(run_rule(UnitSuffixConsistency(), bad)) == ["RL003"]
+
+    def test_flags_bare_quantity_parameter_and_loop_var(self):
+        bad = """
+            def report(voltage, samples):
+                for freq in samples:
+                    pass
+        """
+        assert ids(run_rule(UnitSuffixConsistency(), bad)) == ["RL003", "RL003"]
+
+    def test_flags_compound_name_ending_in_stem(self):
+        bad = """
+            total_power = a + b
+        """
+        assert ids(run_rule(UnitSuffixConsistency(), bad)) == ["RL003"]
+
+    def test_passes_suffixed_names(self):
+        good = """
+            power_w = counters @ coefficients
+            def report(voltage_v, frequency_mhz):
+                energy_j = power_w * 2.0
+        """
+        assert run_rule(UnitSuffixConsistency(), good) == []
+
+    def test_passes_non_quantity_compound(self):
+        good = """
+            power_breakdown = make_breakdown()
+            power_model = fit()
+        """
+        assert run_rule(UnitSuffixConsistency(), good) == []
+
+    def test_flags_mixed_time_base_arithmetic(self):
+        bad = """
+            total = rate_per_cycle + rate_per_second
+        """
+        found = run_rule(UnitSuffixConsistency(), bad)
+        assert ids(found) == ["RL003"]
+        assert "time base" in found[0].message
+
+    def test_flags_mixed_time_base_comparison(self):
+        bad = """
+            ok = miss_per_cycle < miss_per_second
+        """
+        assert ids(run_rule(UnitSuffixConsistency(), bad)) == ["RL003"]
+
+    def test_passes_single_time_base(self):
+        good = """
+            total_per_cycle = a_per_cycle + b_per_cycle
+        """
+        assert run_rule(UnitSuffixConsistency(), good) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL004FloatEquality:
+    def test_flags_float_literal_comparison(self):
+        bad = """
+            def check(x):
+                return x == 0.5
+        """
+        assert ids(run_rule(NoFloatEquality(), bad)) == ["RL004"]
+
+    def test_flags_unit_suffixed_names(self):
+        bad = """
+            drift = measured_w != predicted_w
+        """
+        assert ids(run_rule(NoFloatEquality(), bad)) == ["RL004"]
+
+    def test_passes_isclose(self):
+        good = """
+            import numpy as np
+            def check(measured_w, predicted_w):
+                return np.isclose(measured_w, predicted_w, atol=1e-9)
+        """
+        assert run_rule(NoFloatEquality(), good) == []
+
+    def test_passes_integer_comparison(self):
+        good = """
+            ok = threads == 24 and frequency_mhz == 2400
+        """
+        assert run_rule(NoFloatEquality(), good) == []
+
+    def test_inline_suppression_with_reason(self):
+        code = """
+            if denom == 0.0:  # replint: ignore[RL004] -- exact-zero guard
+                denom = 1.0
+        """
+        assert run_rule(NoFloatEquality(), code) == []
+
+    def test_pytest_approx_is_exempt(self):
+        good = """
+            import pytest
+            assert measured_w == pytest.approx(42.0)
+        """
+        assert run_rule(NoFloatEquality(), good) == []
+
+
+# ---------------------------------------------------------------------------
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", "-C", str(cwd), *args],
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd),
+            "PATH": __import__("os").environ["PATH"],
+        },
+    )
+
+
+@pytest.fixture()
+def physics_repo(tmp_path):
+    """A miniature repo with physics modules and a DATA_VERSION file."""
+    (tmp_path / "src/repro/hardware").mkdir(parents=True)
+    (tmp_path / "src/repro/experiments").mkdir(parents=True)
+    physics = tmp_path / "src/repro/hardware/power.py"
+    version = tmp_path / "src/repro/experiments/data.py"
+    physics.write_text("LEAKAGE_W = 1.0\n")
+    version.write_text("DATA_VERSION = 3\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+class TestRL005CacheVersion:
+    def test_flags_physics_change_without_bump(self, physics_repo):
+        (physics_repo / "src/repro/hardware/power.py").write_text(
+            "LEAKAGE_W = 2.0\n"
+        )
+        findings = CacheVersionDiscipline().check_repo(physics_repo, LintConfig())
+        assert ids(findings) == ["RL005"]
+        assert "DATA_VERSION" in findings[0].message
+
+    def test_passes_physics_change_with_bump(self, physics_repo):
+        (physics_repo / "src/repro/hardware/power.py").write_text(
+            "LEAKAGE_W = 2.0\n"
+        )
+        (physics_repo / "src/repro/experiments/data.py").write_text(
+            "DATA_VERSION = 4\n"
+        )
+        assert CacheVersionDiscipline().check_repo(physics_repo, LintConfig()) == []
+
+    def test_passes_clean_tree(self, physics_repo):
+        assert CacheVersionDiscipline().check_repo(physics_repo, LintConfig()) == []
+
+    def test_passes_non_physics_change(self, physics_repo):
+        (physics_repo / "README.md").write_text("docs only\n")
+        _git(physics_repo, "add", "-A")
+        assert CacheVersionDiscipline().check_repo(physics_repo, LintConfig()) == []
+
+    def test_silent_outside_git(self, tmp_path):
+        assert CacheVersionDiscipline().check_repo(tmp_path, LintConfig()) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL006AtomicWrite:
+    def test_flags_direct_savez(self):
+        bad = """
+            import numpy as np
+            def save(path, arr):
+                np.savez_compressed(path, arr=arr)
+        """
+        assert ids(run_rule(NonAtomicCacheWrite(), bad)) == ["RL006"]
+
+    def test_flags_open_for_write(self):
+        bad = """
+            def dump(path):
+                with open(path, "w") as fh:
+                    fh.write("x")
+        """
+        assert ids(run_rule(NonAtomicCacheWrite(), bad)) == ["RL006"]
+
+    def test_flags_path_write_text(self):
+        bad = """
+            def dump(path):
+                path.write_text("x")
+        """
+        assert ids(run_rule(NonAtomicCacheWrite(), bad)) == ["RL006"]
+
+    def test_passes_read_modes(self):
+        good = """
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+        """
+        assert run_rule(NonAtomicCacheWrite(), good) == []
+
+    def test_passes_atomic_helpers(self):
+        good = """
+            from repro.io.atomic import atomic_open, atomic_savez
+            def save(path, arr):
+                atomic_savez(path, arr=arr)
+                with atomic_open(path, "w") as fh:
+                    fh.write("x")
+        """
+        assert run_rule(NonAtomicCacheWrite(), good) == []
+
+    def test_helper_module_itself_is_exempt(self):
+        code = """
+            def atomic_write_text(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """
+        assert (
+            run_rule(
+                NonAtomicCacheWrite(), code, path=Path("src/repro/io/atomic.py")
+            )
+            == []
+        )

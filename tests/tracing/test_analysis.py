@@ -72,8 +72,8 @@ class TestTraceStatistics:
         stats = trace_statistics(trace)
         assert stats.coverage() > 0.95
         assert stats.duration_s == pytest.approx(run.total_duration_s)
-        power = stats.metric("power")
-        truth = np.mean([p.power.measured_w for p in run.phases])
-        assert power.mean == pytest.approx(truth, rel=0.15)
+        power_stats = stats.metric("power")
+        truth = np.mean([p.power_breakdown.measured_w for p in run.phases])
+        assert power_stats.mean == pytest.approx(truth, rel=0.15)
         text = stats.render()
         assert "md.phase0" in text and "power" in text

@@ -60,7 +60,7 @@ class TestTracer:
 
     def test_power_samples_near_truth(self, roco2_trace):
         run, trace = roco2_trace
-        truth = run.phases[0].power.measured_w
+        truth = run.phases[0].power_breakdown.measured_w
         mean = trace.metrics["power"].values.mean()
         assert mean == pytest.approx(truth, rel=0.02)
 
@@ -98,7 +98,7 @@ class TestPhaseProfiles:
         assert profile.workload == "compute"
         assert profile.active_threads == 8
         assert profile.power_w == pytest.approx(
-            run.phases[0].power.measured_w, rel=0.02
+            run.phases[0].power_breakdown.measured_w, rel=0.02
         )
         assert profile.voltage_v == pytest.approx(
             run.phases[0].true_voltage_v, abs=0.005
