@@ -22,7 +22,17 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.acquisition import Campaign, CampaignPlan, PowerDataset, run_campaign
+from repro.acquisition import (
+    Campaign,
+    CampaignPlan,
+    CampaignReport,
+    CampaignResult,
+    PowerDataset,
+    ResilientCampaign,
+    RetryPolicy,
+    run_campaign,
+    run_resilient_campaign,
+)
 from repro.core import (
     FittedPowerModel,
     PowerModel,
@@ -41,6 +51,7 @@ from repro.hardware import (
     Platform,
     PlatformConfig,
 )
+from repro.faults import FaultPlan
 from repro.seeding import DEFAULT_SEED
 from repro.workloads import (
     Characterization,
@@ -75,6 +86,13 @@ __all__ = [
     "Campaign",
     "CampaignPlan",
     "run_campaign",
+    # fault tolerance
+    "FaultPlan",
+    "ResilientCampaign",
+    "RetryPolicy",
+    "CampaignReport",
+    "CampaignResult",
+    "run_resilient_campaign",
     # core
     "PowerModel",
     "FittedPowerModel",

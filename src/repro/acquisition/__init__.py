@@ -1,17 +1,42 @@
 """Data acquisition & post-processing: campaigns, run merging, and the
 regression dataset."""
 
-from repro.acquisition.campaign import Campaign, CampaignPlan, run_campaign
+from repro.acquisition.campaign import (
+    Campaign,
+    CampaignCell,
+    CampaignPlan,
+    CampaignReport,
+    CampaignResult,
+    ResilientCampaign,
+    RetryPolicy,
+    run_campaign,
+    run_resilient_campaign,
+)
+from repro.acquisition.checkpoint import CampaignCheckpoint, cell_id
 from repro.acquisition.dataset import ExperimentKey, PowerDataset
-from repro.acquisition.postprocess import MergedPhase, build_dataset, merge_runs
+from repro.acquisition.postprocess import (
+    MergedPhase,
+    build_dataset,
+    counter_coverage,
+    merge_runs,
+)
 
 __all__ = [
     "Campaign",
     "CampaignPlan",
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignResult",
+    "ResilientCampaign",
+    "RetryPolicy",
     "run_campaign",
+    "run_resilient_campaign",
+    "CampaignCheckpoint",
+    "cell_id",
     "PowerDataset",
     "ExperimentKey",
     "MergedPhase",
     "merge_runs",
+    "counter_coverage",
     "build_dataset",
 ]

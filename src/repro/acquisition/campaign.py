@@ -7,16 +7,49 @@ extracts phase profiles, and merges everything into a
 :class:`~repro.acquisition.dataset.PowerDataset`.
 
 This is the simulated equivalent of the multi-day measurement sessions
-behind the paper's Section IV.
+behind the paper's Section IV — and multi-day sessions on production
+hardware are lossy, so two execution modes exist:
+
+* :class:`Campaign` — the strict all-or-nothing loop: any failure
+  aborts the whole campaign (the behaviour of the original tooling);
+* :class:`ResilientCampaign` — the fault-tolerant loop: per-run
+  bounded retry with backoff, quarantine of persistently failing
+  cells, incremental checkpoint/resume through
+  :class:`~repro.acquisition.checkpoint.CampaignCheckpoint`, and
+  graceful degradation to a partial dataset with an explicit
+  per-counter coverage map.  Every outcome is accounted for in a
+  structured :class:`CampaignReport`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.acquisition.checkpoint import CampaignCheckpoint, cell_id
 from repro.acquisition.dataset import PowerDataset
-from repro.acquisition.postprocess import build_dataset, merge_runs
+from repro.acquisition.postprocess import (
+    MergedPhase,
+    build_dataset,
+    counter_coverage,
+    merge_runs,
+)
+from repro.faults.errors import AcquisitionError, RunFailure
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import validate_profiles, validate_trace
 from repro.hardware.counters import COUNTER_NAMES
 from repro.hardware.platform import Platform
 from repro.hardware.pmu import EventSet, schedule_events
@@ -24,7 +57,17 @@ from repro.tracing.phases import PhaseProfile, haecsim_profiles, postprocess_pro
 from repro.tracing.scorep import trace_multiplexed_run, trace_run
 from repro.workloads.base import Workload
 
-__all__ = ["CampaignPlan", "Campaign", "run_campaign"]
+__all__ = [
+    "CampaignPlan",
+    "Campaign",
+    "RetryPolicy",
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignResult",
+    "ResilientCampaign",
+    "run_campaign",
+    "run_resilient_campaign",
+]
 
 ProgressFn = Callable[[str], None]
 
@@ -69,7 +112,7 @@ class CampaignPlan:
 
 
 class Campaign:
-    """Executes a :class:`CampaignPlan` on a platform."""
+    """Executes a :class:`CampaignPlan` on a platform (all-or-nothing)."""
 
     def __init__(self, platform: Platform, plan: CampaignPlan) -> None:
         self.platform = platform
@@ -85,44 +128,75 @@ class Campaign:
             return 1
         return len(self.event_sets)
 
+    def cells(self) -> List["CampaignCell"]:
+        """The campaign's unit-of-retry grid: one cell per run.
+
+        Multi-run mode has one cell per (experiment, event set);
+        time-division mode one cell per experiment (``event_set``
+        ``None`` means "all plan events, multiplexed").
+        """
+        out: List[CampaignCell] = []
+        for workload, frequency_mhz, threads in self.plan.experiments():
+            if self.plan.multiplexing == "time-division":
+                out.append(
+                    CampaignCell(workload, frequency_mhz, threads, 0, None)
+                )
+                continue
+            for run_index, event_set in enumerate(self.event_sets):
+                out.append(
+                    CampaignCell(
+                        workload, frequency_mhz, threads, run_index, event_set
+                    )
+                )
+        return out
+
+    def execute_cell(
+        self, cell: "CampaignCell", *, attempt: int = 0
+    ) -> List[PhaseProfile]:
+        """Execute one cell: run, trace, extract phase profiles.
+
+        roco2 traces go through the HAEC-SIM module, benchmark traces
+        through the custom OTF2 post-processing tool (Section III-A).
+        """
+        run = self.platform.execute(
+            cell.workload,
+            cell.frequency_mhz,
+            cell.threads,
+            run_index=cell.run_index,
+        )
+        if cell.event_set is None:
+            trace = trace_multiplexed_run(
+                self.platform,
+                run,
+                self.plan.events,
+                sampling_interval_s=self.plan.sampling_interval_s,
+            )
+        else:
+            trace = trace_run(
+                self.platform,
+                run,
+                cell.event_set,
+                sampling_interval_s=self.plan.sampling_interval_s,
+            )
+        if run.suite in ("roco2", "synthetic"):
+            return haecsim_profiles(trace)
+        return postprocess_profiles(trace)
+
     def collect_profiles(
         self, progress: Optional[ProgressFn] = None
     ) -> List[PhaseProfile]:
         """Execute all runs and extract phase profiles."""
         profiles: List[PhaseProfile] = []
-        for workload, freq_mhz, threads in self.plan.experiments():
-            if progress is not None:
-                progress(f"{workload.name} @ {freq_mhz} MHz, {threads} threads")
-            if self.plan.multiplexing == "time-division":
-                run = self.platform.execute(workload, freq_mhz, threads)
-                trace = trace_multiplexed_run(
-                    self.platform,
-                    run,
-                    self.plan.events,
-                    sampling_interval_s=self.plan.sampling_interval_s,
+        last_announced = None
+        for cell in self.cells():
+            experiment = (cell.workload.name, cell.frequency_mhz, cell.threads)
+            if progress is not None and experiment != last_announced:
+                progress(
+                    f"{cell.workload.name} @ {cell.frequency_mhz} MHz, "
+                    f"{cell.threads} threads"
                 )
-                if run.suite in ("roco2", "synthetic"):
-                    profiles.extend(haecsim_profiles(trace))
-                else:
-                    profiles.extend(postprocess_profiles(trace))
-                continue
-            for run_index, event_set in enumerate(self.event_sets):
-                run = self.platform.execute(
-                    workload, freq_mhz, threads, run_index=run_index
-                )
-                trace = trace_run(
-                    self.platform,
-                    run,
-                    event_set,
-                    sampling_interval_s=self.plan.sampling_interval_s,
-                )
-                # roco2 traces go through the HAEC-SIM module, benchmark
-                # traces through the custom OTF2 post-processing tool
-                # (Section III-A).
-                if run.suite in ("roco2", "synthetic"):
-                    profiles.extend(haecsim_profiles(trace))
-                else:
-                    profiles.extend(postprocess_profiles(trace))
+                last_announced = experiment
+            profiles.extend(self.execute_cell(cell))
         return profiles
 
     def run(
@@ -134,7 +208,413 @@ class Campaign:
         """Full campaign: execute, trace, profile, merge, assemble."""
         profiles = self.collect_profiles(progress)
         merged = merge_runs(profiles)
-        return build_dataset(merged, require_complete=require_complete)
+        return build_dataset(
+            merged,
+            require_complete=require_complete,
+            counter_names=self.plan.events,
+        )
+
+
+# ---------------------------------------------------------------------------
+# fault-tolerant execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One run of one experiment — the unit of retry and checkpointing."""
+
+    workload: Workload
+    frequency_mhz: int
+    threads: int
+    run_index: int
+    event_set: Optional[EventSet]
+    """``None`` in time-division mode (all events, one multiplexed run)."""
+
+    @property
+    def key(self) -> Tuple[str, int, int, int]:
+        return (
+            self.workload.name,
+            self.frequency_mhz,
+            self.threads,
+            self.run_index,
+        )
+
+    @property
+    def events(self) -> Tuple[str, ...]:
+        return self.event_set.events if self.event_set is not None else ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload.name}@{self.frequency_mhz}MHz/"
+            f"{self.threads}t#{self.run_index}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for failed runs."""
+
+    max_attempts: int = 3
+    """Total attempts per cell before quarantine (≥ 1)."""
+    backoff_base_s: float = 0.0
+    """Delay before the first retry; 0 disables sleeping entirely
+    (the right setting for simulated campaigns and tests)."""
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(
+            self.backoff_base_s * self.backoff_factor**attempt,
+            self.backoff_max_s,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Structured account of what a resilient campaign went through."""
+
+    total_cells: int
+    completed_cells: int
+    resumed_cells: int
+    """Cells restored from the checkpoint instead of re-executed."""
+    retries: int
+    """Extra attempts beyond the first, summed over all cells."""
+    total_backoff_s: float
+    faults_observed: Mapping[str, int]
+    """Fault kind → occurrence count, over all attempts."""
+    quarantined: Tuple[Tuple[str, str], ...]
+    """(cell description, last error) for cells that exhausted retries."""
+    merge_issues: Tuple[str, ...]
+    """Recorded post-processing inconsistencies (phase-set mismatches,
+    counter disagreements)."""
+    counter_coverage: Mapping[str, float]
+    """Fraction of merged phases carrying each requested counter."""
+    dropped_counters: Tuple[str, ...]
+    """Counters excluded from the dataset for insufficient coverage."""
+    degraded_phases: int
+    """Merged phases dropped for missing one of the kept counters."""
+
+    @property
+    def clean(self) -> bool:
+        """True when the campaign saw no faults and degraded nothing."""
+        return (
+            self.retries == 0
+            and not self.faults_observed
+            and not self.quarantined
+            and not self.merge_issues
+            and not self.dropped_counters
+            and self.degraded_phases == 0
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"campaign cells: {self.completed_cells}/{self.total_cells} "
+            f"completed ({self.resumed_cells} resumed from checkpoint)",
+            f"retries: {self.retries} "
+            f"(total backoff {self.total_backoff_s:.1f} s)",
+        ]
+        if self.faults_observed:
+            counts = ", ".join(
+                f"{kind}×{n}" for kind, n in sorted(self.faults_observed.items())
+            )
+            lines.append(f"faults observed: {counts}")
+        if self.quarantined:
+            lines.append(f"quarantined cells ({len(self.quarantined)}):")
+            lines.extend(f"  {desc}: {why}" for desc, why in self.quarantined)
+        if self.merge_issues:
+            lines.append(f"merge issues ({len(self.merge_issues)}):")
+            lines.extend(f"  {issue}" for issue in self.merge_issues)
+        if self.dropped_counters:
+            lines.append(
+                f"degraded: dropped counters {list(self.dropped_counters)}"
+            )
+        if self.degraded_phases:
+            lines.append(
+                f"degraded: {self.degraded_phases} phases dropped for "
+                f"incomplete counter coverage"
+            )
+        if self.clean:
+            lines.append("no faults observed — clean campaign")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a resilient campaign: data plus accountability."""
+
+    dataset: Optional[PowerDataset]
+    """``None`` when nothing usable survived (all cells quarantined)."""
+    report: CampaignReport
+
+
+@dataclass
+class _CellOutcome:
+    profiles: Optional[List[PhaseProfile]]
+    attempts: int
+    faults: List[str] = field(default_factory=list)
+    last_error: str = ""
+
+
+class ResilientCampaign(Campaign):
+    """Fault-tolerant campaign execution.
+
+    Wraps the strict :class:`Campaign` grid with, per cell: fault
+    injection (optional), bounded retry with backoff, quarantine after
+    exhausted retries, and incremental checkpointing.  The final merge
+    degrades gracefully — holes become coverage-map entries and report
+    lines instead of exceptions.
+
+    Parameters
+    ----------
+    faults:
+        Fault plan injected during acquisition (``None`` → no injected
+        faults; the watchdog still validates every trace).
+    retry:
+        Per-cell retry budget and backoff.
+    checkpoint_dir:
+        Directory for incremental persistence; ``None`` disables
+        checkpointing.  A directory written by a differently-configured
+        campaign is detected via fingerprint and reset.
+    min_counter_coverage:
+        Counters covered by fewer than this fraction of merged phases
+        are dropped from the dataset (columns), then phases missing any
+        surviving counter are dropped (rows).
+    validate:
+        Run the acquisition watchdog on every trace/profile set.
+    sleep_fn:
+        Injectable sleep (tests pass a recorder; default
+        :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        plan: CampaignPlan,
+        *,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        min_counter_coverage: float = 0.75,
+        validate: bool = True,
+        sleep_fn: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(platform, plan)
+        if not 0.0 <= min_counter_coverage <= 1.0:
+            raise ValueError("min_counter_coverage must be in [0, 1]")
+        self.faults = faults or FaultPlan()
+        self.injector = FaultInjector(self.faults, platform.seed)
+        self.retry = retry or RetryPolicy()
+        self.min_counter_coverage = min_counter_coverage
+        self.validate = validate
+        self.sleep_fn = sleep_fn
+        self.checkpoint: Optional[CampaignCheckpoint] = None
+        if checkpoint_dir is not None:
+            self.checkpoint = CampaignCheckpoint(
+                checkpoint_dir, self.fingerprint()
+            )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Hash of everything that determines the stored cell data."""
+        parts = (
+            "seed", self.platform.seed,
+            "cfg", self.platform.cfg.name,
+            "jitter", repr(self.platform.run_jitter_sigma),
+            repr(self.platform.power_jitter_sigma),
+            repr(self.platform.power_offset_sigma_w),
+            "workloads", ",".join(w.name for w in self.plan.workloads),
+            "frequencies", repr(self.plan.frequencies_mhz),
+            "threads", repr(self.plan.thread_counts_override),
+            "events", ",".join(self.plan.events),
+            "interval", repr(self.plan.sampling_interval_s),
+            "mux", self.plan.multiplexing,
+            "faults", repr(self.faults),
+            "attempts", self.retry.max_attempts,
+            "validate", self.validate,
+        )
+        h = hashlib.blake2b(digest_size=12)
+        for part in parts:
+            h.update(str(part).encode())
+            h.update(b"\x1f")
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    def execute_cell(
+        self, cell: CampaignCell, *, attempt: int = 0
+    ) -> List[PhaseProfile]:
+        """One attempt at one cell, with fault injection + validation."""
+        self.injector.check_run(*cell.key, attempt=attempt)
+        run = self.platform.execute(
+            cell.workload,
+            cell.frequency_mhz,
+            cell.threads,
+            run_index=cell.run_index,
+        )
+        if cell.event_set is None:
+            trace = trace_multiplexed_run(
+                self.platform,
+                run,
+                self.plan.events,
+                sampling_interval_s=self.plan.sampling_interval_s,
+                fault_injector=self.injector,
+                attempt=attempt,
+            )
+        else:
+            trace = trace_run(
+                self.platform,
+                run,
+                cell.event_set,
+                sampling_interval_s=self.plan.sampling_interval_s,
+                fault_injector=self.injector,
+                attempt=attempt,
+            )
+        if self.validate:
+            validate_trace(trace)
+        if run.suite in ("roco2", "synthetic"):
+            profiles = haecsim_profiles(trace)
+        else:
+            profiles = postprocess_profiles(trace)
+        if self.validate:
+            validate_profiles(profiles, run)
+        return profiles
+
+    def run_cell(self, cell: CampaignCell) -> _CellOutcome:
+        """Execute one cell under the retry policy.
+
+        Fault decisions are keyed on (cell, attempt) — deterministic,
+        independent of wall-clock and of other cells, which is what
+        makes interrupted campaigns resumable bit-for-bit.
+        """
+        outcome = _CellOutcome(profiles=None, attempts=0)
+        for attempt in range(self.retry.max_attempts):
+            outcome.attempts = attempt + 1
+            try:
+                outcome.profiles = self.execute_cell(cell, attempt=attempt)
+                return outcome
+            except (RunFailure, AcquisitionError) as exc:
+                outcome.faults.append(exc.kind)
+                outcome.last_error = str(exc)
+                if attempt + 1 < self.retry.max_attempts:
+                    delay_s = self.retry.delay_s(attempt)
+                    if delay_s > 0:
+                        self.sleep_fn(delay_s)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Optional[ProgressFn] = None) -> CampaignResult:
+        """Fault-tolerant campaign: retry, quarantine, checkpoint,
+        merge with graceful degradation, and report."""
+        profiles: List[PhaseProfile] = []
+        faults_observed: Dict[str, int] = {}
+        quarantined: List[Tuple[str, str]] = []
+        retries = 0
+        resumed = 0
+        completed = 0
+        backoff_s = 0.0
+        cells = self.cells()
+        for cell in cells:
+            cid = cell_id(*cell.key, self.plan.events)
+            if progress is not None:
+                progress(f"cell {cell.describe()}")
+            if self.checkpoint is not None:
+                stored = self.checkpoint.load(cid)
+                if stored is not None:
+                    profiles.extend(stored)
+                    resumed += 1
+                    completed += 1
+                    continue
+            outcome = self.run_cell(cell)
+            retries += outcome.attempts - 1
+            for attempt in range(outcome.attempts - 1):
+                backoff_s += self.retry.delay_s(attempt)
+            for kind in outcome.faults:
+                faults_observed[kind] = faults_observed.get(kind, 0) + 1
+            if outcome.profiles is None:
+                quarantined.append((cell.describe(), outcome.last_error))
+                continue
+            completed += 1
+            if self.checkpoint is not None:
+                self.checkpoint.store(cid, outcome.profiles)
+            profiles.extend(outcome.profiles)
+
+        merge_issues: List[str] = []
+        merged: List[MergedPhase] = merge_runs(
+            profiles,
+            on_phase_mismatch="record",
+            on_counter_disagreement="record",
+            issues=merge_issues,
+        )
+        coverage = counter_coverage(merged, self.plan.events)
+        kept = tuple(
+            c
+            for c in self.plan.events
+            if coverage[c] >= self.min_counter_coverage
+        )
+        dropped_counters = tuple(c for c in self.plan.events if c not in kept)
+        dataset: Optional[PowerDataset] = None
+        degraded_phases = 0
+        if merged and kept:
+            rows = [
+                m
+                for m in merged
+                if all(c in m.counter_rates_per_s for c in kept)
+            ]
+            degraded_phases = len(merged) - len(rows)
+            if rows:
+                dataset = build_dataset(
+                    rows, require_complete=True, counter_names=kept
+                )
+        report = CampaignReport(
+            total_cells=len(cells),
+            completed_cells=completed,
+            resumed_cells=resumed,
+            retries=retries,
+            total_backoff_s=backoff_s,
+            faults_observed=faults_observed,
+            quarantined=tuple(quarantined),
+            merge_issues=tuple(merge_issues),
+            counter_coverage=coverage,
+            dropped_counters=dropped_counters,
+            degraded_phases=degraded_phases,
+        )
+        return CampaignResult(dataset=dataset, report=report)
+
+
+# ---------------------------------------------------------------------------
+# convenience wrappers
+# ---------------------------------------------------------------------------
+
+
+def _make_plan(
+    workloads: Sequence[Workload],
+    frequencies_mhz: Sequence[int],
+    *,
+    events: Optional[Sequence[str]],
+    sampling_interval_s: float,
+    thread_counts: Optional[Sequence[int]],
+    multiplexing: str,
+) -> CampaignPlan:
+    return CampaignPlan(
+        workloads=tuple(workloads),
+        frequencies_mhz=tuple(int(f) for f in frequencies_mhz),
+        events=tuple(events) if events is not None else COUNTER_NAMES,
+        sampling_interval_s=sampling_interval_s,
+        thread_counts_override=tuple(thread_counts) if thread_counts else None,
+        multiplexing=multiplexing,
+    )
 
 
 def run_campaign(
@@ -142,15 +622,62 @@ def run_campaign(
     workloads: Sequence[Workload],
     frequencies_mhz: Sequence[int],
     *,
+    events: Optional[Sequence[str]] = None,
     sampling_interval_s: float = 0.1,
     thread_counts: Optional[Sequence[int]] = None,
+    multiplexing: str = "multi-run",
+    require_complete: bool = True,
     progress: Optional[ProgressFn] = None,
 ) -> PowerDataset:
-    """One-call convenience around :class:`Campaign`."""
-    plan = CampaignPlan(
-        workloads=tuple(workloads),
-        frequencies_mhz=tuple(int(f) for f in frequencies_mhz),
+    """One-call convenience around :class:`Campaign`.
+
+    Exposes the full plan surface — ``events`` (counter subset),
+    ``multiplexing`` mode and ``require_complete`` are forwarded, not
+    silently fixed to defaults.
+    """
+    plan = _make_plan(
+        workloads,
+        frequencies_mhz,
+        events=events,
         sampling_interval_s=sampling_interval_s,
-        thread_counts_override=tuple(thread_counts) if thread_counts else None,
+        thread_counts=thread_counts,
+        multiplexing=multiplexing,
     )
-    return Campaign(platform, plan).run(progress)
+    return Campaign(platform, plan).run(
+        progress, require_complete=require_complete
+    )
+
+
+def run_resilient_campaign(
+    platform: Platform,
+    workloads: Sequence[Workload],
+    frequencies_mhz: Sequence[int],
+    *,
+    events: Optional[Sequence[str]] = None,
+    sampling_interval_s: float = 0.1,
+    thread_counts: Optional[Sequence[int]] = None,
+    multiplexing: str = "multi-run",
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    min_counter_coverage: float = 0.75,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """One-call convenience around :class:`ResilientCampaign`."""
+    plan = _make_plan(
+        workloads,
+        frequencies_mhz,
+        events=events,
+        sampling_interval_s=sampling_interval_s,
+        thread_counts=thread_counts,
+        multiplexing=multiplexing,
+    )
+    campaign = ResilientCampaign(
+        platform,
+        plan,
+        faults=faults,
+        retry=retry,
+        checkpoint_dir=checkpoint_dir,
+        min_counter_coverage=min_counter_coverage,
+    )
+    return campaign.run(progress)

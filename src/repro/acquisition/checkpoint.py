@@ -1,0 +1,204 @@
+"""Incremental campaign checkpoints: crash-safe persistence of runs.
+
+A multi-day campaign must never lose finished work to a crash, an OOM
+kill, or a cluster drain.  The resilient campaign loop therefore
+persists the phase profiles of every completed cell (one run of one
+experiment) the moment it finishes, and on restart loads them back
+instead of re-executing — checkpoint/resume at run granularity.
+
+Layout of a checkpoint directory::
+
+    <dir>/manifest.json        # {"format": 1, "fingerprint": "..."}
+    <dir>/cell_<id>.npz        # one archive per completed cell
+
+The fingerprint hashes everything that determines a cell's output
+(platform seed and noise parameters, the campaign plan, the fault plan,
+the retry budget), so a checkpoint from a different configuration can
+never leak into a resumed campaign: on mismatch the directory is reset
+and acquisition starts over.  All writes go through
+:mod:`repro.io.atomic`; a process killed mid-write leaves either the
+old complete cell file or none, and corrupt cells found during resume
+are discarded and re-executed rather than trusted (the same recovery
+discipline as the experiment data cache).
+
+Cell archives store the profile scalars as parallel arrays plus an
+``(n_profiles, n_counters)`` rate matrix with NaN marking counters a
+profile does not carry — float64 end to end, so a resumed campaign is
+bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.io.atomic import atomic_savez, atomic_write_json
+from repro.tracing.phases import PhaseProfile
+
+__all__ = ["CHECKPOINT_FORMAT", "CampaignCheckpoint", "cell_id"]
+
+#: Bump when the cell archive layout changes; old checkpoints are
+#: discarded, never misread.
+CHECKPOINT_FORMAT = 1
+
+#: Errors that mean "this on-disk artifact is corrupt, not a bug".
+_CORRUPT_ERRORS = (
+    zipfile.BadZipFile,
+    KeyError,
+    OSError,
+    EOFError,
+    ValueError,
+)
+
+
+def cell_id(
+    workload: str,
+    frequency_mhz: int,
+    threads: int,
+    run_index: int,
+    events: Iterable[str],
+) -> str:
+    """Stable identifier of one campaign cell (checkpoint file key)."""
+    raw = f"{workload}|{frequency_mhz}|{threads}|{run_index}|{','.join(events)}"
+    return hashlib.blake2b(raw.encode(), digest_size=8).hexdigest()
+
+
+class CampaignCheckpoint:
+    """One checkpoint directory bound to one campaign fingerprint."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self._initialise()
+
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST
+
+    def _initialise(self) -> None:
+        """Adopt a matching checkpoint or reset a stale/corrupt one."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = None
+        path = self._manifest_path()
+        if path.is_file():
+            try:
+                manifest = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                manifest = None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != CHECKPOINT_FORMAT
+            or manifest.get("fingerprint") != self.fingerprint
+        ):
+            self.reset()
+            atomic_write_json(
+                path,
+                {"format": CHECKPOINT_FORMAT, "fingerprint": self.fingerprint},
+            )
+
+    def reset(self) -> None:
+        """Drop every stored cell (stale fingerprint / fresh start)."""
+        for cell_path in self.directory.glob("cell_*.npz"):
+            try:
+                cell_path.unlink()
+            except OSError:
+                pass  # already gone (concurrent cleanup) — nothing to drop
+
+    # ------------------------------------------------------------------
+    def cell_path(self, cid: str) -> Path:
+        return self.directory / f"cell_{cid}.npz"
+
+    def has(self, cid: str) -> bool:
+        return self.cell_path(cid).is_file()
+
+    def completed_cells(self) -> List[str]:
+        """Ids of all cells currently stored."""
+        return sorted(
+            p.stem[len("cell_"):] for p in self.directory.glob("cell_*.npz")
+        )
+
+    # ------------------------------------------------------------------
+    def store(self, cid: str, profiles: Sequence[PhaseProfile]) -> None:
+        """Atomically persist one completed cell's profiles."""
+        names = sorted({c for p in profiles for c in p.counter_rates_per_s})
+        rates = np.full((len(profiles), len(names)), np.nan)
+        for i, p in enumerate(profiles):
+            for j, name in enumerate(names):
+                if name in p.counter_rates_per_s:
+                    rates[i, j] = p.counter_rates_per_s[name]
+        atomic_savez(
+            self.cell_path(cid),
+            format=np.array(CHECKPOINT_FORMAT),
+            workload=np.array([p.workload for p in profiles]),
+            suite=np.array([p.suite for p in profiles]),
+            frequency_mhz=np.array(
+                [p.frequency_mhz for p in profiles], dtype=np.int64
+            ),
+            threads=np.array([p.threads for p in profiles], dtype=np.int64),
+            run_index=np.array([p.run_index for p in profiles], dtype=np.int64),
+            phase_name=np.array([p.phase_name for p in profiles]),
+            start_s=np.array([p.start_s for p in profiles]),
+            end_s=np.array([p.end_s for p in profiles]),
+            active_threads=np.array(
+                [p.active_threads for p in profiles], dtype=np.int64
+            ),
+            power_w=np.array([p.power_w for p in profiles]),
+            voltage_v=np.array([p.voltage_v for p in profiles]),
+            counter_names=np.array(names),
+            counter_rates_per_s=rates,
+        )
+
+    def load(self, cid: str) -> Optional[List[PhaseProfile]]:
+        """Profiles of one stored cell, or ``None`` if absent/corrupt.
+
+        A corrupt archive (truncated write from a previous non-atomic
+        tool, bit rot, wrong format) is deleted so the campaign re-runs
+        the cell instead of tripping over it again — recovery, not
+        trust.
+        """
+        path = self.cell_path(cid)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["format"]) != CHECKPOINT_FORMAT:
+                    raise ValueError("unknown checkpoint cell format")
+                names = [str(c) for c in data["counter_names"]]
+                rates = data["counter_rates_per_s"]
+                profiles = []
+                for i in range(rates.shape[0]):
+                    row = {
+                        name: float(rates[i, j])
+                        for j, name in enumerate(names)
+                        if not np.isnan(rates[i, j])
+                    }
+                    profiles.append(
+                        PhaseProfile(
+                            workload=str(data["workload"][i]),
+                            suite=str(data["suite"][i]),
+                            frequency_mhz=int(data["frequency_mhz"][i]),
+                            threads=int(data["threads"][i]),
+                            run_index=int(data["run_index"][i]),
+                            phase_name=str(data["phase_name"][i]),
+                            start_s=float(data["start_s"][i]),
+                            end_s=float(data["end_s"][i]),
+                            active_threads=int(data["active_threads"][i]),
+                            power_w=float(data["power_w"][i]),
+                            voltage_v=float(data["voltage_v"][i]),
+                            counter_rates_per_s=row,
+                        )
+                    )
+                return profiles
+        except _CORRUPT_ERRORS:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # concurrent cleanup beat us to it
+            return None

@@ -27,6 +27,7 @@ from repro.acquisition.campaign import run_campaign
 from repro.acquisition.dataset import PowerDataset
 from repro.cluster.nodes import ClusterNode
 from repro.core.model import FittedPowerModel, PowerModel
+from repro.faults.errors import NodeFailure
 from repro.workloads.base import Workload
 
 __all__ = ["NodeEstimate", "ClusterEstimate", "estimate_cluster_power"]
@@ -56,6 +57,9 @@ class ClusterEstimate:
 
     nodes: Tuple[NodeEstimate, ...]
     strategy: str
+    skipped_nodes: Tuple[str, ...] = ()
+    """Hostnames excluded from the totals because the node was dead
+    (only populated with ``on_dead_nodes="skip"``)."""
 
     @property
     def true_total_w(self) -> float:
@@ -106,6 +110,7 @@ def estimate_cluster_power(
     run_frequency_mhz: int = 2400,
     threads: int = 24,
     strategy: str = "shared",
+    on_dead_nodes: str = "raise",
 ) -> ClusterEstimate:
     """Estimate total cluster power for a workload assignment.
 
@@ -121,22 +126,39 @@ def estimate_cluster_power(
         Calibration suite executed for model fitting.
     strategy:
         ``shared`` (train once on the first node) or ``per-node``.
+    on_dead_nodes:
+        ``raise`` (strict default: a dead node aborts with
+        :class:`~repro.faults.errors.NodeFailure`) or ``skip``
+        (estimate the surviving nodes; the skipped hostnames are
+        reported in :attr:`ClusterEstimate.skipped_nodes`).
     """
     if strategy not in ("shared", "per-node"):
         raise ValueError(f"unknown strategy {strategy!r}")
+    if on_dead_nodes not in ("raise", "skip"):
+        raise ValueError(f"on_dead_nodes must be 'raise' or 'skip', got {on_dead_nodes!r}")
     missing = [n.hostname for n in nodes if n.hostname not in assignment]
     if missing:
         raise KeyError(f"assignment missing nodes: {missing}")
 
+    dead = [n.hostname for n in nodes if not n.alive]
+    if dead and on_dead_nodes == "raise":
+        raise NodeFailure(
+            f"cluster has dead nodes: {dead}; pass on_dead_nodes='skip' "
+            f"to estimate the survivors"
+        )
+    live_nodes = [n for n in nodes if n.alive]
+    if not live_nodes:
+        raise NodeFailure("no live nodes left to estimate")
+
     shared_model: Optional[FittedPowerModel] = None
     if strategy == "shared":
         train = _node_dataset(
-            nodes[0], training_workloads, frequencies_mhz, threads
+            live_nodes[0], training_workloads, frequencies_mhz, threads
         )
         shared_model = PowerModel(counters).fit(train)
 
     estimates: List[NodeEstimate] = []
-    for node in nodes:
+    for node in live_nodes:
         workload = assignment[node.hostname]
         if strategy == "per-node":
             train = _node_dataset(
@@ -159,4 +181,8 @@ def estimate_cluster_power(
                 estimated_w=predicted,
             )
         )
-    return ClusterEstimate(nodes=tuple(estimates), strategy=strategy)
+    return ClusterEstimate(
+        nodes=tuple(estimates),
+        strategy=strategy,
+        skipped_nodes=tuple(dead),
+    )

@@ -15,10 +15,12 @@ drawn around the SKU nominals from the node-keyed random stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hardware.config import HASWELL_EP_CONFIG, PlatformConfig
 from repro.hardware.power import HASWELL_EP_POWER_PARAMS, PowerModelParams
 from repro.hardware.platform import Platform
@@ -46,9 +48,14 @@ class ClusterNode:
     node_id: int
     hostname: str
     platform: Platform
+    alive: bool = True
+    """False when the node failed to respond during cluster discovery
+    (hardware fault, drained by the scheduler — see the cluster fault
+    model in :mod:`repro.faults`)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<ClusterNode {self.hostname}>"
+        state = "" if self.alive else " DEAD"
+        return f"<ClusterNode {self.hostname}{state}>"
 
 
 def _vary_params(
@@ -79,14 +86,21 @@ def build_cluster(
     variation: Optional[NodeVariation] = None,
     seed: int = DEFAULT_SEED,
     hostname_prefix: str = "node",
+    faults: Optional[FaultPlan] = None,
 ) -> List[ClusterNode]:
     """Materialize ``n_nodes`` simulated nodes of one SKU.
 
     Deterministic in ``seed``; node ``i`` always gets the same die.
+    With a fault plan, each node is independently dead with
+    ``dead_node_rate`` probability (drawn from the node-keyed fault
+    stream, so which nodes die is also deterministic in the seed).
     """
     if n_nodes < 1:
         raise ValueError("a cluster needs at least one node")
     variation = variation or NodeVariation()
+    injector = (
+        FaultInjector(faults, seed) if faults is not None else None
+    )
     nodes = []
     for i in range(n_nodes):
         rng = derive_rng(seed, "cluster-node", i)
@@ -94,11 +108,13 @@ def build_cluster(
         platform = Platform(
             cfg, params, seed=int(derive_rng(seed, "node-seed", i).integers(2**31))
         )
+        alive = injector is None or not injector.node_is_dead(i)
         nodes.append(
             ClusterNode(
                 node_id=i,
                 hostname=f"{hostname_prefix}{i:03d}",
                 platform=platform,
+                alive=alive,
             )
         )
     return nodes

@@ -1,0 +1,42 @@
+"""Fault model of the acquisition pipeline.
+
+Declarative fault plans (:class:`FaultPlan`), a deterministic injector
+that applies them to platforms and traces (:class:`FaultInjector`,
+:class:`FaultyPlatform`), the watchdog validators that detect the
+resulting corruption, and the exception taxonomy the resilient
+campaign loop retries on.
+"""
+
+from repro.faults.errors import (
+    AcquisitionError,
+    FaultError,
+    NodeFailure,
+    RunFailure,
+)
+from repro.faults.injector import (
+    OVERFLOW_RATE_PER_S,
+    FaultInjector,
+    FaultyPlatform,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import (
+    PLAUSIBLE_MAX_RATE_PER_S,
+    STUCK_RUN_LENGTH,
+    validate_profiles,
+    validate_trace,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultyPlatform",
+    "FaultError",
+    "RunFailure",
+    "AcquisitionError",
+    "NodeFailure",
+    "OVERFLOW_RATE_PER_S",
+    "PLAUSIBLE_MAX_RATE_PER_S",
+    "STUCK_RUN_LENGTH",
+    "validate_trace",
+    "validate_profiles",
+]

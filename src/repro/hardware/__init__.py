@@ -45,7 +45,13 @@ from repro.hardware.power import (
     PowerModelParams,
     compute_power,
 )
-from repro.hardware.sensors import PowerSensor, SensorArray, SensorCalibration
+from repro.hardware.sensors import (
+    PowerSensor,
+    SensorArray,
+    SensorCalibration,
+    SensorFaults,
+    apply_sensor_faults,
+)
 from repro.hardware.skylake import (
     SKYLAKE_SP_CONFIG,
     SKYLAKE_SP_CURVE,
@@ -84,6 +90,8 @@ __all__ = [
     "PowerSensor",
     "SensorArray",
     "SensorCalibration",
+    "SensorFaults",
+    "apply_sensor_faults",
     "VoltageTelemetry",
     "Platform",
     "RunExecution",

@@ -18,11 +18,70 @@ structure a calibrated lab instrument exhibits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["SensorCalibration", "PowerSensor", "SensorArray"]
+__all__ = [
+    "SensorCalibration",
+    "SensorFaults",
+    "apply_sensor_faults",
+    "PowerSensor",
+    "SensorArray",
+]
+
+
+@dataclass(frozen=True)
+class SensorFaults:
+    """Glitch state of one sensor channel during one sampling window.
+
+    Models the failure modes of a real shunt + ADC chain: dropped
+    readings (link loss → NaN), a stuck-at glitch (the ADC repeats its
+    last conversion), and sporadic NaN readings.  Constructed by
+    :meth:`repro.faults.injector.FaultInjector.sensor_faults`; the
+    same glitches are applied to recorded traces by
+    :meth:`~repro.faults.injector.FaultInjector.corrupt_trace`.
+    """
+
+    dropout: bool = False
+    """Lose a contiguous block of samples (reported as NaN)."""
+    stuck: bool = False
+    """Flat-line: repeat one conversion for the rest of the window."""
+    nan_rate: float = 0.0
+    """Per-sample probability of an isolated NaN reading."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.nan_rate <= 1.0:
+            raise ValueError(f"nan_rate must be in [0, 1], got {self.nan_rate}")
+
+    @property
+    def any_active(self) -> bool:
+        return self.dropout or self.stuck or self.nan_rate > 0.0
+
+
+def apply_sensor_faults(
+    raw: np.ndarray, faults: SensorFaults, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply :class:`SensorFaults` to a raw sample stream (in place).
+
+    Deterministic given ``rng``; returns ``raw`` for chaining.  The
+    application order (NaN readings, dropout window, stuck-at tail)
+    matches the trace-level injector so both paths produce the same
+    corruption classes.
+    """
+    n = raw.size
+    if n == 0 or not faults.any_active:
+        return raw
+    if faults.nan_rate > 0.0:
+        raw[rng.random(n) < faults.nan_rate] = np.nan
+    if faults.dropout:
+        width = max(int(n * float(rng.uniform(0.1, 0.4))), 1)
+        start = int(rng.integers(0, max(n - width, 0) + 1))
+        raw[start : start + width] = np.nan
+    if faults.stuck:
+        idx = int(rng.integers(0, max(n - 8, 0) + 1))
+        raw[idx:] = raw[idx]
+    return raw
 
 
 @dataclass(frozen=True)
@@ -77,9 +136,19 @@ class PowerSensor:
         return max(int(round(duration_s * self.sample_rate_hz)), 1)
 
     def sample(
-        self, true_power_w: float, duration_s: float, rng: np.random.Generator
+        self,
+        true_power_w: float,
+        duration_s: float,
+        rng: np.random.Generator,
+        *,
+        faults: Optional[SensorFaults] = None,
     ) -> np.ndarray:
-        """Raw sample stream for a constant true power over a phase."""
+        """Raw sample stream for a constant true power over a phase.
+
+        ``faults`` injects channel glitches (dropout → NaN blocks,
+        stuck-at flat-lines, sporadic NaN readings) after quantization,
+        exactly where a real ADC chain fails.
+        """
         if true_power_w < 0:
             raise ValueError("true power cannot be negative")
         if duration_s <= 0:
@@ -92,6 +161,8 @@ class PowerSensor:
         )
         if self.resolution_w > 0:
             raw = np.round(raw / self.resolution_w) * self.resolution_w
+        if faults is not None:
+            raw = apply_sensor_faults(raw, faults, rng)
         return raw
 
     def measure_average(

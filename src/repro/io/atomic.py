@@ -19,6 +19,7 @@ routes through these helpers.
 
 from __future__ import annotations
 
+import json
 import os
 import uuid
 from contextlib import contextmanager
@@ -31,6 +32,7 @@ __all__ = [
     "atomic_open",
     "atomic_write_text",
     "atomic_write_bytes",
+    "atomic_write_json",
     "atomic_savez",
 ]
 
@@ -83,6 +85,15 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     """Atomically replace ``path`` with ``data``."""
     with atomic_open(path, "wb") as fh:
         fh.write(data)
+
+
+def atomic_write_json(path: Union[str, Path], obj: object) -> None:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON.
+
+    Sorted keys and a trailing newline keep the output byte-stable, so
+    manifests diff cleanly across writes.
+    """
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
 
 
 def atomic_savez(path: Union[str, Path], **arrays: "np.ndarray") -> None:

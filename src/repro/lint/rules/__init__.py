@@ -11,6 +11,7 @@ from repro.lint.rules.rl003_unit_suffix import UnitSuffixConsistency
 from repro.lint.rules.rl004_float_equality import NoFloatEquality
 from repro.lint.rules.rl005_cache_version import CacheVersionDiscipline
 from repro.lint.rules.rl006_atomic_write import NonAtomicCacheWrite
+from repro.lint.rules.rl007_silent_except import SilentBroadExcept
 
 __all__ = [
     "all_rules",
@@ -20,6 +21,7 @@ __all__ = [
     "NoFloatEquality",
     "CacheVersionDiscipline",
     "NonAtomicCacheWrite",
+    "SilentBroadExcept",
 ]
 
 
@@ -32,4 +34,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NoFloatEquality(),
         CacheVersionDiscipline(base=diff_base),
         NonAtomicCacheWrite(),
+        SilentBroadExcept(),
     ]

@@ -1,0 +1,110 @@
+"""RL007 — no silently swallowed broad exception handlers.
+
+The fault-tolerance layer works precisely because every failure is
+*accounted for*: retried, quarantined, or surfaced in the campaign
+report.  A bare ``except:`` or ``except Exception:`` whose body neither
+re-raises nor logs defeats that accounting — a fault disappears without
+a trace, which in a measurement campaign means silently corrupted data
+rather than a visible hole.
+
+The rule flags handlers that catch everything (``except:``,
+``except Exception``, ``except BaseException``, or a tuple containing
+either) and whose body contains no ``raise`` and no logging/warning
+call.  Narrow handlers (``except OSError:``) are fine — catching a
+*specific* error and moving on is a decision about that error, not a
+blanket mute.  Where a broad silent handler is genuinely intended
+(``contextlib.suppress`` territory), it carries an inline
+``# replint: ignore[RL007] -- <why>`` suppression, so the
+justification is in the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["SilentBroadExcept"]
+
+#: Exception types whose handlers count as "catches everything".
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+#: Method names that count as reporting the error (logger idiom).
+_LOG_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler, ctx: FileContext) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = dotted_name(node, ctx.aliases)
+        if name is not None and name.split(".")[-1] in _BROAD_TYPES:
+            return True
+    return False
+
+
+def _is_reporting_call(node: ast.Call, ctx: FileContext) -> bool:
+    name = dotted_name(node.func, ctx.aliases)
+    if name is not None and (
+        name == "warnings.warn" or name.startswith("logging.")
+    ):
+        return True
+    # logger.warning(...), self.log.error(...), …: method-name based,
+    # since logger objects cannot be resolved statically.
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _LOG_METHODS
+    )
+
+
+def _handles_visibly(handler: ast.ExceptHandler, ctx: FileContext) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and _is_reporting_call(node, ctx):
+            return True
+    return False
+
+
+class SilentBroadExcept(FileRule):
+    id = "RL007"
+    name = "silent-broad-except"
+    description = (
+        "bare except / except Exception that neither re-raises nor "
+        "logs; faults must be surfaced, not swallowed"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node, ctx):
+                continue
+            if _handles_visibly(node, ctx):
+                continue
+            findings.append(
+                ctx.finding(
+                    self,
+                    node,
+                    "broad exception handler swallows the error; re-raise, "
+                    "log it, or narrow the exception type (suppress with a "
+                    "reason if the mute is intentional)",
+                )
+            )
+        return findings

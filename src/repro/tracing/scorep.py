@@ -8,7 +8,7 @@ samples to the trace (Section III-A).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -18,7 +18,10 @@ from repro.seeding import derive_rng
 from repro.tracing.otf2 import MetricStream, Trace
 from repro.tracing.plugins import ApapiPlugin, MetricPlugin, PowerPlugin, VoltagePlugin
 
-__all__ = ["ScorePTracer", "trace_run"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults → tracing)
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["ScorePTracer", "trace_run", "trace_multiplexed_run"]
 
 
 class ScorePTracer:
@@ -30,6 +33,7 @@ class ScorePTracer:
         plugins: Sequence[MetricPlugin],
         *,
         sampling_interval_s: float = 0.1,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         if sampling_interval_s <= 0:
             raise ValueError("sampling interval must be positive")
@@ -38,12 +42,18 @@ class ScorePTracer:
         self.platform = platform
         self.plugins = list(plugins)
         self.sampling_interval_s = sampling_interval_s
+        self.fault_injector = fault_injector
 
-    def trace(self, run: RunExecution) -> Trace:
+    def trace(self, run: RunExecution, *, attempt: int = 0) -> Trace:
         """Record the trace of one executed run.
 
         Sample times form a run-global grid (plugins sample on their
         own clock, not aligned to phases), as Score-P async plugins do.
+
+        With a ``fault_injector`` attached, the finished trace passes
+        through :meth:`~repro.faults.injector.FaultInjector.corrupt_trace`
+        keyed by ``attempt`` — the measurement infrastructure, not the
+        system under test, is what glitches.
         """
         trace = Trace(
             meta={
@@ -112,6 +122,8 @@ class ScorePTracer:
             trace.add_metric_stream(
                 MetricStream(definition=mdef, times_s=times, values=values)
             )
+        if self.fault_injector is not None:
+            trace = self.fault_injector.corrupt_trace(trace, attempt=attempt)
         return trace
 
 
@@ -121,6 +133,8 @@ def trace_run(
     event_set: EventSet,
     *,
     sampling_interval_s: float = 0.1,
+    fault_injector: Optional["FaultInjector"] = None,
+    attempt: int = 0,
 ) -> Trace:
     """Convenience: trace a run with the paper's three plugins."""
     tracer = ScorePTracer(
@@ -131,8 +145,9 @@ def trace_run(
             ApapiPlugin(platform, event_set),
         ],
         sampling_interval_s=sampling_interval_s,
+        fault_injector=fault_injector,
     )
-    return tracer.trace(run)
+    return tracer.trace(run, attempt=attempt)
 
 
 def trace_multiplexed_run(
@@ -141,6 +156,8 @@ def trace_multiplexed_run(
     events: Sequence[str],
     *,
     sampling_interval_s: float = 0.1,
+    fault_injector: Optional["FaultInjector"] = None,
+    attempt: int = 0,
 ) -> Trace:
     """Trace a run with time-division-multiplexed counter sampling:
     all requested events from a single run (see
@@ -155,5 +172,6 @@ def trace_multiplexed_run(
             MultiplexedApapiPlugin(platform, events),
         ],
         sampling_interval_s=sampling_interval_s,
+        fault_injector=fault_injector,
     )
-    return tracer.trace(run)
+    return tracer.trace(run, attempt=attempt)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.acquisition import Campaign, CampaignPlan, build_dataset, merge_runs, run_campaign
-from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS
+from repro.hardware import COUNTER_NAMES
 from repro.tracing import PhaseProfile
 from repro.workloads import get_workload
 
@@ -151,6 +151,60 @@ class TestMerge:
             ]
         )
         assert len(merged) == 2
+
+    def test_phase_set_mismatch_rejected_by_default(self):
+        # Run 1 lost phase p1 (truncated trace): the merged p1 would
+        # silently lack run 1's counters — strict mode refuses.
+        profiles = [
+            _profile(0, {"TOT_CYC": 1e9}, phase="p0"),
+            _profile(0, {"TOT_CYC": 1e9}, phase="p1"),
+            _profile(1, {"PRF_DM": 1e6}, phase="p0"),
+        ]
+        with pytest.raises(ValueError, match="phase sets differ"):
+            merge_runs(profiles)
+
+    def test_phase_set_mismatch_recorded(self):
+        profiles = [
+            _profile(0, {"TOT_CYC": 1e9}, phase="p0"),
+            _profile(0, {"TOT_CYC": 1e9}, phase="p1"),
+            _profile(1, {"PRF_DM": 1e6}, phase="p0"),
+        ]
+        issues = []
+        merged = merge_runs(
+            profiles, on_phase_mismatch="record", issues=issues
+        )
+        assert len(merged) == 2
+        assert len(issues) == 1
+        assert "run 1 missing ['p1']" in issues[0]
+
+    def test_consistent_phase_sets_not_flagged(self):
+        issues = []
+        merge_runs(
+            [
+                _profile(0, {"TOT_CYC": 1e9}, phase="p0"),
+                _profile(1, {"PRF_DM": 1e6}, phase="p0"),
+            ],
+            on_phase_mismatch="record",
+            issues=issues,
+        )
+        assert issues == []
+
+    def test_counter_disagreement_recorded_keeps_mean(self):
+        issues = []
+        merged = merge_runs(
+            [
+                _profile(0, {"TOT_CYC": 1.0e9}),
+                _profile(1, {"TOT_CYC": 2.0e9}),
+            ],
+            on_counter_disagreement="record",
+            issues=issues,
+        )
+        assert merged[0].counter_rates_per_s["TOT_CYC"] == pytest.approx(1.5e9)
+        assert len(issues) == 1 and "disagrees" in issues[0]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_phase_mismatch"):
+            merge_runs([], on_phase_mismatch="explode")
 
 
 class TestBuildDataset:

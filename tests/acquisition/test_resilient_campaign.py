@@ -1,0 +1,389 @@
+"""Fault-tolerant campaigns: retry, quarantine, checkpoint/resume,
+graceful degradation.
+
+The seed-parametrized tests must hold for any ``REPRO_FAULT_SEED`` (the
+CI chaos matrix runs three); only tests pinning a specific scenario
+hard-code a fault seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition import (
+    Campaign,
+    CampaignPlan,
+    ResilientCampaign,
+    RetryPolicy,
+    run_campaign,
+    run_resilient_campaign,
+)
+from repro.faults import FaultPlan, RunFailure
+from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS
+from repro.workloads import get_workload
+
+#: Small event list → 2 PMU event sets (3 fixed ride along in both).
+PROG = tuple(c for c in COUNTER_NAMES if c not in FIXED_COUNTERS)[:8]
+EVENTS = tuple(FIXED_COUNTERS) + PROG
+
+
+def small_plan(**overrides):
+    defaults = dict(
+        workloads=(get_workload("compute"), get_workload("idle")),
+        frequencies_mhz=(2400,),
+        events=EVENTS,
+        thread_counts_override=(8,),
+    )
+    defaults.update(overrides)
+    return CampaignPlan(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fault_seed():
+    import os
+
+    return int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def datasets_equal(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    return (
+        a.counter_names == b.counter_names
+        and a.workloads == b.workloads
+        and a.phase_names == b.phase_names
+        and np.array_equal(a.counters, b.counters)
+        and np.array_equal(a.power_w, b.power_w)
+        and np.array_equal(a.voltage_v, b.voltage_v)
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base_s=1.0, backoff_factor=2.0,
+            backoff_max_s=3.0,
+        )
+        assert policy.delay_s(0) == pytest.approx(1.0)
+        assert policy.delay_s(1) == pytest.approx(2.0)
+        assert policy.delay_s(2) == pytest.approx(3.0)  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestRetryCompletion:
+    def test_flaky_campaign_completes_and_matches_clean(
+        self, platform, fault_seed
+    ):
+        # A campaign with a 10% per-run crash rate completes via
+        # retries and yields the *same dataset* as a fault-free one:
+        # crashes only delay a run, they never change its physics.
+        plan = small_plan(
+            workloads=(get_workload("compute"), get_workload("memory_read")),
+            frequencies_mhz=(1200, 2400),
+            thread_counts_override=(4, 8),
+        )
+        faults = FaultPlan(run_failure_rate=0.1, fault_seed=fault_seed)
+        campaign = ResilientCampaign(
+            platform, plan, faults=faults, retry=RetryPolicy(max_attempts=6)
+        )
+        result = campaign.run()
+        assert result.report.completed_cells == result.report.total_cells
+        assert not result.report.quarantined
+        clean = Campaign(platform, plan).run()
+        assert datasets_equal(result.dataset, clean)
+
+    def test_retries_observed_at_pinned_seed(self, platform):
+        # Pinned fault stream: verified locally to crash at least once.
+        plan = small_plan(
+            workloads=(get_workload("compute"), get_workload("memory_read")),
+            frequencies_mhz=(1200, 2400),
+            thread_counts_override=(4, 8),
+        )
+        faults = FaultPlan(run_failure_rate=0.2, fault_seed=0)
+        campaign = ResilientCampaign(
+            platform, plan, faults=faults, retry=RetryPolicy(max_attempts=6)
+        )
+        result = campaign.run()
+        assert result.report.retries > 0
+        assert result.report.faults_observed.get("run-crash", 0) > 0
+
+    def test_backoff_sleeps_through_injected_fn(self, platform):
+        sleeps = []
+        campaign = ResilientCampaign(
+            platform,
+            small_plan(),
+            faults=FaultPlan(kill_cells=("compute:*",)),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.5),
+            sleep_fn=sleeps.append,
+        )
+        campaign.run()
+        # 2 compute cells × 2 inter-attempt delays each.
+        assert sleeps == [0.5, 1.0, 0.5, 1.0]
+
+
+class TestQuarantine:
+    def test_dead_experiment_is_quarantined_not_fatal(self, platform):
+        campaign = ResilientCampaign(
+            platform,
+            small_plan(),
+            faults=FaultPlan(kill_cells=("compute:*",)),
+        )
+        result = campaign.run()
+        report = result.report
+        assert len(report.quarantined) == 2  # both compute event-set runs
+        assert all("compute" in desc for desc, _ in report.quarantined)
+        assert report.faults_observed["cell-killed"] == 2 * 3  # × attempts
+        # The surviving workload still produced a full-rank dataset.
+        assert result.dataset is not None
+        assert set(result.dataset.workloads) == {"idle"}
+        assert "quarantined" in report.summary()
+
+    def test_strict_campaign_would_have_died(self, platform):
+        from repro.faults import FaultyPlatform
+
+        faulty = FaultyPlatform(platform, FaultPlan(kill_cells=("compute:*",)))
+        with pytest.raises(RunFailure):
+            Campaign(faulty, small_plan()).run()
+
+
+class TestGracefulDegradation:
+    def test_partial_run_drops_low_coverage_counters(self, platform):
+        # Kill only run 1 (second event set) of the compute experiment:
+        # compute phases lack that set's programmable counters.
+        campaign = ResilientCampaign(
+            platform,
+            small_plan(),
+            faults=FaultPlan(kill_cells=("compute:2400:8:1",)),
+        )
+        result = campaign.run()
+        report = result.report
+        set1 = PROG[4:]
+        assert report.dropped_counters == set1
+        for c in set1:
+            assert report.counter_coverage[c] < 0.75
+        for c in tuple(FIXED_COUNTERS) + PROG[:4]:
+            assert report.counter_coverage[c] == pytest.approx(1.0)
+        # Columns were dropped, rows kept: both workloads survive.
+        assert result.dataset is not None
+        assert set(result.dataset.workloads) == {"compute", "idle"}
+        assert result.dataset.counter_names == tuple(FIXED_COUNTERS) + PROG[:4]
+        assert report.degraded_phases == 0
+
+    def test_zero_threshold_drops_rows_instead(self, platform):
+        campaign = ResilientCampaign(
+            platform,
+            small_plan(),
+            faults=FaultPlan(kill_cells=("compute:2400:8:1",)),
+            min_counter_coverage=0.0,
+        )
+        result = campaign.run()
+        assert result.report.dropped_counters == ()
+        assert result.report.degraded_phases > 0
+        assert result.dataset is not None
+        assert set(result.dataset.workloads) == {"idle"}
+        assert result.dataset.counter_names == EVENTS
+
+    def test_total_loss_yields_none_with_explanation(self, platform):
+        campaign = ResilientCampaign(
+            platform,
+            small_plan(),
+            faults=FaultPlan(kill_cells=("*",)),
+        )
+        result = campaign.run()
+        assert result.dataset is None
+        assert result.report.completed_cells == 0
+        assert len(result.report.quarantined) == result.report.total_cells
+        assert all(
+            v == pytest.approx(0.0)
+            for v in result.report.counter_coverage.values()
+        )
+
+    def test_clean_campaign_reports_clean(self, platform):
+        result = ResilientCampaign(platform, small_plan()).run()
+        assert result.report.clean
+        assert "clean campaign" in result.report.summary()
+
+
+class TestCheckpointResume:
+    def _campaign(self, platform, tmp_path, fault_seed, **kwargs):
+        return ResilientCampaign(
+            platform,
+            small_plan(
+                workloads=(get_workload("compute"), get_workload("idle"),
+                           get_workload("memory_read")),
+            ),
+            faults=FaultPlan(run_failure_rate=0.1, fault_seed=fault_seed),
+            retry=RetryPolicy(max_attempts=6),
+            checkpoint_dir=tmp_path / "ckpt",
+            **kwargs,
+        )
+
+    def test_interrupted_campaign_resumes_bit_identical(
+        self, platform, tmp_path, fault_seed
+    ):
+        uninterrupted = ResilientCampaign(
+            platform,
+            small_plan(
+                workloads=(get_workload("compute"), get_workload("idle"),
+                           get_workload("memory_read")),
+            ),
+            faults=FaultPlan(run_failure_rate=0.1, fault_seed=fault_seed),
+            retry=RetryPolicy(max_attempts=6),
+        ).run()
+
+        calls = []
+
+        def interrupting(msg):
+            calls.append(msg)
+            if len(calls) == 4:
+                raise KeyboardInterrupt
+
+        first = self._campaign(platform, tmp_path, fault_seed)
+        with pytest.raises(KeyboardInterrupt):
+            first.run(progress=interrupting)
+
+        second = self._campaign(platform, tmp_path, fault_seed)
+        result = second.run()
+        assert result.report.resumed_cells == 3
+        assert result.report.completed_cells == result.report.total_cells
+        assert datasets_equal(result.dataset, uninterrupted.dataset)
+
+    def test_corrupt_cell_during_resume_is_regenerated(
+        self, platform, tmp_path, fault_seed
+    ):
+        first = self._campaign(platform, tmp_path, fault_seed)
+        full = first.run()
+        assert first.checkpoint is not None
+        stored = first.checkpoint.completed_cells()
+        assert stored
+        # Bit-rot one stored cell: resume must discard and re-execute
+        # it, not crash or trust garbage.
+        victim = first.checkpoint.cell_path(stored[0])
+        victim.write_bytes(b"not a zip archive")
+
+        second = self._campaign(platform, tmp_path, fault_seed)
+        result = second.run()
+        assert result.report.resumed_cells == len(stored) - 1
+        assert datasets_equal(result.dataset, full.dataset)
+
+    def test_changed_configuration_resets_checkpoint(
+        self, platform, tmp_path, fault_seed
+    ):
+        first = self._campaign(platform, tmp_path, fault_seed)
+        first.run()
+        assert first.checkpoint.completed_cells()
+        # Different fault plan ⇒ different fingerprint ⇒ stored cells
+        # from the old configuration must not leak into this one.
+        different = ResilientCampaign(
+            platform,
+            small_plan(
+                workloads=(get_workload("compute"), get_workload("idle"),
+                           get_workload("memory_read")),
+            ),
+            faults=FaultPlan(run_failure_rate=0.5, fault_seed=fault_seed),
+            retry=RetryPolicy(max_attempts=6),
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert different.checkpoint.completed_cells() == []
+        result = different.run()
+        assert result.report.resumed_cells == 0
+
+
+class TestFaultDeterminism:
+    def test_same_seed_same_plan_bit_identical(self, platform, fault_seed):
+        plan = small_plan()
+        faults = FaultPlan.chaos(0.3, fault_seed=fault_seed)
+
+        def run_once():
+            return ResilientCampaign(platform, plan, faults=faults).run()
+
+        a, b = run_once(), run_once()
+        assert datasets_equal(a.dataset, b.dataset)
+        assert dict(a.report.faults_observed) == dict(b.report.faults_observed)
+        assert a.report.retries == b.report.retries
+        assert a.report.quarantined == b.report.quarantined
+        assert dict(a.report.counter_coverage) == dict(
+            b.report.counter_coverage
+        )
+
+    def test_different_fault_seed_same_physics(self, platform):
+        # Fault streams with different seeds inject different faults,
+        # but whatever survives is drawn from the same simulated truth:
+        # any (workload, phase) row present in both runs is identical.
+        plan = small_plan()
+        a = ResilientCampaign(
+            platform, plan,
+            faults=FaultPlan(run_failure_rate=0.3, fault_seed=1),
+            retry=RetryPolicy(max_attempts=8),
+        ).run()
+        b = ResilientCampaign(
+            platform, plan,
+            faults=FaultPlan(run_failure_rate=0.3, fault_seed=2),
+            retry=RetryPolicy(max_attempts=8),
+        ).run()
+        assert a.dataset is not None and b.dataset is not None
+        rows_a = {
+            (w, p): a.dataset.power_w[i]
+            for i, (w, p) in enumerate(
+                zip(a.dataset.workloads, a.dataset.phase_names)
+            )
+        }
+        for i, (w, p) in enumerate(
+            zip(b.dataset.workloads, b.dataset.phase_names)
+        ):
+            if (w, p) in rows_a:
+                assert b.dataset.power_w[i] == rows_a[(w, p)]
+
+
+class TestPlumbing:
+    def test_run_campaign_forwards_events(self, platform):
+        ds = run_campaign(
+            platform,
+            [get_workload("idle")],
+            [2400],
+            events=EVENTS,
+            thread_counts=[8],
+        )
+        assert ds.counter_names == EVENTS
+        assert ds.counters.shape[1] == len(EVENTS)
+
+    def test_run_campaign_forwards_multiplexing(self, platform):
+        ds = run_campaign(
+            platform,
+            [get_workload("idle")],
+            [2400],
+            events=EVENTS,
+            thread_counts=[8],
+            multiplexing="time-division",
+        )
+        assert ds.counter_names == EVENTS
+
+    def test_bad_multiplexing_rejected(self, platform):
+        with pytest.raises(ValueError, match="multiplexing"):
+            run_campaign(
+                platform,
+                [get_workload("idle")],
+                [2400],
+                multiplexing="nonsense",
+            )
+
+    def test_run_resilient_campaign_wrapper(self, platform, fault_seed):
+        result = run_resilient_campaign(
+            platform,
+            [get_workload("idle")],
+            [2400],
+            events=EVENTS,
+            thread_counts=[8],
+            faults=FaultPlan(run_failure_rate=0.1, fault_seed=fault_seed),
+            retry=RetryPolicy(max_attempts=6),
+        )
+        assert result.dataset is not None
+        assert result.report.total_cells == 2

@@ -1,6 +1,5 @@
 """Unit tests for cluster-scale estimation."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (
@@ -8,6 +7,7 @@ from repro.cluster import (
     build_cluster,
     estimate_cluster_power,
 )
+from repro.faults import FaultPlan, NodeFailure
 from repro.workloads import get_workload
 
 
@@ -148,4 +148,82 @@ class TestClusterEstimation:
                 counters=COUNTERS,
                 training_workloads=_training_suite(),
                 strategy="magic",
+            )
+
+
+class TestDeadNodes:
+    def _assignment(self, nodes):
+        return {n.hostname: get_workload("compute") for n in nodes}
+
+    def test_all_alive_without_faults(self, cluster):
+        assert all(n.alive for n in cluster)
+
+    def test_fault_plan_kills_nodes_deterministically(self):
+        plan = FaultPlan(dead_node_rate=0.5)
+        a = build_cluster(20, seed=7, faults=plan)
+        b = build_cluster(20, seed=7, faults=plan)
+        dead = [n.node_id for n in a if not n.alive]
+        assert 0 < len(dead) < 20
+        assert dead == [n.node_id for n in b if not n.alive]
+        # Liveness never perturbs the dies themselves.
+        plain = build_cluster(20, seed=7)
+        for fn, pn in zip(a, plain):
+            assert (
+                fn.platform.power_params.leakage_w_per_v
+                == pn.platform.power_params.leakage_w_per_v
+            )
+
+    def test_dead_node_aborts_estimation_by_default(self):
+        nodes = build_cluster(
+            8, seed=7, faults=FaultPlan(dead_node_rate=0.5)
+        )
+        assert any(not n.alive for n in nodes)
+        with pytest.raises(NodeFailure, match="dead nodes"):
+            estimate_cluster_power(
+                nodes,
+                self._assignment(nodes),
+                counters=COUNTERS,
+                training_workloads=_training_suite(),
+                frequencies_mhz=(1200, 2400),
+                threads=8,
+            )
+
+    def test_skip_mode_estimates_survivors(self):
+        nodes = build_cluster(
+            8, seed=7, faults=FaultPlan(dead_node_rate=0.5)
+        )
+        dead = [n.hostname for n in nodes if not n.alive]
+        estimate = estimate_cluster_power(
+            nodes,
+            self._assignment(nodes),
+            counters=COUNTERS,
+            training_workloads=_training_suite(),
+            frequencies_mhz=(1200, 2400),
+            threads=8,
+            on_dead_nodes="skip",
+        )
+        assert estimate.skipped_nodes == tuple(dead)
+        assert len(estimate.nodes) == len(nodes) - len(dead)
+        live = {n.hostname for n in nodes if n.alive}
+        assert {e.hostname for e in estimate.nodes} == live
+
+    def test_all_dead_raises_even_in_skip_mode(self):
+        nodes = build_cluster(2, seed=7, faults=FaultPlan(dead_node_rate=1.0))
+        with pytest.raises(NodeFailure, match="no live nodes"):
+            estimate_cluster_power(
+                nodes,
+                self._assignment(nodes),
+                counters=COUNTERS,
+                training_workloads=_training_suite(),
+                on_dead_nodes="skip",
+            )
+
+    def test_invalid_mode_rejected(self, cluster):
+        with pytest.raises(ValueError, match="on_dead_nodes"):
+            estimate_cluster_power(
+                cluster,
+                self._assignment(cluster),
+                counters=COUNTERS,
+                training_workloads=_training_suite(),
+                on_dead_nodes="maybe",
             )

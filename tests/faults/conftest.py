@@ -1,0 +1,19 @@
+"""Fixtures for the fault-injection suite.
+
+The CI ``chaos`` job re-runs this suite with several values of
+``REPRO_FAULT_SEED`` (distinct fault streams over the same physics), so
+tests written against the ``fault_seed`` fixture must hold for *any*
+seed — only tests that pin a specific scenario hard-code one.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fault_seed() -> int:
+    """Fault-stream seed; overridden by the CI chaos matrix."""
+    return int(os.environ.get("REPRO_FAULT_SEED", "0"))

@@ -16,6 +16,7 @@ from repro.lint.rules import (
     NonAtomicCacheWrite,
     NoUnseededRng,
     RequireAllowPickleFalse,
+    SilentBroadExcept,
     UnitSuffixConsistency,
 )
 
@@ -323,3 +324,98 @@ class TestRL006AtomicWrite:
             )
             == []
         )
+
+
+# ---------------------------------------------------------------------------
+class TestRL007SilentExcept:
+    def test_flags_bare_except_pass(self):
+        bad = """
+            def f():
+                try:
+                    risky()
+                except:
+                    pass
+        """
+        assert ids(run_rule(SilentBroadExcept(), bad)) == ["RL007"]
+
+    def test_flags_broad_except_returning_default(self):
+        bad = """
+            def f():
+                try:
+                    return risky()
+                except Exception:
+                    return None
+        """
+        assert ids(run_rule(SilentBroadExcept(), bad)) == ["RL007"]
+
+    def test_flags_broad_type_in_tuple(self):
+        bad = """
+            def f():
+                try:
+                    risky()
+                except (ValueError, Exception):
+                    pass
+        """
+        assert ids(run_rule(SilentBroadExcept(), bad)) == ["RL007"]
+
+    def test_passes_narrow_handler(self):
+        good = """
+            def f(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        """
+        assert run_rule(SilentBroadExcept(), good) == []
+
+    def test_passes_reraise(self):
+        good = """
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    cleanup()
+                    raise
+        """
+        assert run_rule(SilentBroadExcept(), good) == []
+
+    def test_passes_raise_from(self):
+        good = """
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+        """
+        assert run_rule(SilentBroadExcept(), good) == []
+
+    def test_passes_logger_call(self):
+        good = """
+            def f(logger):
+                try:
+                    risky()
+                except Exception:
+                    logger.exception("risky() failed")
+        """
+        assert run_rule(SilentBroadExcept(), good) == []
+
+    def test_passes_warnings_warn(self):
+        good = """
+            import warnings
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    warnings.warn(str(exc))
+        """
+        assert run_rule(SilentBroadExcept(), good) == []
+
+    def test_inline_suppression_honoured(self):
+        code = """
+            def f():
+                try:
+                    risky()
+                except Exception:  # replint: ignore[RL007] -- best-effort probe
+                    pass
+        """
+        assert run_rule(SilentBroadExcept(), code) == []
