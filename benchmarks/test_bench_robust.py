@@ -1,0 +1,66 @@
+"""Extension: robust (Huber-IRLS) fitting vs OLS under contamination.
+
+Times `fit_robust` against `fit_ols` on the full campaign design and
+reports the accuracy gap when a small fraction of the power readings is
+corrupted by gross outliers — the sensor-glitch scenario the robust
+estimation layer (DESIGN.md §10) exists for.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core import PowerModel
+from repro.core.features import design_matrix
+from repro.stats import fit_ols, fit_robust, mape
+
+
+def _contaminated_power(dataset, fraction=0.05, magnitude_w=150.0, seed=99):
+    rng = np.random.default_rng(seed)
+    power_w = dataset.power_w.copy()
+    n_bad = max(int(round(fraction * power_w.size)), 1)
+    idx = rng.choice(power_w.size, size=n_bad, replace=False)
+    power_w[idx] += magnitude_w
+    return power_w, idx
+
+
+def test_bench_robust_fit_cost(benchmark, full_dataset, selected_counters):
+    """IRLS costs a handful of weighted OLS passes — report the factor."""
+    x = design_matrix(full_dataset, selected_counters)
+    y = full_dataset.power_w
+
+    res = benchmark(lambda: fit_robust(y, x, intercept=False))
+    assert res.diagnostics.converged
+
+
+def test_bench_robust_vs_ols_under_outliers(
+    benchmark, full_dataset, selected_counters
+):
+    """5% gross sensor outliers: compare clean-data MAPE of both fits."""
+    x = design_matrix(full_dataset, selected_counters)
+    y_clean = full_dataset.power_w
+    y_bad, idx = _contaminated_power(full_dataset)
+    clean_mask = np.ones(y_clean.size, dtype=bool)
+    clean_mask[idx] = False
+
+    robust = benchmark.pedantic(
+        lambda: fit_robust(y_bad, x, intercept=False),
+        rounds=1,
+        iterations=1,
+    )
+    ols = fit_ols(y_bad, x, intercept=False)
+    mape_robust = mape(y_clean[clean_mask], robust.predict(x)[clean_mask])
+    mape_ols = mape(y_clean[clean_mask], ols.predict(x)[clean_mask])
+    oracle = PowerModel(selected_counters).fit(full_dataset)
+
+    report(
+        "Extension — Huber-IRLS vs OLS with 5% gross power outliers",
+        f"contaminated rows: {idx.size} of {y_clean.size} "
+        f"(+150 W each)\n"
+        f"clean-row MAPE, OLS on contaminated data:   {mape_ols:.2f} %\n"
+        f"clean-row MAPE, Huber on contaminated data: {mape_robust:.2f} %\n"
+        f"reference MAPE, OLS on clean data:          "
+        f"{mape(y_clean, oracle.predict(full_dataset)):.2f} %\n"
+        f"IRLS iterations: {robust.diagnostics.n_iter} "
+        f"(converged: {robust.diagnostics.converged})",
+    )
+    assert mape_robust < mape_ols

@@ -8,14 +8,14 @@ from repro.core.analysis import (
     significance_report,
 )
 from repro.core.features import STRUCTURAL_TERMS, design_matrix, feature_names
-from repro.core.model import FittedPowerModel, PowerModel
+from repro.core.model import ESTIMATORS, FittedPowerModel, PowerModel
 from repro.core.persistence import (
     load_model,
     model_from_dict,
     model_to_dict,
     save_model,
 )
-from repro.core.report import fmt, render_series, render_table
+from repro.core.report import fmt, render_counts, render_series, render_table
 from repro.core.scenarios import (
     SCENARIO_NAMES,
     ScenarioResult,
@@ -46,10 +46,13 @@ from repro.core.governor import (
     govern_workload,
 )
 from repro.core.online import (
+    DriftReport,
     OnlineEstimate,
     OnlineEstimator,
     OnlineTimeline,
+    PowerEnvelope,
     estimate_run,
+    estimate_run_degraded,
 )
 from repro.core.selection import (
     SelectionResult,
@@ -65,6 +68,7 @@ __all__ = [
     "STRUCTURAL_TERMS",
     "PowerModel",
     "FittedPowerModel",
+    "ESTIMATORS",
     "select_events",
     "SelectionResult",
     "SelectionStep",
@@ -83,6 +87,7 @@ __all__ = [
     "WorkflowResult",
     "render_table",
     "render_series",
+    "render_counts",
     "fmt",
     "select_events_lasso",
     "EnergyAccount",
@@ -93,7 +98,10 @@ __all__ = [
     "OnlineEstimator",
     "OnlineEstimate",
     "OnlineTimeline",
+    "PowerEnvelope",
+    "DriftReport",
     "estimate_run",
+    "estimate_run_degraded",
     "PowerAttribution",
     "attribute",
     "attribute_dataset",

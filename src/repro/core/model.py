@@ -16,10 +16,16 @@ import numpy as np
 
 from repro.acquisition.dataset import PowerDataset
 from repro.core.features import design_matrix, feature_names
+from repro.stats.linalg import FitDiagnostics
 from repro.stats.metrics import mape, r2_score
 from repro.stats.ols import OLSResult, fit_ols
+from repro.stats.robust import fit_robust
 
-__all__ = ["PowerModel", "FittedPowerModel"]
+__all__ = ["PowerModel", "FittedPowerModel", "ESTIMATORS"]
+
+#: Supported coefficient estimators: plain OLS (the paper's) and the
+#: Huber-IRLS robust alternative for outlier-contaminated campaigns.
+ESTIMATORS = ("ols", "huber")
 
 
 @dataclass(frozen=True)
@@ -29,11 +35,18 @@ class FittedPowerModel:
     counters: tuple
     ols: OLSResult
     cov_type: str
+    estimator: str = "ols"
+    """Which estimator produced the coefficients (``"ols"``/``"huber"``)."""
 
     # ------------------------------------------------------------------
     @property
     def rsquared(self) -> float:
         return self.ols.rsquared
+
+    @property
+    def diagnostics(self) -> Optional[FitDiagnostics]:
+        """Numerical provenance of the underlying fit."""
+        return self.ols.diagnostics
 
     @property
     def rsquared_adj(self) -> float:
@@ -113,21 +126,31 @@ class PowerModel:
     """Factory: formulate Equation 1 for a chosen counter set."""
 
     def __init__(
-        self, counters: Sequence[str], *, cov_type: str = "HC3"
+        self,
+        counters: Sequence[str],
+        *,
+        cov_type: str = "HC3",
+        estimator: str = "ols",
     ) -> None:
         seen = set()
         for c in counters:
             if c in seen:
                 raise ValueError(f"counter {c!r} listed twice")
             seen.add(c)
+        if estimator not in ESTIMATORS:
+            raise ValueError(
+                f"estimator must be one of {ESTIMATORS}, got {estimator!r}"
+            )
         self.counters = tuple(counters)
         self.cov_type = cov_type
+        self.estimator = estimator
 
     def fit(self, dataset: PowerDataset) -> FittedPowerModel:
-        """Fit on a dataset by OLS (coefficients via least squares,
-        inference via the configured HC estimator)."""
+        """Fit on a dataset (coefficients via least squares or Huber
+        IRLS, inference via the configured HC estimator)."""
         x = design_matrix(dataset, self.counters)
-        ols = fit_ols(
+        fit_fn = fit_robust if self.estimator == "huber" else fit_ols
+        ols = fit_fn(
             dataset.power_w,
             x,
             intercept=False,
@@ -135,5 +158,8 @@ class PowerModel:
             exog_names=feature_names(self.counters),
         )
         return FittedPowerModel(
-            counters=self.counters, ols=ols, cov_type=self.cov_type
+            counters=self.counters,
+            ols=ols,
+            cov_type=self.cov_type,
+            estimator=self.estimator,
         )

@@ -8,21 +8,58 @@ emits per-interval power estimates; :func:`estimate_run` drives it from
 a simulated execution and returns the estimated and measured timelines
 side by side, which is how the temporal-granularity advantage of models
 over sensors is demonstrated.
+
+Drift defense (DESIGN.md §10)
+-----------------------------
+A deployed estimator also faces *inference-time* faults the training
+campaign never saw: multiplexed-away counters, NaN deltas from a dying
+perf fd, timestamps stepping backwards under NTP.  The hardened entry
+point is :meth:`OnlineEstimator.step`:
+
+* invalid context (non-positive/non-finite interval, voltage, frequency)
+  and non-monotonic timestamps **skip** the interval with a counted
+  warning instead of raising mid-control-loop;
+* intervals with missing / NaN / negative deltas for any model counter
+  fall back from full Equation 1 to the PMC-free baseline
+  :math:`\\beta V^2 f + \\gamma V + \\delta Z`;
+* a **circuit breaker** opens after ``breaker_threshold`` consecutive
+  degraded intervals and holds the estimator on the baseline until
+  ``recovery_threshold`` consecutive clean intervals close it again —
+  a flapping counter cannot whipsaw the estimate;
+* a :class:`PowerEnvelope` (typically derived from the training data)
+  bounds plausibility: model estimates outside it are replaced by the
+  clipped baseline, and a window where more than ``drift_tolerance`` of
+  the intervals are implausible latches **drift detected**.
+
+Everything observed is tallied into a structured :class:`DriftReport`
+(:meth:`OnlineEstimator.drift_report`).  The strict :meth:`update`
+keeps its historical raise-on-anything contract for callers that want
+hard failures.  ``smoothed_w`` stays finite through all of this: every
+fallback produces a finite power before it reaches the EWMA.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.model import FittedPowerModel
+from repro.core.report import render_counts
 from repro.hardware.platform import Platform, RunExecution
 from repro.hardware.pmu import EventSet
 from repro.seeding import derive_rng
 
-__all__ = ["OnlineEstimate", "OnlineEstimator", "estimate_run", "OnlineTimeline"]
+__all__ = [
+    "OnlineEstimate",
+    "OnlineEstimator",
+    "OnlineTimeline",
+    "PowerEnvelope",
+    "DriftReport",
+    "estimate_run",
+    "estimate_run_degraded",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +69,127 @@ class OnlineEstimate:
     time_s: float
     power_w: float
     smoothed_w: float
+    source: str = "model"
+    """``"model"`` (full Equation 1) or ``"baseline"`` (PMC-free
+    fallback βV²f + γV + δZ)."""
+    flags: Tuple[str, ...] = ()
+    """Degradation notes for this interval (missing counters, breaker
+    state, plausibility clips); empty for a clean interval."""
+
+
+@dataclass(frozen=True)
+class PowerEnvelope:
+    """Plausible node-power range used for online sanity checks.
+
+    Derived from the training campaign: if the model never saw powers
+    outside ``[lo_w, hi_w]``, an online estimate far outside that range
+    says more about drift or counter corruption than about the machine.
+    """
+
+    lo_w: float
+    hi_w: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.lo_w) and np.isfinite(self.hi_w)):
+            raise ValueError("envelope bounds must be finite")
+        if self.lo_w >= self.hi_w:
+            raise ValueError(
+                f"envelope lower bound {self.lo_w} must be below upper "
+                f"bound {self.hi_w}"
+            )
+
+    @classmethod
+    def from_dataset(cls, dataset, margin: float = 0.25) -> "PowerEnvelope":
+        """Envelope spanning a dataset's measured power ± ``margin``
+        (relative to the observed span, so a tight training range still
+        leaves headroom)."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        power_w = np.asarray(dataset.power_w, dtype=np.float64)
+        finite = power_w[np.isfinite(power_w)]
+        if finite.size == 0:
+            raise ValueError("dataset has no finite power samples")
+        lo = float(finite.min())
+        hi = float(finite.max())
+        pad = margin * max(hi - lo, abs(hi), 1.0)
+        return cls(lo_w=max(lo - pad, 0.0), hi_w=hi + pad)
+
+    def contains(self, power_w: float) -> bool:
+        return bool(
+            np.isfinite(power_w) and self.lo_w <= power_w <= self.hi_w
+        )
+
+    def clip(self, power_w: float) -> float:
+        """Clamp into the envelope; non-finite input lands mid-range."""
+        if not np.isfinite(power_w):
+            return 0.5 * (self.lo_w + self.hi_w)
+        return float(min(max(power_w, self.lo_w), self.hi_w))
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Structured tally of one online estimation session."""
+
+    n_intervals: int
+    """Intervals that produced an estimate (model or baseline)."""
+    n_model: int
+    n_baseline: int
+    n_skipped: int
+    """Inputs rejected outright (bad context / non-monotonic time)."""
+    n_implausible: int
+    """Model estimates that fell outside the power envelope."""
+    n_clipped: int
+    """Estimates clamped into the envelope."""
+    breaker_trips: int
+    breaker_open_intervals: int
+    breaker_open: bool
+    """Whether the circuit breaker is open *now* (session end)."""
+    drift_detected: bool
+    drift_fraction: float
+    """Implausible fraction over the most recent drift window."""
+    warnings: Tuple[str, ...] = field(default=())
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of produced estimates that needed the baseline."""
+        if self.n_intervals == 0:
+            return 0.0
+        return self.n_baseline / self.n_intervals
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.n_baseline == 0
+            and self.n_skipped == 0
+            and self.n_implausible == 0
+            and not self.drift_detected
+            and not self.warnings
+        )
+
+    def summary(self) -> str:
+        counts = render_counts(
+            {
+                "intervals": self.n_intervals,
+                "model": self.n_model,
+                "baseline": self.n_baseline,
+                "skipped": self.n_skipped,
+                "implausible": self.n_implausible,
+                "clipped": self.n_clipped,
+                "breaker_trips": self.breaker_trips,
+                "breaker_open_intervals": self.breaker_open_intervals,
+            },
+            title="online estimation",
+        )
+        lines = [counts]
+        if self.breaker_open:
+            lines.append("circuit breaker OPEN at session end")
+        if self.drift_detected:
+            lines.append(
+                f"DRIFT detected (implausible fraction "
+                f"{self.drift_fraction:.0%} over recent window)"
+            )
+        lines.extend(f"warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
 
 
 class OnlineEstimator:
@@ -44,24 +202,169 @@ class OnlineEstimator:
     smoothing:
         EWMA factor in (0, 1]; 1 disables smoothing.  Power-management
         loops usually want a little smoothing against PMU read noise.
+    envelope:
+        Optional plausibility bounds for :meth:`step`; estimates the
+        model pushes outside the envelope fall back to the clipped
+        baseline and count toward drift detection.
+    breaker_threshold:
+        Consecutive degraded intervals before the circuit breaker opens.
+    recovery_threshold:
+        Consecutive clean intervals required to close it again.
+    drift_window / drift_tolerance:
+        Drift is declared when more than ``drift_tolerance`` of the last
+        ``drift_window`` produced intervals were implausible.
     """
 
-    def __init__(self, model: FittedPowerModel, *, smoothing: float = 0.5):
+    def __init__(
+        self,
+        model: FittedPowerModel,
+        *,
+        smoothing: float = 0.5,
+        envelope: Optional[PowerEnvelope] = None,
+        breaker_threshold: int = 3,
+        recovery_threshold: int = 2,
+        drift_window: int = 20,
+        drift_tolerance: float = 0.5,
+    ):
         if not 0.0 < smoothing <= 1.0:
             raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if recovery_threshold < 1:
+            raise ValueError("recovery_threshold must be at least 1")
+        if drift_window < 1:
+            raise ValueError("drift_window must be at least 1")
+        if not 0.0 < drift_tolerance <= 1.0:
+            raise ValueError(
+                f"drift_tolerance must be in (0, 1], got {drift_tolerance}"
+            )
         self.model = model
         self.smoothing = smoothing
+        self.envelope = envelope
+        self.breaker_threshold = breaker_threshold
+        self.recovery_threshold = recovery_threshold
+        self.drift_window = drift_window
+        self.drift_tolerance = drift_tolerance
         self._smoothed: Optional[float] = None
         self._history: List[OnlineEstimate] = []
+        self._warnings: List[str] = []
+        self._last_time: Optional[float] = None
+        self._seen = 0
+        self._n_model = 0
+        self._n_baseline = 0
+        self._n_skipped = 0
+        self._n_implausible = 0
+        self._n_clipped = 0
+        self._breaker_open = False
+        self._breaker_trips = 0
+        self._breaker_open_intervals = 0
+        self._consecutive_bad = 0
+        self._consecutive_good = 0
+        self._implausible_window: List[bool] = []
+        self._drift_detected = False
 
     @property
     def history(self) -> Tuple[OnlineEstimate, ...]:
         return tuple(self._history)
 
+    @property
+    def warnings(self) -> Tuple[str, ...]:
+        return tuple(self._warnings)
+
+    @property
+    def breaker_open(self) -> bool:
+        return self._breaker_open
+
     def reset(self) -> None:
         self._smoothed = None
         self._history.clear()
+        self._warnings.clear()
+        self._last_time = None
+        self._seen = 0
+        self._n_model = 0
+        self._n_baseline = 0
+        self._n_skipped = 0
+        self._n_implausible = 0
+        self._n_clipped = 0
+        self._breaker_open = False
+        self._breaker_trips = 0
+        self._breaker_open_intervals = 0
+        self._consecutive_bad = 0
+        self._consecutive_good = 0
+        self._implausible_window.clear()
+        self._drift_detected = False
 
+    # ------------------------------------------------------------------
+    # Equation 1 pieces
+    # ------------------------------------------------------------------
+    def _structural_terms(
+        self, voltage_v: float, frequency_mhz: float
+    ) -> Tuple[float, float]:
+        v2f = voltage_v * voltage_v * (frequency_mhz / 1000.0)
+        coeffs = self.model.coefficients
+        baseline = (
+            coeffs["beta:V2f"] * v2f
+            + coeffs["gamma:V"] * voltage_v
+            + coeffs["delta:Z"]
+        )
+        return v2f, baseline
+
+    def baseline_power(
+        self, *, voltage_v: float, frequency_mhz: float
+    ) -> float:
+        """PMC-free Equation 1 baseline :math:`\\beta V^2 f + \\gamma V
+        + \\delta Z` — what the model says about this operating point
+        when no counter can be trusted."""
+        _, baseline = self._structural_terms(voltage_v, frequency_mhz)
+        return baseline
+
+    def _model_power(
+        self,
+        counter_deltas: Dict[str, float],
+        interval_s: float,
+        voltage_v: float,
+        frequency_mhz: float,
+    ) -> float:
+        cycles = frequency_mhz * 1e6 * interval_s
+        v2f, power_w = self._structural_terms(voltage_v, frequency_mhz)
+        coeffs = self.model.coefficients
+        for counter in self.model.counters:
+            rate = counter_deltas[counter] / cycles
+            power_w += coeffs[f"alpha:{counter}"] * rate * v2f
+        return power_w
+
+    def _record(
+        self,
+        power_w: float,
+        time_s: Optional[float],
+        interval_s: float,
+        source: str,
+        flags: Tuple[str, ...],
+    ) -> OnlineEstimate:
+        if self._smoothed is None:
+            self._smoothed = power_w
+        else:
+            self._smoothed = (
+                self.smoothing * power_w
+                + (1.0 - self.smoothing) * self._smoothed
+            )
+        t = time_s if time_s is not None else (
+            self._history[-1].time_s + interval_s if self._history else interval_s
+        )
+        self._last_time = t
+        estimate = OnlineEstimate(
+            time_s=t,
+            power_w=power_w,
+            smoothed_w=self._smoothed,
+            source=source,
+            flags=flags,
+        )
+        self._history.append(estimate)
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Strict path (historical contract: raise on anything suspect)
+    # ------------------------------------------------------------------
     def update(
         self,
         counter_deltas: Dict[str, float],
@@ -75,7 +378,8 @@ class OnlineEstimator:
 
         ``counter_deltas`` are raw event counts accumulated over the
         interval for (at least) the model's counters.  Returns the
-        instantaneous and smoothed power estimates.
+        instantaneous and smoothed power estimates.  Invalid input
+        raises — use :meth:`step` for the fault-tolerant variant.
         """
         if interval_s <= 0:
             raise ValueError("interval must be positive")
@@ -86,29 +390,182 @@ class OnlineEstimator:
             raise KeyError(
                 f"counter deltas missing model events: {missing}"
             )
-        cycles = frequency_mhz * 1e6 * interval_s
-        v2f = voltage_v * voltage_v * (frequency_mhz / 1000.0)
-        coeffs = self.model.coefficients
-        power_w = coeffs["beta:V2f"] * v2f
-        power_w += coeffs["gamma:V"] * voltage_v
-        power_w += coeffs["delta:Z"]
-        for counter in self.model.counters:
-            rate = counter_deltas[counter] / cycles
-            power_w += coeffs[f"alpha:{counter}"] * rate * v2f
-        if self._smoothed is None:
-            self._smoothed = power_w
+        power_w = self._model_power(
+            counter_deltas, interval_s, voltage_v, frequency_mhz
+        )
+        self._seen += 1
+        self._n_model += 1
+        return self._record(power_w, time_s, interval_s, "model", ())
+
+    # ------------------------------------------------------------------
+    # Hardened path
+    # ------------------------------------------------------------------
+    def _warn(self, message: str) -> None:
+        self._warnings.append(f"interval {self._seen}: {message}")
+
+    def _update_breaker(self, interval_good: bool) -> None:
+        if interval_good:
+            self._consecutive_good += 1
+            self._consecutive_bad = 0
+            if (
+                self._breaker_open
+                and self._consecutive_good >= self.recovery_threshold
+            ):
+                self._breaker_open = False
+                self._warn(
+                    f"circuit breaker closed after "
+                    f"{self._consecutive_good} clean intervals"
+                )
         else:
-            self._smoothed = (
-                self.smoothing * power_w + (1.0 - self.smoothing) * self._smoothed
+            self._consecutive_bad += 1
+            self._consecutive_good = 0
+            if (
+                not self._breaker_open
+                and self._consecutive_bad >= self.breaker_threshold
+            ):
+                self._breaker_open = True
+                self._breaker_trips += 1
+                self._warn(
+                    f"circuit breaker opened after "
+                    f"{self._consecutive_bad} degraded intervals"
+                )
+
+    def _track_drift(self, implausible: bool) -> None:
+        self._implausible_window.append(implausible)
+        if len(self._implausible_window) > self.drift_window:
+            del self._implausible_window[0]
+        if (
+            len(self._implausible_window) == self.drift_window
+            and not self._drift_detected
+            and self._drift_fraction() > self.drift_tolerance
+        ):
+            self._drift_detected = True
+            self._warn(
+                f"drift detected: {self._drift_fraction():.0%} of the "
+                f"last {self.drift_window} intervals implausible"
             )
-        t = time_s if time_s is not None else (
-            self._history[-1].time_s + interval_s if self._history else interval_s
+
+    def _drift_fraction(self) -> float:
+        if not self._implausible_window:
+            return 0.0
+        return sum(self._implausible_window) / len(self._implausible_window)
+
+    def step(
+        self,
+        counter_deltas: Dict[str, float],
+        *,
+        interval_s: float,
+        voltage_v: float,
+        frequency_mhz: float,
+        time_s: Optional[float] = None,
+    ) -> Optional[OnlineEstimate]:
+        """Fault-tolerant variant of :meth:`update`.
+
+        Never raises on degraded input.  Returns ``None`` when the
+        interval had to be skipped entirely (invalid context or a
+        non-monotonic timestamp); otherwise returns an estimate whose
+        ``source``/``flags`` say how it was produced.  All incidents
+        are tallied for :meth:`drift_report`.
+        """
+        self._seen += 1
+        context = (interval_s, voltage_v, frequency_mhz)
+        if not all(np.isfinite(v) and v > 0 for v in context):
+            self._n_skipped += 1
+            self._warn(
+                f"skipped: invalid context (interval={interval_s}, "
+                f"voltage={voltage_v}, frequency={frequency_mhz})"
+            )
+            return None
+        if (
+            time_s is not None
+            and self._last_time is not None
+            and time_s <= self._last_time
+        ):
+            self._n_skipped += 1
+            self._warn(
+                f"skipped: non-monotonic timestamp {time_s} after "
+                f"{self._last_time}"
+            )
+            return None
+
+        flags: List[str] = []
+        bad: List[str] = []
+        for counter in self.model.counters:
+            value = counter_deltas.get(counter)
+            if value is None:
+                bad.append(f"{counter} missing")
+            elif not np.isfinite(value):
+                bad.append(f"{counter} non-finite")
+            elif value < 0:
+                bad.append(f"{counter} negative")
+        interval_good = not bad
+        if bad:
+            flags.append("degraded-counters: " + "; ".join(bad))
+            self._warn("degraded counters: " + "; ".join(bad))
+        self._update_breaker(interval_good)
+        if self._breaker_open:
+            self._breaker_open_intervals += 1
+            flags.append("breaker-open")
+
+        _, baseline = self._structural_terms(voltage_v, frequency_mhz)
+        implausible = False
+        if interval_good and not self._breaker_open:
+            power_w = self._model_power(
+                counter_deltas, interval_s, voltage_v, frequency_mhz
+            )
+            plausible = np.isfinite(power_w) and (
+                self.envelope is None or self.envelope.contains(power_w)
+            )
+            if plausible:
+                source = "model"
+                self._n_model += 1
+            else:
+                implausible = True
+                self._n_implausible += 1
+                flags.append("implausible-model-estimate")
+                power_w = baseline
+                source = "baseline"
+                self._n_baseline += 1
+        else:
+            power_w = baseline
+            source = "baseline"
+            self._n_baseline += 1
+
+        if source == "baseline" and self.envelope is not None:
+            clipped = self.envelope.clip(power_w)
+            if clipped != power_w or not np.isfinite(power_w):  # replint: ignore[RL004] -- clip() returns the input bit-exactly when in range
+                flags.append("clipped-to-envelope")
+                self._n_clipped += 1
+                power_w = clipped
+        if not np.isfinite(power_w):
+            # Defensive: a pathological model (non-finite coefficients)
+            # without an envelope.  Pin to zero rather than poison the
+            # EWMA — and say so.
+            flags.append("non-finite-estimate-zeroed")
+            self._warn("non-finite estimate replaced by 0.0")
+            power_w = 0.0
+
+        self._track_drift(implausible)
+        return self._record(
+            power_w, time_s, interval_s, source, tuple(flags)
         )
-        estimate = OnlineEstimate(
-            time_s=t, power_w=power_w, smoothed_w=self._smoothed
+
+    def drift_report(self) -> DriftReport:
+        """Structured account of everything :meth:`step` observed."""
+        return DriftReport(
+            n_intervals=len(self._history),
+            n_model=self._n_model,
+            n_baseline=self._n_baseline,
+            n_skipped=self._n_skipped,
+            n_implausible=self._n_implausible,
+            n_clipped=self._n_clipped,
+            breaker_trips=self._breaker_trips,
+            breaker_open_intervals=self._breaker_open_intervals,
+            breaker_open=self._breaker_open,
+            drift_detected=self._drift_detected,
+            drift_fraction=self._drift_fraction(),
+            warnings=tuple(self._warnings),
         )
-        self._history.append(estimate)
-        return estimate
 
 
 @dataclass(frozen=True)
@@ -136,6 +593,74 @@ class OnlineTimeline:
         return bool(np.all(np.sign(dm[big]) == np.sign(de[big])))
 
 
+def _stream_run(
+    platform: Platform,
+    run: RunExecution,
+    model: FittedPowerModel,
+    estimator: OnlineEstimator,
+    *,
+    interval_s: float,
+    injector=None,
+) -> OnlineTimeline:
+    """Shared driver: stream a simulated run through an estimator,
+    optionally corrupting each interval's deltas with an online fault
+    injector."""
+    rng = derive_rng(
+        platform.seed, "online", run.workload_name,
+        run.op.frequency_mhz, run.threads, run.run_index,
+    )
+    times, measured = [], []
+    f_hz = run.op.frequency_hz
+    interval_index = 0
+    for phase in run.phases:
+        n = max(int(np.floor(phase.duration_s / interval_s)), 1)
+        for k in range(1, n + 1):
+            t = phase.start_s + k * interval_s
+            if t > phase.end_s + 1e-9:
+                break
+            deltas = {}
+            for counter in model.counters:
+                true = phase.state.rate(counter) * f_hz * interval_s
+                noise = 1.0 + rng.normal(0.0, platform.pmu.read_noise_sigma)
+                deltas[counter] = max(true * noise, 0.0)
+            voltage_v_mean = platform.voltage.read_average(
+                run.op, phase.phase.active_threads, 1, rng
+            )
+            if injector is not None:
+                deltas = injector.corrupt(deltas, interval_index)
+                estimate = estimator.step(
+                    deltas,
+                    interval_s=interval_s,
+                    voltage_v=voltage_v_mean,
+                    frequency_mhz=run.op.frequency_mhz,
+                    time_s=t,
+                )
+            else:
+                estimate = estimator.update(
+                    deltas,
+                    interval_s=interval_s,
+                    voltage_v=voltage_v_mean,
+                    frequency_mhz=run.op.frequency_mhz,
+                    time_s=t,
+                )
+            interval_index += 1
+            if estimate is None:
+                continue
+            measured.append(
+                platform.sensors.measure_node_average(
+                    phase.power_breakdown.per_socket_w, interval_s, rng
+                )
+            )
+            times.append(t)
+    hist = estimator.history
+    return OnlineTimeline(
+        times_s=np.asarray(times),
+        estimated_w=np.asarray([h.power_w for h in hist]),
+        smoothed_w=np.asarray([h.smoothed_w for h in hist]),
+        measured_w=np.asarray(measured),
+    )
+
+
 def estimate_run(
     platform: Platform,
     run: RunExecution,
@@ -151,44 +676,50 @@ def estimate_run(
     same cadence — the comparison a deployment validation would make.
     """
     estimator = OnlineEstimator(model, smoothing=smoothing)
-    event_set = EventSet(events=tuple(model.counters))
-    rng = derive_rng(
-        platform.seed, "online", run.workload_name,
-        run.op.frequency_mhz, run.threads, run.run_index,
+    EventSet(events=tuple(model.counters))  # validates the counter set
+    return _stream_run(
+        platform, run, model, estimator, interval_s=interval_s
     )
-    times, measured = [], []
-    f_hz = run.op.frequency_hz
-    for phase in run.phases:
-        n = max(int(np.floor(phase.duration_s / interval_s)), 1)
-        for k in range(1, n + 1):
-            t = phase.start_s + k * interval_s
-            if t > phase.end_s + 1e-9:
-                break
-            deltas = {}
-            for counter in model.counters:
-                true = phase.state.rate(counter) * f_hz * interval_s
-                noise = 1.0 + rng.normal(0.0, platform.pmu.read_noise_sigma)
-                deltas[counter] = max(true * noise, 0.0)
-            voltage_v_mean = platform.voltage.read_average(
-                run.op, phase.phase.active_threads, 1, rng
-            )
-            estimator.update(
-                deltas,
-                interval_s=interval_s,
-                voltage_v=voltage_v_mean,
-                frequency_mhz=run.op.frequency_mhz,
-                time_s=t,
-            )
-            measured.append(
-                platform.sensors.measure_node_average(
-                    phase.power_breakdown.per_socket_w, interval_s, rng
-                )
-            )
-            times.append(t)
-    hist = estimator.history
-    return OnlineTimeline(
-        times_s=np.asarray(times),
-        estimated_w=np.asarray([h.power_w for h in hist]),
-        smoothed_w=np.asarray([h.smoothed_w for h in hist]),
-        measured_w=np.asarray(measured),
+
+
+def estimate_run_degraded(
+    platform: Platform,
+    run: RunExecution,
+    model: FittedPowerModel,
+    *,
+    faults,
+    interval_s: float = 0.5,
+    smoothing: float = 1.0,
+    envelope: Optional[PowerEnvelope] = None,
+    breaker_threshold: int = 3,
+    recovery_threshold: int = 2,
+) -> Tuple[OnlineTimeline, DriftReport]:
+    """Stream a simulated run through the *hardened* estimator while an
+    inference-time fault injector corrupts the counter stream.
+
+    ``faults`` is a :class:`repro.faults.online.CounterLossPlan`; the
+    injector is keyed by the platform seed, so the same (platform,
+    plan) pair reproduces the same degraded session bit for bit.
+    Returns the timeline together with the session's
+    :class:`DriftReport`.
+    """
+    from repro.faults.online import OnlineFaultInjector
+
+    estimator = OnlineEstimator(
+        model,
+        smoothing=smoothing,
+        envelope=envelope,
+        breaker_threshold=breaker_threshold,
+        recovery_threshold=recovery_threshold,
     )
+    EventSet(events=tuple(model.counters))  # validates the counter set
+    injector = OnlineFaultInjector(faults, platform.seed)
+    timeline = _stream_run(
+        platform,
+        run,
+        model,
+        estimator,
+        interval_s=interval_s,
+        injector=injector,
+    )
+    return timeline, estimator.drift_report()

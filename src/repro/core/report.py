@@ -9,7 +9,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["render_table", "render_series", "fmt"]
+__all__ = ["render_table", "render_series", "render_counts", "fmt"]
 
 
 def fmt(value: float, digits: int = 3) -> str:
@@ -52,6 +52,21 @@ def render_table(
                 cells.append(cell.rjust(widths[i]))
         lines.append("  ".join(cells))
     return "\n".join(lines)
+
+
+def render_counts(
+    counts: Dict[str, int], *, title: Optional[str] = None
+) -> str:
+    """One-line ``key=value`` summary of named counts, zeros omitted.
+
+    Used by the drift and campaign reports so structured tallies render
+    compactly (``model=37 baseline=3 skipped=1``) without each report
+    rolling its own formatting.
+    """
+    body = " ".join(f"{k}={v}" for k, v in counts.items() if v)
+    if not body:
+        body = "none"
+    return f"{title}: {body}" if title else body
 
 
 def render_series(

@@ -131,16 +131,18 @@ def cv_out_of_fold_predictions(
     n_splits: int = 10,
     seed: int = DEFAULT_SEED,
     cov_type: str = "HC3",
+    estimator: str = "ols",
 ) -> Tuple[np.ndarray, Tuple[float, ...], List[Dict[str, float]]]:
     """k-fold CV with random indexing: out-of-fold predictions.
 
     Returns (predictions aligned with dataset rows, per-fold MAPEs,
-    per-fold fit metrics [R², Adj.R²]).
+    per-fold fit metrics [R², Adj.R²]).  ``estimator="huber"`` runs the
+    robust per-fold fits.
     """
     preds = np.full(dataset.n_samples, np.nan)
     fold_mapes: List[float] = []
     fold_fits: List[Dict[str, float]] = []
-    model = PowerModel(counters, cov_type=cov_type)
+    model = PowerModel(counters, cov_type=cov_type, estimator=estimator)
     for train, test in KFold(n_splits, shuffle=True, seed=seed).split(
         dataset.n_samples
     ):
@@ -250,10 +252,11 @@ def scenario_cv_all(
     *,
     n_splits: int = 10,
     seed: int = DEFAULT_SEED,
+    estimator: str = "ols",
 ) -> ScenarioResult:
     """Scenario 3: 10-fold CV over all experiments (the Table II run)."""
     preds, fold_mapes, _ = cv_out_of_fold_predictions(
-        dataset, counters, n_splits=n_splits, seed=seed
+        dataset, counters, n_splits=n_splits, seed=seed, estimator=estimator
     )
     return ScenarioResult(
         name=SCENARIO_NAMES[2],
@@ -269,13 +272,14 @@ def scenario_cv_synthetic(
     *,
     n_splits: int = 10,
     seed: int = DEFAULT_SEED,
+    estimator: str = "ols",
 ) -> ScenarioResult:
     """Scenario 4: 10-fold CV over the roco2 experiments only."""
     synth = dataset.filter(suite="roco2")
     if synth.n_samples == 0:
         raise ValueError("dataset contains no roco2 rows")
     preds, fold_mapes, _ = cv_out_of_fold_predictions(
-        synth, counters, n_splits=n_splits, seed=seed
+        synth, counters, n_splits=n_splits, seed=seed, estimator=estimator
     )
     return ScenarioResult(
         name=SCENARIO_NAMES[3],

@@ -26,7 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.acquisition.dataset import PowerDataset
-from repro.core.model import PowerModel
+from repro.core.model import ESTIMATORS, PowerModel
+from repro.stats.errors import EstimationError
 from repro.stats.selection_criteria import CRITERIA
 from repro.stats.vif import VIF_PROBLEM_THRESHOLD, mean_vif
 
@@ -49,6 +50,9 @@ class SelectionStep:
     """Mean VIF of the selected set *including* this counter; NaN for
     the first step (the paper prints "n/a")."""
     criterion_value: float
+    warnings: Tuple[str, ...] = ()
+    """Degraded-data notes for this step: candidates skipped because
+    their fit failed, R² ties broken by pool order, infinite VIF."""
 
     @property
     def is_unstable(self) -> bool:
@@ -64,6 +68,10 @@ class SelectionResult:
 
     steps: Tuple[SelectionStep, ...]
     criterion: str
+    warnings: Tuple[str, ...] = ()
+    """Selection-level degraded-data notes (missing candidates dropped
+    from the pool, early termination) — per-step notes live on the
+    steps themselves."""
 
     @property
     def selected(self) -> Tuple[str, ...]:
@@ -100,6 +108,8 @@ def select_events(
     criterion: str = "r2",
     max_vif: Optional[float] = None,
     cov_type: str = "HC3",
+    estimator: str = "ols",
+    on_missing: str = "raise",
 ) -> SelectionResult:
     """Run Algorithm 1 on a dataset.
 
@@ -120,52 +130,116 @@ def select_events(
         VIF-constrained variant studied in the ablation benchmark.
     cov_type:
         Covariance estimator for the per-step fits.
+    estimator:
+        ``"ols"`` (Algorithm 1 as published) or ``"huber"`` for the
+        outlier-robust IRLS variant.
+    on_missing:
+        What to do with candidates absent from the dataset (a degraded
+        campaign may have dropped entire counters): ``"raise"`` keeps
+        the strict historical ``KeyError``; ``"skip"`` drops them from
+        the pool and records a selection-level warning.
+
+    Determinism
+    -----------
+    Candidates are scanned in pool order and a challenger must *strictly*
+    beat the incumbent, so exact criterion ties resolve to the earliest
+    pool entry and reruns on identical data reproduce bit-identical
+    selections.  Observed ties are recorded in the step's ``warnings``.
     """
     if criterion not in CRITERIA:
         raise ValueError(
             f"unknown criterion {criterion!r}; available: {sorted(CRITERIA)}"
         )
+    if estimator not in ESTIMATORS:
+        raise ValueError(
+            f"estimator must be one of {ESTIMATORS}, got {estimator!r}"
+        )
+    if on_missing not in ("raise", "skip"):
+        raise ValueError(
+            f"on_missing must be 'raise' or 'skip', got {on_missing!r}"
+        )
     score_fn = CRITERIA[criterion]
     pool = list(candidates) if candidates is not None else list(dataset.counter_names)
-    for c in pool:
-        if c not in dataset.counter_names:
-            raise KeyError(f"candidate {c!r} not in dataset")
+    run_warnings: List[str] = []
+    missing = [c for c in pool if c not in dataset.counter_names]
+    if missing:
+        if on_missing == "raise":
+            raise KeyError(f"candidate {missing[0]!r} not in dataset")
+        pool = [c for c in pool if c not in set(missing)]
+        run_warnings.append(
+            f"dropped {len(missing)} missing candidate(s): "
+            + ", ".join(sorted(missing))
+        )
     if n_events < 1:
         raise ValueError("must select at least one event")
+    if not pool:
+        raise ValueError("no candidates left after dropping missing counters")
     if n_events > len(pool):
-        raise ValueError(
-            f"cannot select {n_events} events from {len(pool)} candidates"
-        )
+        if on_missing == "skip":
+            run_warnings.append(
+                f"requested {n_events} events but only {len(pool)} "
+                "candidates remain; selecting all of them"
+            )
+            n_events = len(pool)
+        else:
+            raise ValueError(
+                f"cannot select {n_events} events from {len(pool)} candidates"
+            )
 
     selected: List[str] = []
     steps: List[SelectionStep] = []
     remaining = list(pool)
 
     while len(selected) < n_events:
-        best: Optional[Tuple[str, float, float, float, float]] = None
+        best: Optional[Tuple[str, float, float, float]] = None
+        step_warnings: List[str] = []
+        scores: List[Tuple[str, float]] = []
         for event in remaining:
             trial = selected + [event]
             if max_vif is not None and len(trial) > 1:
                 trial_vif = mean_vif(dataset.counter_matrix(trial))
                 if trial_vif > max_vif:
                     continue
-            fitted = PowerModel(trial, cov_type=cov_type).fit(dataset)
+            try:
+                fitted = PowerModel(
+                    trial, cov_type=cov_type, estimator=estimator
+                ).fit(dataset)
+            except EstimationError as exc:
+                step_warnings.append(f"candidate {event!r} skipped: {exc}")
+                continue
             score = score_fn(fitted.ols)
+            scores.append((event, score))
             if best is None or score > best[1]:
-                best = (
-                    event,
-                    score,
-                    fitted.rsquared,
-                    fitted.rsquared_adj,
-                    float("nan"),
-                )
+                best = (event, score, fitted.rsquared, fitted.rsquared_adj)
         if best is None:
-            # Every remaining candidate violates the VIF constraint.
+            # Every remaining candidate violates the VIF constraint or
+            # failed to fit on the degraded data.
+            if step_warnings:
+                run_warnings.extend(step_warnings)
+            run_warnings.append(
+                f"selection stopped early at {len(selected)} of "
+                f"{n_events} events: no admissible candidate remains"
+            )
             break
-        event, score, r2, adj, _ = best
+        event, score, r2, adj = best
+        ties = [
+            e
+            for e, s in scores
+            if e != event and s == score  # replint: ignore[RL004] -- exact tie detection is intentional
+        ]
+        if ties:
+            step_warnings.append(
+                f"criterion tie with {', '.join(sorted(ties))}; kept "
+                f"{event!r} (earliest in pool order)"
+            )
         selected.append(event)
         remaining.remove(event)
         vif = mean_vif(dataset.counter_matrix(selected))
+        if np.isinf(vif):
+            step_warnings.append(
+                "mean VIF is infinite: selected set contains perfectly "
+                "collinear columns"
+            )
         steps.append(
             SelectionStep(
                 counter=event,
@@ -173,9 +247,14 @@ def select_events(
                 rsquared_adj=adj,
                 mean_vif=vif,
                 criterion_value=score,
+                warnings=tuple(step_warnings),
             )
         )
-    return SelectionResult(steps=tuple(steps), criterion=criterion)
+    return SelectionResult(
+        steps=tuple(steps),
+        criterion=criterion,
+        warnings=tuple(run_warnings),
+    )
 
 
 def select_events_lasso(

@@ -18,6 +18,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultyPlatform,
 )
+from repro.faults.online import CounterLossPlan, OnlineFaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import (
     PLAUSIBLE_MAX_RATE_PER_S,
@@ -30,6 +31,8 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultyPlatform",
+    "CounterLossPlan",
+    "OnlineFaultInjector",
     "FaultError",
     "RunFailure",
     "AcquisitionError",

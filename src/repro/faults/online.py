@@ -1,0 +1,136 @@
+"""Inference-time counter loss: faults against the *online* estimator.
+
+The acquisition fault model (:mod:`repro.faults.plan`) corrupts the
+training campaign; a deployed model faces a different failure surface.
+PMU multiplexing steals a counter for an interval, a perf-event file
+descriptor dies and the delta reads back garbage, an NTP step makes a
+timestamp jump backwards, a driver hiccup blacks out every counter at
+once.  :class:`CounterLossPlan` describes the rates of these
+inference-time faults and :class:`OnlineFaultInjector` applies them to
+a stream of per-interval counter deltas — deterministically, keyed by
+``(root_seed, "online-fault", fault_seed, kind, interval, counter)``,
+so a chaos replay with the same seeds corrupts the same intervals the
+same way, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.seeding import derive_rng
+
+__all__ = ["CounterLossPlan", "OnlineFaultInjector"]
+
+_RATE_FIELDS: Tuple[str, ...] = (
+    "counter_drop_rate",
+    "blackout_rate",
+    "nan_rate",
+    "negative_rate",
+)
+
+
+@dataclass(frozen=True)
+class CounterLossPlan:
+    """Rates of the modelled inference-time counter faults.
+
+    All rates are probabilities; ``counter_drop_rate``, ``nan_rate``
+    and ``negative_rate`` are per (interval, counter), while
+    ``blackout_rate`` is per interval and removes *every* counter —
+    the multiplexing-conflict worst case the circuit breaker exists
+    for.
+    """
+
+    counter_drop_rate: float = 0.0
+    """Per-(interval, counter) probability the delta is simply absent."""
+    blackout_rate: float = 0.0
+    """Per-interval probability that all counters vanish at once."""
+    nan_rate: float = 0.0
+    """Per-(interval, counter) probability of a NaN delta."""
+    negative_rate: float = 0.0
+    """Per-(interval, counter) probability of a negative delta (counter
+    reprogramming race)."""
+    fault_seed: int = 0
+    """Extra stream key, mirroring :class:`~repro.faults.plan.FaultPlan`."""
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def any_active(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @classmethod
+    def chaos(
+        cls, intensity: float = 0.1, *, fault_seed: int = 0
+    ) -> "CounterLossPlan":
+        """Every inference-time fault class at once, scaled by
+        ``intensity`` (cf. :meth:`FaultPlan.chaos`)."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return cls(
+            counter_drop_rate=min(0.5 * intensity, 1.0),
+            blackout_rate=min(0.3 * intensity, 1.0),
+            nan_rate=min(0.2 * intensity, 1.0),
+            negative_rate=min(0.2 * intensity, 1.0),
+            fault_seed=fault_seed,
+        )
+
+    def describe(self) -> str:
+        active = [
+            f"{name}={getattr(self, name):g}"
+            for name in _RATE_FIELDS
+            if getattr(self, name) > 0.0
+        ]
+        return "CounterLossPlan(" + (", ".join(active) or "inactive") + ")"
+
+
+class OnlineFaultInjector:
+    """Apply a :class:`CounterLossPlan` to streaming counter deltas.
+
+    Every decision draws from its own derived stream keyed by fault
+    kind, interval index and counter name, so changing one rate never
+    shifts the decisions of another fault class (the same decoupling
+    the acquisition injector guarantees).
+    """
+
+    def __init__(self, plan: CounterLossPlan, root_seed: int) -> None:
+        self.plan = plan
+        self.root_seed = int(root_seed)
+
+    def _decide(self, kind: str, *key) -> bool:
+        rate = getattr(self.plan, kind)
+        if rate <= 0.0:
+            return False
+        rng = derive_rng(
+            self.root_seed, "online-fault", self.plan.fault_seed, kind, *key
+        )
+        return bool(rng.random() < rate)
+
+    def corrupt(
+        self, deltas: Dict[str, float], interval_index: int
+    ) -> Dict[str, float]:
+        """Return a corrupted copy of one interval's counter deltas.
+
+        The input mapping is never mutated.  A blackout returns an
+        empty dict; otherwise each counter independently survives, is
+        dropped, or has its value replaced by NaN / a negated value.
+        """
+        if not self.plan.any_active:
+            return dict(deltas)
+        if self._decide("blackout_rate", interval_index):
+            return {}
+        out: Dict[str, float] = {}
+        for counter in deltas:
+            if self._decide("counter_drop_rate", interval_index, counter):
+                continue
+            value = deltas[counter]
+            if self._decide("nan_rate", interval_index, counter):
+                value = float("nan")
+            elif self._decide("negative_rate", interval_index, counter):
+                value = -abs(value) - 1.0
+            out[counter] = value
+        return out

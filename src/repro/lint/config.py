@@ -64,6 +64,13 @@ DEFAULT_SEEDING_MODULES: Tuple[str, ...] = ("*/seeding.py", "seeding.py")
 #: write helpers themselves.
 DEFAULT_ATOMIC_MODULES: Tuple[str, ...] = ("*/repro/io/atomic.py",)
 
+#: Modules allowed to call raw ``numpy.linalg`` solvers (RL008): the
+#: guarded linear-algebra layer itself.
+DEFAULT_LINALG_MODULES: Tuple[str, ...] = (
+    "*/stats/linalg.py",
+    "stats/linalg.py",
+)
+
 #: Directories whose changes alter campaign physics (RL005).
 DEFAULT_PHYSICS_PATHS: Tuple[str, ...] = (
     "src/repro/hardware/",
@@ -87,6 +94,7 @@ class LintConfig:
     float_suffixes: Tuple[str, ...] = DEFAULT_FLOAT_SUFFIXES
     seeding_modules: Tuple[str, ...] = DEFAULT_SEEDING_MODULES
     atomic_modules: Tuple[str, ...] = DEFAULT_ATOMIC_MODULES
+    linalg_modules: Tuple[str, ...] = DEFAULT_LINALG_MODULES
     physics_paths: Tuple[str, ...] = DEFAULT_PHYSICS_PATHS
     version_file: str = DEFAULT_VERSION_FILE
     version_symbol: str = DEFAULT_VERSION_SYMBOL
@@ -146,6 +154,7 @@ class LintConfig:
             ("float-suffixes", "float_suffixes"),
             ("seeding-modules", "seeding_modules"),
             ("atomic-modules", "atomic_modules"),
+            ("linalg-modules", "linalg_modules"),
             ("physics-paths", "physics_paths"),
         ):
             if toml_key in section:

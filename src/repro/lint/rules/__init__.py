@@ -12,6 +12,7 @@ from repro.lint.rules.rl004_float_equality import NoFloatEquality
 from repro.lint.rules.rl005_cache_version import CacheVersionDiscipline
 from repro.lint.rules.rl006_atomic_write import NonAtomicCacheWrite
 from repro.lint.rules.rl007_silent_except import SilentBroadExcept
+from repro.lint.rules.rl008_raw_linalg import NoRawLinalgSolvers
 
 __all__ = [
     "all_rules",
@@ -22,6 +23,7 @@ __all__ = [
     "CacheVersionDiscipline",
     "NonAtomicCacheWrite",
     "SilentBroadExcept",
+    "NoRawLinalgSolvers",
 ]
 
 
@@ -35,4 +37,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         CacheVersionDiscipline(base=diff_base),
         NonAtomicCacheWrite(),
         SilentBroadExcept(),
+        NoRawLinalgSolvers(),
     ]

@@ -1,0 +1,67 @@
+"""RL008 — raw ``numpy.linalg`` solvers only inside the guarded layer.
+
+``np.linalg.solve`` raises ``LinAlgError`` on singular input and
+``np.linalg.inv`` happily amplifies a near-singular matrix into garbage
+coefficients.  The robustness contract (DESIGN.md §10) routes every
+solve through :mod:`repro.stats.linalg` — ``guarded_lstsq`` and
+``safe_solve`` degrade deterministically (ridge → pinv) and record what
+they did — so a degraded dataset can never crash or silently poison a
+fit from some far-away call site.  This rule flags direct calls to the
+raising/fragile solver entry points (``solve``, ``inv``, ``cholesky``,
+``tensorsolve``, ``tensorinv``) anywhere outside the configured
+``linalg-modules``.  Rank-revealing primitives (``svd``, ``qr``,
+``eigh``, ``norm``, ``matrix_rank``, ``lstsq``, ``pinv``) stay allowed:
+they are the tools the guarded layer itself is built from and they do
+not raise on rank deficiency.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NoRawLinalgSolvers"]
+
+#: Raising/fragile solver entry points that must go through the guarded
+#: layer.  ``numpy.linalg`` and ``scipy.linalg`` spell them the same.
+_FORBIDDEN = ("solve", "inv", "cholesky", "tensorsolve", "tensorinv")
+
+_PREFIXES = ("numpy.linalg.", "scipy.linalg.")
+
+
+class NoRawLinalgSolvers(FileRule):
+    id = "RL008"
+    name = "no-raw-linalg-solvers"
+    description = (
+        "direct numpy.linalg/scipy.linalg solve/inv calls belong in "
+        "repro.stats.linalg; use guarded_lstsq/safe_solve elsewhere"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(
+            ctx.posix_path, ctx.config.linalg_modules
+        ):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, ctx.aliases)
+            if name is None:
+                continue
+            for prefix in _PREFIXES:
+                if name.startswith(prefix) and name[len(prefix):] in _FORBIDDEN:
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"raw {name} call outside repro.stats.linalg; "
+                            "use guarded_lstsq/safe_solve so degraded "
+                            "designs degrade deterministically instead of "
+                            "raising LinAlgError",
+                        )
+                    )
+                    break
+        return findings

@@ -39,7 +39,23 @@ from repro.stats.diagnostics import (
     condition_number,
     white_test,
 )
-from repro.stats.linalg import add_constant, lstsq_via_qr, safe_pinv
+from repro.stats.errors import (
+    DegenerateDesignError,
+    EstimationError,
+    NonFiniteInputError,
+    RobustFitError,
+    UnderdeterminedFitError,
+)
+from repro.stats.linalg import (
+    CONDITION_FALLBACK_THRESHOLD,
+    FitDiagnostics,
+    GuardedSolution,
+    add_constant,
+    guarded_lstsq,
+    lstsq_via_qr,
+    safe_pinv,
+    safe_solve,
+)
 from repro.stats.metrics import (
     bias,
     mae,
@@ -50,20 +66,40 @@ from repro.stats.metrics import (
 )
 from repro.stats.ols import OLSResult, fit_ols
 from repro.stats.regularized import RegularizedFit, lasso, lasso_path, ridge
+from repro.stats.robust import HUBER_C, fit_robust, huber_weights
 from repro.stats.selection_criteria import (
     CRITERIA,
     aic,
     bic,
     criterion_value,
 )
-from repro.stats.vif import mean_vif, variance_inflation_factor, vif_table
+from repro.stats.vif import (
+    collinear_columns,
+    mean_vif,
+    variance_inflation_factor,
+    vif_table,
+)
 
 __all__ = [
     "OLSResult",
     "fit_ols",
+    "fit_robust",
+    "huber_weights",
+    "HUBER_C",
+    "FitDiagnostics",
+    "GuardedSolution",
+    "guarded_lstsq",
+    "safe_solve",
+    "CONDITION_FALLBACK_THRESHOLD",
+    "EstimationError",
+    "NonFiniteInputError",
+    "UnderdeterminedFitError",
+    "DegenerateDesignError",
+    "RobustFitError",
     "variance_inflation_factor",
     "mean_vif",
     "vif_table",
+    "collinear_columns",
     "pearson",
     "pearson_with_target",
     "spearman",

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.stats.metrics import mape, r2_score
 from repro.stats.ols import OLSResult, fit_ols
+from repro.stats.robust import fit_robust
 
 __all__ = [
     "KFold",
@@ -138,13 +139,18 @@ def _default_fit(y: np.ndarray, x: np.ndarray) -> OLSResult:
     return fit_ols(y, x, cov_type="HC3")
 
 
+def _robust_fit(y: np.ndarray, x: np.ndarray) -> OLSResult:
+    return fit_robust(y, x, cov_type="HC3")
+
+
 def cross_validate(
     endog: np.ndarray,
     exog: np.ndarray,
     *,
     n_splits: int = 10,
     seed: Optional[int] = 0,
-    fit_fn: FitFn = _default_fit,
+    fit_fn: Optional[FitFn] = None,
+    robust: bool = False,
 ) -> CrossValidationResult:
     """k-fold cross validation of an OLS power model.
 
@@ -152,7 +158,12 @@ def cross_validate(
     records the training :math:`R^2`/adjusted :math:`R^2` (as the paper
     reports model fit per fold) and the held-out MAPE and out-of-sample
     :math:`R^2`.
+
+    ``robust=True`` swaps the default per-fold fit for the Huber IRLS
+    estimator; an explicit ``fit_fn`` takes precedence over the flag.
     """
+    if fit_fn is None:
+        fit_fn = _robust_fit if robust else _default_fit
     y = np.asarray(endog, dtype=np.float64).ravel()
     x = np.asarray(exog, dtype=np.float64)
     if x.ndim == 1:

@@ -21,7 +21,17 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 from scipy import stats as _scipy_stats
 
-from repro.stats.linalg import add_constant, as_2d, lstsq_via_qr, safe_pinv
+from repro.stats.errors import (
+    NonFiniteInputError,
+    UnderdeterminedFitError,
+)
+from repro.stats.linalg import (
+    FitDiagnostics,
+    add_constant,
+    as_2d,
+    guarded_lstsq,
+    safe_pinv,
+)
 
 __all__ = ["OLSResult", "fit_ols"]
 
@@ -55,6 +65,9 @@ class OLSResult:
     residuals: np.ndarray = field(repr=False)
     exog_names: Tuple[str, ...] = ()
     has_intercept: bool = True
+    diagnostics: Optional[FitDiagnostics] = field(default=None, repr=False)
+    """Numerical provenance of the fit (conditioning, rank, fallback);
+    always populated by :func:`fit_ols` / ``fit_robust``."""
 
     # ------------------------------------------------------------------
     # Inference helpers
@@ -152,6 +165,60 @@ def _hc_covariance(
     return xtx_inv @ meat @ xtx_inv
 
 
+def _validate_fit_inputs(
+    endog: np.ndarray, exog: np.ndarray, cov_type: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared input validation for ``fit_ols`` / ``fit_robust``.
+
+    Raises the typed errors of :mod:`repro.stats.errors` — degraded
+    datasets must fail actionably, never with a downstream
+    ``LinAlgError``.
+    """
+    if cov_type not in _HC_KINDS:
+        raise ValueError(f"cov_type must be one of {_HC_KINDS}, got {cov_type!r}")
+    y = np.asarray(endog, dtype=np.float64).ravel()
+    x_raw = as_2d(exog)
+    if y.shape[0] != x_raw.shape[0]:
+        raise ValueError(
+            f"endog has {y.shape[0]} rows but exog has {x_raw.shape[0]}"
+        )
+    if y.shape[0] == 0:
+        raise ValueError("cannot fit OLS on an empty sample")
+    if not (np.all(np.isfinite(y)) and np.all(np.isfinite(x_raw))):
+        bad_y = int(np.count_nonzero(~np.isfinite(y)))
+        bad_x = int(np.count_nonzero(~np.isfinite(x_raw)))
+        raise NonFiniteInputError(
+            "endog/exog contain non-finite values "
+            f"({bad_y} in endog, {bad_x} in exog); drop or impute the "
+            "degraded rows before fitting"
+        )
+    return y, x_raw
+
+
+def _resolve_names(
+    exog_names: Optional[Sequence[str]], n_regressors: int, intercept: bool
+) -> Tuple[str, ...]:
+    """Reporting names for the coefficient vector, intercept first."""
+    if exog_names is not None:
+        base = tuple(str(n_) for n_ in exog_names)
+        if len(base) != n_regressors:
+            raise ValueError(
+                f"{len(base)} names supplied for {n_regressors} regressors"
+            )
+    else:
+        base = tuple(f"x{i}" for i in range(n_regressors))
+    return (("const",) + base) if intercept else base
+
+
+def _design_has_constant(design: np.ndarray, intercept: bool) -> bool:
+    """statsmodels' k_constant detection (Equation 1 carries its
+    constant as the delta*Z term)."""
+    return intercept or any(
+        np.ptp(design[:, j]) == 0.0 and design[0, j] != 0.0  # replint: ignore[RL004] -- k_constant detection needs exact zeros
+        for j in range(design.shape[1])
+    )
+
+
 def fit_ols(
     endog: np.ndarray,
     exog: np.ndarray,
@@ -179,39 +246,44 @@ def fit_ols(
     Returns
     -------
     OLSResult
+        Including a :class:`~repro.stats.linalg.FitDiagnostics` record:
+        rank-deficient or severely ill-conditioned designs do not raise
+        — they take the guarded solver's deterministic ridge/pinv
+        fallback chain, and the diagnostics say so.
+
+    Raises
+    ------
+    NonFiniteInputError
+        If endog/exog carry NaN or Inf.
+    UnderdeterminedFitError
+        If there are fewer observations than parameters.
     """
-    if cov_type not in _HC_KINDS:
-        raise ValueError(f"cov_type must be one of {_HC_KINDS}, got {cov_type!r}")
-    y = np.asarray(endog, dtype=np.float64).ravel()
-    x_raw = as_2d(exog)
-    if y.shape[0] != x_raw.shape[0]:
-        raise ValueError(
-            f"endog has {y.shape[0]} rows but exog has {x_raw.shape[0]}"
-        )
-    if y.shape[0] == 0:
-        raise ValueError("cannot fit OLS on an empty sample")
-    if not (np.all(np.isfinite(y)) and np.all(np.isfinite(x_raw))):
-        raise ValueError("endog/exog contain non-finite values")
+    y, x_raw = _validate_fit_inputs(endog, exog, cov_type)
 
     design = add_constant(x_raw) if intercept else x_raw
     n, k = design.shape
     if n < k:
-        raise ValueError(
-            f"underdetermined fit: {n} observations for {k} parameters"
+        raise UnderdeterminedFitError(
+            f"underdetermined fit: {n} observations for {k} parameters; "
+            "shrink the model or gather more rows"
         )
 
-    beta = lstsq_via_qr(design, y)
+    solution = guarded_lstsq(design, y)
+    beta = solution.beta
+    diagnostics = FitDiagnostics(
+        method="ols",
+        condition_number=solution.condition_number,
+        rank=solution.rank,
+        n_params=solution.n_params,
+        fallback=solution.fallback,
+        warnings=solution.warnings,
+    )
     fitted = design @ beta
     resid = y - fitted
 
     # R^2 is centered when the model contains a constant — either the
-    # prepended intercept or an explicit constant column in the design
-    # (statsmodels' k_constant detection; Equation 1 carries its
-    # constant as the delta*Z term).
-    has_constant = intercept or any(
-        np.ptp(design[:, j]) == 0.0 and design[0, j] != 0.0  # replint: ignore[RL004] -- k_constant detection needs exact zeros
-        for j in range(design.shape[1])
-    )
+    # prepended intercept or an explicit constant column in the design.
+    has_constant = _design_has_constant(design, intercept)
     ss_res = float(resid @ resid)
     if has_constant:
         centered = y - y.mean()
@@ -237,17 +309,7 @@ def fit_ols(
         cov = _hc_covariance(design, resid, xtx_inv, cov_type)
     bse = np.sqrt(np.clip(np.diag(cov), 0.0, None))
 
-    names: Tuple[str, ...]
-    if exog_names is not None:
-        base = tuple(str(n_) for n_ in exog_names)
-        if len(base) != x_raw.shape[1]:
-            raise ValueError(
-                f"{len(base)} names supplied for {x_raw.shape[1]} regressors"
-            )
-        names = (("const",) + base) if intercept else base
-    else:
-        base = tuple(f"x{i}" for i in range(x_raw.shape[1]))
-        names = (("const",) + base) if intercept else base
+    names = _resolve_names(exog_names, x_raw.shape[1], intercept)
 
     return OLSResult(
         params=beta,
@@ -263,4 +325,5 @@ def fit_ols(
         residuals=resid,
         exog_names=names,
         has_intercept=intercept,
+        diagnostics=diagnostics,
     )

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.stats.linalg import as_2d
+from repro.stats.linalg import as_2d, safe_solve
 
 __all__ = ["RegularizedFit", "ridge", "lasso", "lasso_path"]
 
@@ -71,7 +71,7 @@ def ridge(endog: np.ndarray, exog: np.ndarray, alpha: float) -> RegularizedFit:
     xs, yc, x_mean, x_std, y_mean = _standardize(x, y)
     k = xs.shape[1]
     gram = xs.T @ xs + alpha * np.eye(k)
-    coef_std = np.linalg.solve(gram, xs.T @ yc)
+    coef_std = safe_solve(gram, xs.T @ yc)
     intercept, coef = _destandardize(coef_std, x_mean, x_std, y_mean)
     return RegularizedFit(intercept=intercept, coef=coef, alpha=alpha, method="ridge")
 

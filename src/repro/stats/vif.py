@@ -9,11 +9,21 @@ generally indicates multicollinearity problems."
 
 ``VIF_j = 1 / (1 - R²_j)`` where ``R²_j`` is from regressing column
 ``j`` on the remaining columns (with intercept).
+
+Infinity convention
+-------------------
+A *perfectly* collinear column (``R²_j == 1`` to within float64) has an
+infinite VIF, and these functions report it as exactly ``float("inf")``
+— not a large finite sentinel, not a ``ZeroDivisionError``, and never a
+runtime warning.  ``inf`` propagates correctly through comparisons
+(``inf > 10`` is true, so threshold checks flag it), ``mean_vif`` of a
+set containing one degenerate column is ``inf`` (the set *is* unusable),
+and :func:`collinear_columns` lists the offenders by name.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +34,7 @@ __all__ = [
     "variance_inflation_factor",
     "mean_vif",
     "vif_table",
+    "collinear_columns",
     "VIF_PROBLEM_THRESHOLD",
 ]
 
@@ -31,16 +42,17 @@ __all__ = [
 #: problem (Kutner 2004; Hair 2010), cited as such in the paper.
 VIF_PROBLEM_THRESHOLD = 10.0
 
-#: Cap for reporting: a perfectly collinear column has infinite VIF;
-#: we report it as this large finite sentinel to keep tables printable.
-_VIF_CAP = 1e12
+#: R² this close to 1 means the column is an exact linear combination of
+#: the others at float64 resolution; the VIF is reported as ``inf``.
+_PERFECT_R2 = 1.0 - 1e-14
 
 
 def variance_inflation_factor(exog: np.ndarray, column: int) -> float:
     """VIF of ``exog[:, column]`` given the other columns.
 
     With only one column there is nothing to regress on and the VIF is
-    1 by convention (no correlation possible).
+    1 by convention (no correlation possible).  A perfectly collinear
+    column returns ``float("inf")`` (see module docstring).
     """
     x = as_2d(exog)
     n_cols = x.shape[1]
@@ -55,16 +67,19 @@ def variance_inflation_factor(exog: np.ndarray, column: int) -> float:
         return 1.0
     res = fit_ols(target, others, cov_type="nonrobust")
     r2 = min(res.rsquared, 1.0)
-    if r2 >= 1.0 - 1e-14:
-        return _VIF_CAP
-    return float(min(1.0 / (1.0 - r2), _VIF_CAP))
+    if r2 >= _PERFECT_R2:
+        return float("inf")
+    return float(1.0 / (1.0 - r2))
 
 
 def mean_vif(exog: np.ndarray) -> float:
     """Mean VIF over all columns — the stability score of Table I/IV.
 
     For a single column (first selection step) the paper reports "n/a";
-    we return ``nan`` so callers can render it that way.
+    we return ``nan`` so callers can render it that way.  If any column
+    is perfectly collinear the mean is ``inf`` — the set as a whole has
+    unidentifiable coefficients, which is exactly what an infinite
+    stability score should say.
     """
     x = as_2d(exog)
     if x.shape[1] < 2:
@@ -76,7 +91,12 @@ def mean_vif(exog: np.ndarray) -> float:
 def vif_table(
     exog: np.ndarray, names: Optional[Sequence[str]] = None
 ) -> Dict[str, float]:
-    """Per-column VIFs keyed by regressor name."""
+    """Per-column VIFs keyed by regressor name.
+
+    Perfectly collinear columns appear with value ``float("inf")`` so a
+    rendered table makes the degeneracy impossible to miss; use
+    :func:`collinear_columns` to get just the offending names.
+    """
     x = as_2d(exog)
     if names is None:
         names = [f"x{j}" for j in range(x.shape[1])]
@@ -88,3 +108,18 @@ def vif_table(
         str(name): variance_inflation_factor(x, j)
         for j, name in enumerate(names)
     }
+
+
+def collinear_columns(
+    exog: np.ndarray, names: Optional[Sequence[str]] = None
+) -> Tuple[str, ...]:
+    """Names of the columns whose VIF is infinite (perfect collinearity).
+
+    Convenience for degraded-data reporting: a campaign whose fault
+    injection zeroed two counters into identical columns can name them
+    in its report instead of surfacing a bare ``inf`` mean VIF.
+    """
+    table = vif_table(exog, names)
+    return tuple(
+        name for name, value in table.items() if np.isinf(value)
+    )

@@ -141,3 +141,97 @@ class TestOptions:
         rows = result.table_rows()
         assert len(rows) == 3
         assert all(len(r) == 4 for r in rows)
+
+
+class TestDegradedSelection:
+    """Algorithm 1 on degraded inputs: missing counters, exact ties,
+    infinite VIF, robust estimator (DESIGN.md §10)."""
+
+    def _dup_dataset(self):
+        """Dataset whose column 7 is an exact copy of column 0 — exact
+        criterion ties and infinite VIF on demand."""
+        ds = _dataset()
+        counters = ds.counters.copy()
+        counters[:, 7] = counters[:, 0]
+        return PowerDataset(
+            counters=counters,
+            power_w=ds.power_w,
+            voltage_v=ds.voltage_v,
+            frequency_mhz=ds.frequency_mhz,
+            threads=ds.threads,
+            workloads=ds.workloads,
+            suites=ds.suites,
+            phase_names=ds.phase_names,
+        )
+
+    def test_on_missing_raise_is_default(self):
+        with pytest.raises(KeyError, match="NOPE"):
+            select_events(_dataset(), 1, candidates=["NOPE"])
+
+    def test_on_missing_skip_drops_and_warns(self):
+        ds = _dataset()
+        names = ds.counter_names
+        result = select_events(
+            ds, 2,
+            candidates=["NOPE", names[0], names[1], names[2]],
+            on_missing="skip",
+        )
+        assert len(result.selected) == 2
+        assert "NOPE" not in result.selected
+        assert any("NOPE" in w for w in result.warnings)
+
+    def test_on_missing_skip_clamps_n_events(self):
+        ds = _dataset()
+        names = ds.counter_names
+        result = select_events(
+            ds, 5, candidates=list(names[:2]), on_missing="skip"
+        )
+        assert len(result.selected) == 2
+        assert any("selecting all" in w for w in result.warnings)
+
+    def test_on_missing_raise_still_rejects_small_pool(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            select_events(ds, 5, candidates=list(ds.counter_names[:2]))
+
+    def test_exact_tie_recorded_and_broken_by_pool_order(self):
+        ds = self._dup_dataset()
+        names = ds.counter_names
+        result = select_events(ds, 1, candidates=[names[0], names[7]])
+        # The duplicate column scores identically; the earliest pool
+        # entry must win and the tie must be recorded.
+        assert result.selected == (names[0],)
+        assert any("tie" in w for w in result.steps[0].warnings)
+
+    def test_infinite_vif_step_warning(self):
+        ds = self._dup_dataset()
+        names = ds.counter_names
+        result = select_events(ds, 2, candidates=[names[0], names[7]])
+        assert np.isinf(result.steps[-1].mean_vif)
+        assert any("infinite" in w for w in result.steps[-1].warnings)
+        assert result.first_unstable_step() == 2
+
+    def test_huber_estimator_selects(self):
+        ds = _dataset()
+        result = select_events(ds, 3, estimator="huber")
+        assert len(result.selected) == 3
+        # The informative counters still dominate under IRLS.
+        names = ds.counter_names
+        assert result.selected[0] in (names[0], names[5])
+
+    def test_invalid_estimator_rejected(self):
+        with pytest.raises(ValueError, match="estimator"):
+            select_events(_dataset(), 1, estimator="theil-sen")
+
+    def test_invalid_on_missing_rejected(self):
+        with pytest.raises(ValueError, match="on_missing"):
+            select_events(_dataset(), 1, on_missing="ignore")
+
+    def test_degraded_selection_deterministic(self):
+        ds = self._dup_dataset()
+        names = ds.counter_names
+        pool = ["NOPE", *names[:10]]
+        a = select_events(ds, 4, candidates=pool, on_missing="skip")
+        b = select_events(ds, 4, candidates=pool, on_missing="skip")
+        assert a.selected == b.selected
+        assert a.warnings == b.warnings

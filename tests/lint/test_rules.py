@@ -16,6 +16,7 @@ from repro.lint.rules import (
     NonAtomicCacheWrite,
     NoUnseededRng,
     RequireAllowPickleFalse,
+    NoRawLinalgSolvers,
     SilentBroadExcept,
     UnitSuffixConsistency,
 )
@@ -419,3 +420,65 @@ class TestRL007SilentExcept:
                     pass
         """
         assert run_rule(SilentBroadExcept(), code) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL008RawLinalg:
+    def test_flags_np_linalg_solve(self):
+        bad = """
+            import numpy as np
+            def fit(gram, rhs):
+                return np.linalg.solve(gram, rhs)
+        """
+        assert ids(run_rule(NoRawLinalgSolvers(), bad)) == ["RL008"]
+
+    def test_flags_inv_via_from_import(self):
+        bad = """
+            from numpy.linalg import inv
+            def precision(cov):
+                return inv(cov)
+        """
+        assert ids(run_rule(NoRawLinalgSolvers(), bad)) == ["RL008"]
+
+    def test_flags_scipy_cholesky(self):
+        bad = """
+            import scipy.linalg as sla
+            def root(gram):
+                return sla.cholesky(gram)
+        """
+        assert ids(run_rule(NoRawLinalgSolvers(), bad)) == ["RL008"]
+
+    def test_passes_rank_revealing_primitives(self):
+        good = """
+            import numpy as np
+            def decompose(x, y):
+                u, s, vt = np.linalg.svd(x, full_matrices=False)
+                beta = np.linalg.lstsq(x, y, rcond=None)[0]
+                return np.linalg.pinv(x), np.linalg.matrix_rank(x), beta
+        """
+        assert run_rule(NoRawLinalgSolvers(), good) == []
+
+    def test_passes_unrelated_solve_name(self):
+        good = """
+            def solve(puzzle):
+                return sorted(puzzle)
+            answer = solve([3, 1, 2])
+        """
+        assert run_rule(NoRawLinalgSolvers(), good) == []
+
+    def test_exempt_inside_guarded_layer(self):
+        code = """
+            import numpy as np
+            def safe_solve(a, b):
+                return np.linalg.solve(a, b)
+        """
+        exempt = Path("src/repro/stats/linalg.py")
+        assert run_rule(NoRawLinalgSolvers(), code, path=exempt) == []
+
+    def test_inline_suppression_honoured(self):
+        code = """
+            import numpy as np
+            def kernel(a, b):
+                return np.linalg.solve(a, b)  # replint: ignore[RL008] -- benchmarked hot path, inputs pre-validated
+        """
+        assert run_rule(NoRawLinalgSolvers(), code) == []

@@ -83,3 +83,52 @@ class TestVIFTable:
     def test_name_count_mismatch(self, rng):
         with pytest.raises(ValueError):
             vif_table(rng.normal(size=(100, 3)), names=["a"])
+
+
+class TestInfinityConvention:
+    """Perfect collinearity reports exactly inf — cleanly, with no
+    ZeroDivisionError and no runtime warning spam."""
+
+    def test_perfect_collinearity_is_exactly_inf(self, rng):
+        a = rng.normal(size=100)
+        x = np.column_stack([a, 2.0 * a, rng.normal(size=100)])
+        assert np.isinf(variance_inflation_factor(x, 0))
+        assert np.isinf(variance_inflation_factor(x, 1))
+
+    def test_no_warnings_emitted(self, rng):
+        import warnings as _warnings
+
+        a = rng.normal(size=100)
+        x = np.column_stack([a, a])
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert np.isinf(variance_inflation_factor(x, 0))
+
+    def test_mean_vif_is_inf_with_degenerate_column(self, rng):
+        a = rng.normal(size=200)
+        x = np.column_stack([a, -a, rng.normal(size=200)])
+        assert np.isinf(mean_vif(x))
+
+    def test_inf_exceeds_threshold(self, rng):
+        a = rng.normal(size=50)
+        x = np.column_stack([a, 3.0 * a])
+        assert variance_inflation_factor(x, 0) > VIF_PROBLEM_THRESHOLD
+
+    def test_vif_table_carries_inf(self, rng):
+        a = rng.normal(size=100)
+        x = np.column_stack([a, 2.0 * a, rng.normal(size=100)])
+        table = vif_table(x, names=["a", "a2", "c"])
+        assert np.isinf(table["a"]) and np.isinf(table["a2"])
+        assert np.isfinite(table["c"])
+
+    def test_collinear_columns_names_offenders(self, rng):
+        from repro.stats import collinear_columns
+
+        a = rng.normal(size=100)
+        x = np.column_stack([a, 2.0 * a, rng.normal(size=100)])
+        assert collinear_columns(x, names=["a", "a2", "c"]) == ("a", "a2")
+
+    def test_collinear_columns_empty_when_clean(self, rng):
+        from repro.stats import collinear_columns
+
+        assert collinear_columns(rng.normal(size=(200, 3))) == ()
