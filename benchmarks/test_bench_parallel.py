@@ -1,0 +1,168 @@
+"""Parallel execution layer benchmark → ``BENCH_parallel.json``.
+
+Records the serial vs 2- vs 4-worker wall time of the three fan-out
+sites (campaign cells, greedy selection, k-fold CV) plus the asserted
+acceptance gate: a latency-bound campaign must reach ≥1.5× at 4
+workers.
+
+The campaign benchmark uses a platform whose ``execute`` dwells like a
+real acquisition run (a simulated run on real hardware blocks on the
+workload's wall time, not on CPU), so the thread backend's overlap is
+measured honestly even on a single-core CI runner.  The selection and
+CV rows are CPU-bound and recorded without a speedup assertion — on a
+1-core box they legitimately show ~1×.
+
+Plain pytest is enough (no pytest-benchmark fixture): CI runs this
+file directly and uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.acquisition import Campaign, CampaignPlan
+from repro.core import select_events
+from repro.experiments import data as expdata
+from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS, Platform
+from repro.io.atomic import atomic_write_json
+from repro.parallel import MONOTONIC_CLOCK
+from repro.stats import cross_validate
+from repro.workloads import get_workload
+
+from .conftest import report
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+DWELL_S = 0.05
+PROG = tuple(c for c in COUNTER_NAMES if c not in FIXED_COUNTERS)[:8]
+EVENTS = tuple(FIXED_COUNTERS) + PROG
+
+
+class DwellPlatform(Platform):
+    """A platform whose runs take wall time, as real acquisition does.
+
+    The simulator computes a run's samples in microseconds; real
+    hardware blocks for the workload's duration.  A fixed dwell restores
+    that latency-bound profile so overlap across cells is measurable.
+    """
+
+    def execute(self, *args, **kwargs):
+        run = super().execute(*args, **kwargs)
+        time.sleep(DWELL_S)
+        return run
+
+
+def bench_plan():
+    return CampaignPlan(
+        workloads=tuple(
+            get_workload(n)
+            for n in ("compute", "idle", "memory_read", "memory_write")
+        ),
+        frequencies_mhz=(2400,),
+        events=EVENTS,
+        thread_counts_override=(8,),
+    )
+
+
+def timed(fn):
+    t0 = MONOTONIC_CLOCK()
+    value = fn()
+    return MONOTONIC_CLOCK() - t0, value
+
+
+def run_campaign_with(backend, workers):
+    campaign = Campaign(
+        DwellPlatform(), bench_plan(), parallel=backend, max_workers=workers
+    )
+    elapsed, dataset = timed(campaign.run)
+    return elapsed, dataset
+
+
+def test_bench_parallel_layers():
+    results = {"clock": "perf_counter", "dwell_s": DWELL_S}
+
+    # -- campaign cells (latency-bound, thread backend) -----------------
+    serial_s, reference = run_campaign_with("serial", 1)
+    thread2_s, ds2 = run_campaign_with("thread", 2)
+    thread4_s, ds4 = run_campaign_with("thread", 4)
+    # Determinism first, speed second.
+    for ds in (ds2, ds4):
+        assert np.array_equal(ds.counters, reference.counters, equal_nan=True)
+        assert np.array_equal(ds.power_w, reference.power_w)
+    n_cells = len(Campaign(DwellPlatform(), bench_plan()).cells())
+    results["campaign"] = {
+        "n_cells": n_cells,
+        "backend": "thread",
+        "serial_s": round(serial_s, 4),
+        "workers2_s": round(thread2_s, 4),
+        "workers4_s": round(thread4_s, 4),
+        "speedup_2": round(serial_s / thread2_s, 2),
+        "speedup_4": round(serial_s / thread4_s, 2),
+    }
+
+    # -- greedy selection (CPU-bound, process backend) ------------------
+    selection = expdata.selection_dataset()
+    pool = tuple(selection.counter_names[:12])
+    sel_serial_s, sel_ref = timed(
+        lambda: select_events(selection, 3, candidates=pool, parallel="serial")
+    )
+    sel2_s, sel2 = timed(
+        lambda: select_events(
+            selection, 3, candidates=pool, parallel="process", max_workers=2
+        )
+    )
+    sel4_s, sel4 = timed(
+        lambda: select_events(
+            selection, 3, candidates=pool, parallel="process", max_workers=4
+        )
+    )
+    assert sel2.selected == sel_ref.selected == sel4.selected
+    results["selection"] = {
+        "n_candidates": len(pool),
+        "n_events": 3,
+        "backend": "process",
+        "serial_s": round(sel_serial_s, 4),
+        "workers2_s": round(sel2_s, 4),
+        "workers4_s": round(sel4_s, 4),
+        "speedup_2": round(sel_serial_s / sel2_s, 2),
+        "speedup_4": round(sel_serial_s / sel4_s, 2),
+    }
+
+    # -- k-fold CV (CPU-bound, process backend) -------------------------
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2000, 8))
+    y = 80 + x @ rng.normal(size=8) + rng.normal(size=2000)
+    cv_serial_s, cv_ref = timed(
+        lambda: cross_validate(y, x, n_splits=10, parallel="serial")
+    )
+    cv2_s, cv2 = timed(
+        lambda: cross_validate(
+            y, x, n_splits=10, parallel="process", max_workers=2
+        )
+    )
+    cv4_s, cv4 = timed(
+        lambda: cross_validate(
+            y, x, n_splits=10, parallel="process", max_workers=4
+        )
+    )
+    assert cv2.folds == cv_ref.folds == cv4.folds
+    results["crossval"] = {
+        "n_samples": 2000,
+        "n_splits": 10,
+        "backend": "process",
+        "serial_s": round(cv_serial_s, 4),
+        "workers2_s": round(cv2_s, 4),
+        "workers4_s": round(cv4_s, 4),
+        "speedup_2": round(cv_serial_s / cv2_s, 2),
+        "speedup_4": round(cv_serial_s / cv4_s, 2),
+    }
+
+    atomic_write_json(OUT_PATH, results)
+    report("BENCH_parallel", json.dumps(results, indent=2))
+
+    # Acceptance gate: the latency-bound campaign overlaps cells.
+    assert results["campaign"]["speedup_4"] >= 1.5, results["campaign"]

@@ -52,6 +52,13 @@ from repro.hardware import (
     PlatformConfig,
 )
 from repro.faults import FaultPlan
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    TimingReport,
+    resolve_executor,
+)
 from repro.seeding import DEFAULT_SEED
 from repro.workloads import (
     Characterization,
@@ -103,6 +110,12 @@ __all__ = [
     "counter_power_pcc",
     "run_workflow",
     "WorkflowResult",
+    # parallel execution
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TimingReport",
+    "resolve_executor",
     # misc
     "DEFAULT_SEED",
 ]

@@ -53,6 +53,7 @@ from repro.faults.watchdog import validate_profiles, validate_trace
 from repro.hardware.counters import COUNTER_NAMES
 from repro.hardware.platform import Platform
 from repro.hardware.pmu import EventSet, schedule_events
+from repro.parallel import StageTimer, TimingReport, resolve_executor
 from repro.tracing.phases import PhaseProfile, haecsim_profiles, postprocess_profiles
 from repro.tracing.scorep import trace_multiplexed_run, trace_run
 from repro.workloads.base import Workload
@@ -112,11 +113,24 @@ class CampaignPlan:
 
 
 class Campaign:
-    """Executes a :class:`CampaignPlan` on a platform (all-or-nothing)."""
+    """Executes a :class:`CampaignPlan` on a platform (all-or-nothing).
 
-    def __init__(self, platform: Platform, plan: CampaignPlan) -> None:
+    ``parallel`` / ``max_workers`` select the cell-execution backend
+    (see :mod:`repro.parallel`); results are assembled in cell order,
+    so every backend produces bit-identical datasets.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        plan: CampaignPlan,
+        *,
+        parallel: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
         self.platform = platform
         self.plan = plan
+        self.executor = resolve_executor(parallel, max_workers)
         self.event_sets: List[EventSet] = schedule_events(
             plan.events, platform.cfg
         )
@@ -185,18 +199,44 @@ class Campaign:
     def collect_profiles(
         self, progress: Optional[ProgressFn] = None
     ) -> List[PhaseProfile]:
-        """Execute all runs and extract phase profiles."""
-        profiles: List[PhaseProfile] = []
-        last_announced = None
-        for cell in self.cells():
-            experiment = (cell.workload.name, cell.frequency_mhz, cell.threads)
-            if progress is not None and experiment != last_announced:
-                progress(
-                    f"{cell.workload.name} @ {cell.frequency_mhz} MHz, "
-                    f"{cell.threads} threads"
+        """Execute all runs and extract phase profiles.
+
+        Profiles are concatenated in cell order regardless of backend,
+        so serial and parallel campaigns build identical datasets.
+        """
+        cells = self.cells()
+        if self.executor.kind == "serial":
+            profiles: List[PhaseProfile] = []
+            last_announced = None
+            for cell in cells:
+                experiment = (
+                    cell.workload.name, cell.frequency_mhz, cell.threads
                 )
-                last_announced = experiment
-            profiles.extend(self.execute_cell(cell))
+                if progress is not None and experiment != last_announced:
+                    progress(
+                        f"{cell.workload.name} @ {cell.frequency_mhz} MHz, "
+                        f"{cell.threads} threads"
+                    )
+                    last_announced = experiment
+                profiles.extend(self.execute_cell(cell))
+            return profiles
+        if progress is not None:
+            # Announce in cell order up front; execution interleaves.
+            last_announced = None
+            for cell in cells:
+                experiment = (
+                    cell.workload.name, cell.frequency_mhz, cell.threads
+                )
+                if experiment != last_announced:
+                    progress(
+                        f"{cell.workload.name} @ {cell.frequency_mhz} MHz, "
+                        f"{cell.threads} threads"
+                    )
+                    last_announced = experiment
+        per_cell = self.executor.map(self.execute_cell, cells)
+        profiles = []
+        for cell_profiles in per_cell:
+            profiles.extend(cell_profiles)
         return profiles
 
     def run(
@@ -305,6 +345,9 @@ class CampaignReport:
     """Counters excluded from the dataset for insufficient coverage."""
     degraded_phases: int
     """Merged phases dropped for missing one of the kept counters."""
+    timing: Optional[TimingReport] = None
+    """Per-stage wall time (monotonic clock).  Excluded from bit-identity
+    comparisons — wall time legitimately differs between backends."""
 
     @property
     def clean(self) -> bool:
@@ -348,6 +391,9 @@ class CampaignReport:
             )
         if self.clean:
             lines.append("no faults observed — clean campaign")
+        if self.timing is not None and self.timing.stages:
+            lines.append("timing:")
+            lines.extend(f"  {s.describe()}" for s in self.timing.stages)
         return "\n".join(lines)
 
 
@@ -396,7 +442,14 @@ class ResilientCampaign(Campaign):
         Run the acquisition watchdog on every trace/profile set.
     sleep_fn:
         Injectable sleep (tests pass a recorder; default
-        :func:`time.sleep`).
+        :func:`time.sleep`).  Must be picklable for
+        ``parallel="process"`` (closures are not — pin those tests to
+        serial).
+    parallel, max_workers:
+        Cell-execution backend (see :mod:`repro.parallel`).  Outcomes
+        are accounted in cell order, so every backend is bit-identical
+        to serial — including under injected faults, whose decisions
+        are keyed per (cell, attempt).
     """
 
     def __init__(
@@ -410,8 +463,12 @@ class ResilientCampaign(Campaign):
         min_counter_coverage: float = 0.75,
         validate: bool = True,
         sleep_fn: Callable[[float], None] = time.sleep,
+        parallel: Optional[str] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
-        super().__init__(platform, plan)
+        super().__init__(
+            platform, plan, parallel=parallel, max_workers=max_workers
+        )
         if not 0.0 <= min_counter_coverage <= 1.0:
             raise ValueError("min_counter_coverage must be in [0, 1]")
         self.faults = faults or FaultPlan()
@@ -514,29 +571,100 @@ class ResilientCampaign(Campaign):
         return outcome
 
     # ------------------------------------------------------------------
-    def run(self, progress: Optional[ProgressFn] = None) -> CampaignResult:
-        """Fault-tolerant campaign: retry, quarantine, checkpoint,
-        merge with graceful degradation, and report."""
-        profiles: List[PhaseProfile] = []
-        faults_observed: Dict[str, int] = {}
-        quarantined: List[Tuple[str, str]] = []
-        retries = 0
-        resumed = 0
-        completed = 0
-        backoff_s = 0.0
-        cells = self.cells()
-        for cell in cells:
+    def _run_cells_serial(
+        self, cells: List[CampaignCell], progress: Optional[ProgressFn]
+    ) -> Tuple[List[Optional[_CellOutcome]], Dict[int, List[PhaseProfile]]]:
+        """The reference cell loop: strictly interleaved progress,
+        execution and checkpointing (an interrupt mid-loop leaves every
+        finished cell stored — the resume tests rely on this)."""
+        outcomes: List[Optional[_CellOutcome]] = []
+        resumed: Dict[int, List[PhaseProfile]] = {}
+        for i, cell in enumerate(cells):
             cid = cell_id(*cell.key, self.plan.events)
             if progress is not None:
                 progress(f"cell {cell.describe()}")
             if self.checkpoint is not None:
                 stored = self.checkpoint.load(cid)
                 if stored is not None:
-                    profiles.extend(stored)
-                    resumed += 1
-                    completed += 1
+                    outcomes.append(None)
+                    resumed[i] = stored
                     continue
             outcome = self.run_cell(cell)
+            if self.checkpoint is not None and outcome.profiles is not None:
+                self.checkpoint.store(cid, outcome.profiles)
+            outcomes.append(outcome)
+        return outcomes, resumed
+
+    def _run_cells_parallel(
+        self, cells: List[CampaignCell], progress: Optional[ProgressFn]
+    ) -> Tuple[List[Optional[_CellOutcome]], Dict[int, List[PhaseProfile]]]:
+        """Fan the non-resumed cells out over the executor.
+
+        Checkpoint loads and progress stay in the parent (in cell
+        order); checkpoint stores run in the parent via the
+        ``on_result`` hook as cells complete, so an interrupt still
+        loses at most the in-flight cells.
+        """
+        outcomes: List[Optional[_CellOutcome]] = [None] * len(cells)
+        pending: List[int] = []
+        cids = [cell_id(*cell.key, self.plan.events) for cell in cells]
+        resumed: Dict[int, List[PhaseProfile]] = {}
+        for i, cell in enumerate(cells):
+            if progress is not None:
+                progress(f"cell {cell.describe()}")
+            if self.checkpoint is not None:
+                stored = self.checkpoint.load(cids[i])
+                if stored is not None:
+                    resumed[i] = stored
+                    continue
+            pending.append(i)
+
+        def _store(pending_index: int, outcome: _CellOutcome) -> None:
+            if self.checkpoint is not None and outcome.profiles is not None:
+                self.checkpoint.store(
+                    cids[pending[pending_index]], outcome.profiles
+                )
+
+        results = self.executor.map(
+            self.run_cell, [cells[i] for i in pending], on_result=_store
+        )
+        for i, outcome in zip(pending, results):
+            outcomes[i] = outcome
+        return outcomes, resumed
+
+    def run(self, progress: Optional[ProgressFn] = None) -> CampaignResult:
+        """Fault-tolerant campaign: retry, quarantine, checkpoint,
+        merge with graceful degradation, and report.
+
+        The accounting below walks outcomes in cell order whichever
+        backend executed them, so the dataset and every report field
+        except ``timing`` are bit-identical across backends.
+        """
+        profiles: List[PhaseProfile] = []
+        faults_observed: Dict[str, int] = {}
+        quarantined: List[Tuple[str, str]] = []
+        retries = 0
+        completed = 0
+        backoff_s = 0.0
+        cells = self.cells()
+        timer = StageTimer()
+        with timer.stage(
+            "acquisition", n_items=len(cells), executor=self.executor
+        ):
+            if self.executor.kind == "serial":
+                outcomes, resumed_profiles = self._run_cells_serial(
+                    cells, progress
+                )
+            else:
+                outcomes, resumed_profiles = self._run_cells_parallel(
+                    cells, progress
+                )
+        resumed = len(resumed_profiles)
+        completed += resumed
+        for i, (cell, outcome) in enumerate(zip(cells, outcomes)):
+            if outcome is None:  # resumed from checkpoint
+                profiles.extend(resumed_profiles[i])
+                continue
             retries += outcome.attempts - 1
             for attempt in range(outcome.attempts - 1):
                 backoff_s += self.retry.delay_s(attempt)
@@ -546,17 +674,16 @@ class ResilientCampaign(Campaign):
                 quarantined.append((cell.describe(), outcome.last_error))
                 continue
             completed += 1
-            if self.checkpoint is not None:
-                self.checkpoint.store(cid, outcome.profiles)
             profiles.extend(outcome.profiles)
 
         merge_issues: List[str] = []
-        merged: List[MergedPhase] = merge_runs(
-            profiles,
-            on_phase_mismatch="record",
-            on_counter_disagreement="record",
-            issues=merge_issues,
-        )
+        with timer.stage("merge", n_items=len(profiles)):
+            merged: List[MergedPhase] = merge_runs(
+                profiles,
+                on_phase_mismatch="record",
+                on_counter_disagreement="record",
+                issues=merge_issues,
+            )
         coverage = counter_coverage(merged, self.plan.events)
         kept = tuple(
             c
@@ -589,6 +716,7 @@ class ResilientCampaign(Campaign):
             counter_coverage=coverage,
             dropped_counters=dropped_counters,
             degraded_phases=degraded_phases,
+            timing=timer.report(),
         )
         return CampaignResult(dataset=dataset, report=report)
 
@@ -628,6 +756,8 @@ def run_campaign(
     multiplexing: str = "multi-run",
     require_complete: bool = True,
     progress: Optional[ProgressFn] = None,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> PowerDataset:
     """One-call convenience around :class:`Campaign`.
 
@@ -643,9 +773,10 @@ def run_campaign(
         thread_counts=thread_counts,
         multiplexing=multiplexing,
     )
-    return Campaign(platform, plan).run(
-        progress, require_complete=require_complete
+    campaign = Campaign(
+        platform, plan, parallel=parallel, max_workers=max_workers
     )
+    return campaign.run(progress, require_complete=require_complete)
 
 
 def run_resilient_campaign(
@@ -662,6 +793,8 @@ def run_resilient_campaign(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     min_counter_coverage: float = 0.75,
     progress: Optional[ProgressFn] = None,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> CampaignResult:
     """One-call convenience around :class:`ResilientCampaign`."""
     plan = _make_plan(
@@ -679,5 +812,7 @@ def run_resilient_campaign(
         retry=retry,
         checkpoint_dir=checkpoint_dir,
         min_counter_coverage=min_counter_coverage,
+        parallel=parallel,
+        max_workers=max_workers,
     )
     return campaign.run(progress)

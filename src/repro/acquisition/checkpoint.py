@@ -8,8 +8,14 @@ instead of re-executing — checkpoint/resume at run granularity.
 
 Layout of a checkpoint directory::
 
-    <dir>/manifest.json        # {"format": 1, "fingerprint": "..."}
+    <dir>/manifest.json        # {"format": 1, "fingerprint": "...",
+                               #  "events": [...]}
     <dir>/cell_<id>.npz        # one archive per completed cell
+
+The manifest's ``events`` list records recovery actions (corrupt cells
+discarded, files that vanished under a concurrent cleanup) so a
+multi-process campaign leaves an audit trail instead of silently
+swallowing races.
 
 The fingerprint hashes everything that determines a cell's output
 (platform seed and noise parameters, the campaign plan, the fault plan,
@@ -33,7 +39,7 @@ import hashlib
 import json
 import zipfile
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -76,6 +82,8 @@ class CampaignCheckpoint:
     def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
+        self._events: List[Dict[str, str]] = []
+        self._manifest_ready = False
         self._initialise()
 
     # ------------------------------------------------------------------
@@ -97,19 +105,54 @@ class CampaignCheckpoint:
             or manifest.get("format") != CHECKPOINT_FORMAT
             or manifest.get("fingerprint") != self.fingerprint
         ):
+            # Order matters: reset first, write the new manifest after.
+            # A crash between the two leaves an invalid manifest, so the
+            # next start resets again instead of adopting stale cells.
+            # Events logged during the reset are buffered and land in
+            # the first manifest write below.
             self.reset()
-            atomic_write_json(
-                path,
-                {"format": CHECKPOINT_FORMAT, "fingerprint": self.fingerprint},
-            )
+            self._write_manifest()
+        else:
+            prior = manifest.get("events", [])
+            if isinstance(prior, list):
+                self._events = [e for e in prior if isinstance(e, dict)]
+            self._manifest_ready = True
+
+    def _write_manifest(self) -> None:
+        atomic_write_json(
+            self._manifest_path(),
+            {
+                "format": CHECKPOINT_FORMAT,
+                "fingerprint": self.fingerprint,
+                "events": self._events,
+            },
+        )
+        self._manifest_ready = True
+
+    def _log_event(self, kind: str, detail: str) -> None:
+        """Record a recovery action in the manifest's audit trail."""
+        self._events.append({"kind": kind, "detail": detail})
+        if self._manifest_ready:
+            self._write_manifest()
+
+    def events(self) -> List[Dict[str, str]]:
+        """The manifest's recovery audit trail (copy)."""
+        return list(self._events)
 
     def reset(self) -> None:
         """Drop every stored cell (stale fingerprint / fresh start)."""
         for cell_path in self.directory.glob("cell_*.npz"):
             try:
                 cell_path.unlink()
-            except OSError:
-                pass  # already gone (concurrent cleanup) — nothing to drop
+            except FileNotFoundError:
+                # Already gone: a concurrent cleanup (parallel campaign
+                # sharing the directory) unlinked it between the glob
+                # and here.  Benign, but worth an audit line; any other
+                # OSError (permissions, I/O) propagates.
+                self._log_event(
+                    "concurrent-cleanup",
+                    f"{cell_path.name} vanished during reset",
+                )
 
     # ------------------------------------------------------------------
     def cell_path(self, cid: str) -> Path:
@@ -196,9 +239,18 @@ class CampaignCheckpoint:
                         )
                     )
                 return profiles
-        except _CORRUPT_ERRORS:
+        except _CORRUPT_ERRORS as exc:
             try:
                 path.unlink()
-            except OSError:
-                pass  # concurrent cleanup beat us to it
+                self._log_event(
+                    "corrupt-cell-discarded",
+                    f"{path.name}: {type(exc).__name__}: {exc}",
+                )
+            except FileNotFoundError:
+                # A concurrent cleanup unlinked it first; other OSErrors
+                # (permissions, I/O) propagate rather than being eaten.
+                self._log_event(
+                    "concurrent-cleanup",
+                    f"{path.name} vanished during corrupt-cell discard",
+                )
             return None

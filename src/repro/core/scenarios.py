@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.acquisition.dataset import PowerDataset
 from repro.core.model import PowerModel
+from repro.parallel import resolve_executor
 from repro.seeding import DEFAULT_SEED, derive_rng
 from repro.stats.crossval import KFold
 from repro.stats.metrics import bias, mape, r2_score
@@ -124,6 +125,36 @@ class ScenarioResult:
 
 
 # ----------------------------------------------------------------------
+def _cv_fold_worker(
+    args: Tuple[
+        PowerDataset,
+        Tuple[str, ...],
+        str,
+        str,
+        np.ndarray,
+        np.ndarray,
+        str,
+    ],
+) -> Tuple[np.ndarray, float, Dict[str, float], int]:
+    """Fit and score one CV fold (module-level, picklable worker).
+
+    Returns (held-out predictions, fold MAPE, fit metrics, count of
+    zero-power rows skipped by ``on_zero="skip"``).
+    """
+    dataset, counters, cov_type, estimator, train, test, on_zero = args
+    model = PowerModel(counters, cov_type=cov_type, estimator=estimator)
+    fitted = model.fit(dataset.subset(train))
+    test_ds = dataset.subset(test)
+    p = fitted.predict(test_ds)
+    n_zero = int(np.sum(test_ds.power_w == 0.0))  # replint: ignore[RL004] -- exact-zero guard: MAPE division sentinel
+    return (
+        p,
+        mape(test_ds.power_w, p, on_zero=on_zero),
+        {"r2": fitted.rsquared, "adj_r2": fitted.rsquared_adj},
+        n_zero,
+    )
+
+
 def cv_out_of_fold_predictions(
     dataset: PowerDataset,
     counters: Sequence[str],
@@ -132,28 +163,54 @@ def cv_out_of_fold_predictions(
     seed: int = DEFAULT_SEED,
     cov_type: str = "HC3",
     estimator: str = "ols",
+    on_zero: str = "raise",
+    issues: Optional[List[str]] = None,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> Tuple[np.ndarray, Tuple[float, ...], List[Dict[str, float]]]:
     """k-fold CV with random indexing: out-of-fold predictions.
 
     Returns (predictions aligned with dataset rows, per-fold MAPEs,
     per-fold fit metrics [R², Adj.R²]).  ``estimator="huber"`` runs the
-    robust per-fold fits.
+    robust per-fold fits.  ``on_zero="skip"`` lets degraded pipelines
+    survive zero-power rows in a fold's MAPE; each occurrence is
+    recorded in the ``issues`` sink when one is given.  Folds run on
+    the ``parallel``/``max_workers`` backend (see
+    :mod:`repro.parallel`), assembled in fold order — bit-identical to
+    serial.
     """
+    executor = resolve_executor(parallel, max_workers)
+    splits = list(
+        KFold(n_splits, shuffle=True, seed=seed).split(dataset.n_samples)
+    )
+    outcomes = executor.map(
+        _cv_fold_worker,
+        [
+            (
+                dataset,
+                tuple(counters),
+                cov_type,
+                estimator,
+                train,
+                test,
+                on_zero,
+            )
+            for train, test in splits
+        ],
+    )
     preds = np.full(dataset.n_samples, np.nan)
     fold_mapes: List[float] = []
     fold_fits: List[Dict[str, float]] = []
-    model = PowerModel(counters, cov_type=cov_type, estimator=estimator)
-    for train, test in KFold(n_splits, shuffle=True, seed=seed).split(
-        dataset.n_samples
+    for fold, ((train, test), (p, fold_mape, fits, n_zero)) in enumerate(
+        zip(splits, outcomes)
     ):
-        fitted = model.fit(dataset.subset(train))
-        test_ds = dataset.subset(test)
-        p = fitted.predict(test_ds)
         preds[test] = p
-        fold_mapes.append(mape(test_ds.power_w, p))
-        fold_fits.append(
-            {"r2": fitted.rsquared, "adj_r2": fitted.rsquared_adj}
-        )
+        fold_mapes.append(fold_mape)
+        fold_fits.append(fits)
+        if n_zero and issues is not None:
+            issues.append(
+                f"fold {fold}: skipped {n_zero} zero-power row(s) in MAPE"
+            )
     if np.any(np.isnan(preds)):  # pragma: no cover - KFold covers all rows
         raise AssertionError("incomplete out-of-fold coverage")
     return preds, tuple(fold_mapes), fold_fits
@@ -253,10 +310,22 @@ def scenario_cv_all(
     n_splits: int = 10,
     seed: int = DEFAULT_SEED,
     estimator: str = "ols",
+    on_zero: str = "raise",
+    issues: Optional[List[str]] = None,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> ScenarioResult:
     """Scenario 3: 10-fold CV over all experiments (the Table II run)."""
     preds, fold_mapes, _ = cv_out_of_fold_predictions(
-        dataset, counters, n_splits=n_splits, seed=seed, estimator=estimator
+        dataset,
+        counters,
+        n_splits=n_splits,
+        seed=seed,
+        estimator=estimator,
+        on_zero=on_zero,
+        issues=issues,
+        parallel=parallel,
+        max_workers=max_workers,
     )
     return ScenarioResult(
         name=SCENARIO_NAMES[2],
@@ -273,13 +342,25 @@ def scenario_cv_synthetic(
     n_splits: int = 10,
     seed: int = DEFAULT_SEED,
     estimator: str = "ols",
+    on_zero: str = "raise",
+    issues: Optional[List[str]] = None,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> ScenarioResult:
     """Scenario 4: 10-fold CV over the roco2 experiments only."""
     synth = dataset.filter(suite="roco2")
     if synth.n_samples == 0:
         raise ValueError("dataset contains no roco2 rows")
     preds, fold_mapes, _ = cv_out_of_fold_predictions(
-        synth, counters, n_splits=n_splits, seed=seed, estimator=estimator
+        synth,
+        counters,
+        n_splits=n_splits,
+        seed=seed,
+        estimator=estimator,
+        on_zero=on_zero,
+        issues=issues,
+        parallel=parallel,
+        max_workers=max_workers,
     )
     return ScenarioResult(
         name=SCENARIO_NAMES[3],
@@ -295,6 +376,10 @@ def run_all_scenarios(
     *,
     seed: int = DEFAULT_SEED,
     n_train_random: int = 4,
+    on_zero: str = "raise",
+    issues: Optional[List[str]] = None,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, ScenarioResult]:
     """All four scenarios (Fig. 4), keyed by scenario name."""
     return {
@@ -302,6 +387,22 @@ def run_all_scenarios(
             dataset, counters, n_train=n_train_random, seed=seed
         ),
         SCENARIO_NAMES[1]: scenario_synthetic_to_spec(dataset, counters),
-        SCENARIO_NAMES[2]: scenario_cv_all(dataset, counters, seed=seed),
-        SCENARIO_NAMES[3]: scenario_cv_synthetic(dataset, counters, seed=seed),
+        SCENARIO_NAMES[2]: scenario_cv_all(
+            dataset,
+            counters,
+            seed=seed,
+            on_zero=on_zero,
+            issues=issues,
+            parallel=parallel,
+            max_workers=max_workers,
+        ),
+        SCENARIO_NAMES[3]: scenario_cv_synthetic(
+            dataset,
+            counters,
+            seed=seed,
+            on_zero=on_zero,
+            issues=issues,
+            parallel=parallel,
+            max_workers=max_workers,
+        ),
     }

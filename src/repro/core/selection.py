@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.acquisition.dataset import PowerDataset
 from repro.core.model import ESTIMATORS, PowerModel
+from repro.parallel import resolve_executor
 from repro.stats.errors import EstimationError
 from repro.stats.selection_criteria import CRITERIA
 from repro.stats.vif import VIF_PROBLEM_THRESHOLD, mean_vif
@@ -100,6 +101,39 @@ class SelectionResult:
         ]
 
 
+def _evaluate_candidate(
+    args: Tuple[
+        PowerDataset,
+        Tuple[str, ...],
+        str,
+        Optional[float],
+        str,
+        str,
+        str,
+    ],
+) -> Tuple[object, ...]:
+    """Score one candidate event for one greedy step.
+
+    Module-level (picklable) worker for the per-step fan-out; returns a
+    tagged tuple so the pool-order reduction in :func:`select_events`
+    reproduces the serial loop's warnings and tie handling exactly.
+    """
+    dataset, selected, event, max_vif, cov_type, estimator, criterion = args
+    trial = list(selected) + [event]
+    if max_vif is not None and len(trial) > 1:
+        trial_vif = mean_vif(dataset.counter_matrix(trial))
+        if trial_vif > max_vif:
+            return ("vif", event)
+    try:
+        fitted = PowerModel(
+            trial, cov_type=cov_type, estimator=estimator
+        ).fit(dataset)
+    except EstimationError as exc:
+        return ("error", event, str(exc))
+    score = CRITERIA[criterion](fitted.ols)
+    return ("ok", event, score, fitted.rsquared, fitted.rsquared_adj)
+
+
 def select_events(
     dataset: PowerDataset,
     n_events: int,
@@ -110,6 +144,8 @@ def select_events(
     cov_type: str = "HC3",
     estimator: str = "ols",
     on_missing: str = "raise",
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> SelectionResult:
     """Run Algorithm 1 on a dataset.
 
@@ -138,13 +174,20 @@ def select_events(
         campaign may have dropped entire counters): ``"raise"`` keeps
         the strict historical ``KeyError``; ``"skip"`` drops them from
         the pool and records a selection-level warning.
+    parallel, max_workers:
+        Backend for each step's candidate fan-out (see
+        :mod:`repro.parallel`).  Candidate fits are independent, and
+        the reduction below walks results in pool order, so every
+        backend selects bit-identically.
 
     Determinism
     -----------
     Candidates are scanned in pool order and a challenger must *strictly*
     beat the incumbent, so exact criterion ties resolve to the earliest
     pool entry and reruns on identical data reproduce bit-identical
-    selections.  Observed ties are recorded in the step's ``warnings``.
+    selections — parallel evaluation preserves this because results are
+    reduced in pool order, never completion order.  Observed ties are
+    recorded in the step's ``warnings``.
     """
     if criterion not in CRITERIA:
         raise ValueError(
@@ -158,7 +201,6 @@ def select_events(
         raise ValueError(
             f"on_missing must be 'raise' or 'skip', got {on_missing!r}"
         )
-    score_fn = CRITERIA[criterion]
     pool = list(candidates) if candidates is not None else list(dataset.counter_names)
     run_warnings: List[str] = []
     missing = [c for c in pool if c not in dataset.counter_names]
@@ -186,6 +228,7 @@ def select_events(
                 f"cannot select {n_events} events from {len(pool)} candidates"
             )
 
+    executor = resolve_executor(parallel, max_workers)
     selected: List[str] = []
     steps: List[SelectionStep] = []
     remaining = list(pool)
@@ -194,23 +237,35 @@ def select_events(
         best: Optional[Tuple[str, float, float, float]] = None
         step_warnings: List[str] = []
         scores: List[Tuple[str, float]] = []
-        for event in remaining:
-            trial = selected + [event]
-            if max_vif is not None and len(trial) > 1:
-                trial_vif = mean_vif(dataset.counter_matrix(trial))
-                if trial_vif > max_vif:
-                    continue
-            try:
-                fitted = PowerModel(
-                    trial, cov_type=cov_type, estimator=estimator
-                ).fit(dataset)
-            except EstimationError as exc:
-                step_warnings.append(f"candidate {event!r} skipped: {exc}")
+        evaluations = executor.map(
+            _evaluate_candidate,
+            [
+                (
+                    dataset,
+                    tuple(selected),
+                    event,
+                    max_vif,
+                    cov_type,
+                    estimator,
+                    criterion,
+                )
+                for event in remaining
+            ],
+        )
+        # Reduce in pool order — identical to the historical serial
+        # loop, whichever backend produced the evaluations.
+        for evaluation in evaluations:
+            tag = evaluation[0]
+            if tag == "vif":
                 continue
-            score = score_fn(fitted.ols)
+            if tag == "error":
+                _, event, message = evaluation
+                step_warnings.append(f"candidate {event!r} skipped: {message}")
+                continue
+            _, event, score, r2, adj = evaluation
             scores.append((event, score))
             if best is None or score > best[1]:
-                best = (event, score, fitted.rsquared, fitted.rsquared_adj)
+                best = (event, score, r2, adj)
         if best is None:
             # Every remaining candidate violates the VIF constraint or
             # failed to fit on the degraded data.

@@ -25,6 +25,7 @@ from repro.core.scenarios import ScenarioResult, scenario_cv_all
 from repro.core.selection import SelectionResult, select_events
 from repro.hardware.dvfs import PAPER_FREQUENCIES_MHZ, SELECTION_FREQUENCY_MHZ
 from repro.hardware.platform import Platform
+from repro.parallel import StageTimer, TimingReport, resolve_executor
 from repro.seeding import DEFAULT_SEED
 from repro.stats.linalg import FitDiagnostics
 from repro.workloads.base import Workload
@@ -52,6 +53,9 @@ class WorkflowResult:
     """10-fold cross validation of the model (Table II scenario)."""
     warnings: Tuple[str, ...] = ()
     """Degraded-data notes gathered across the stages (robust mode)."""
+    timing: Optional[TimingReport] = None
+    """Per-stage wall time (monotonic clock); not part of the modeled
+    output, so bit-identity comparisons must exclude it."""
 
     @property
     def selected_counters(self) -> Tuple[str, ...]:
@@ -79,6 +83,9 @@ class WorkflowResult:
             rows.append(f"  fit diagnostics:   {self.diagnostics.summary()}")
         for w in self.warnings:
             rows.append(f"  warning: {w}")
+        if self.timing is not None and self.timing.stages:
+            rows.append("  timing:")
+            rows.extend(f"    {s.describe()}" for s in self.timing.stages)
         return "\n".join(rows)
 
 
@@ -94,6 +101,8 @@ def run_workflow(
     sampling_interval_s: float = 0.1,
     dataset: Optional[PowerDataset] = None,
     robust: bool = False,
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> WorkflowResult:
     """Run the complete methodology of the paper.
 
@@ -114,7 +123,14 @@ def run_workflow(
         candidates survive, and a selection-frequency fallback to the
         full dataset when the degraded campaign lost that frequency
         entirely.  All such adaptations land in the result's
-        ``warnings``.
+        ``warnings``.  Robust validation additionally scores fold MAPEs
+        with ``on_zero="skip"``, recording skipped rows as warnings, so
+        one corrupt sample cannot abort the whole evaluation.
+    parallel, max_workers:
+        Execution backend for the acquisition, selection and validation
+        stages (see :mod:`repro.parallel`); the result is bit-identical
+        whichever backend runs, and per-stage wall time lands in
+        ``result.timing``.
     """
     platform = platform or Platform(seed=seed)
     if selection_frequency_mhz not in frequencies_mhz:
@@ -124,18 +140,27 @@ def run_workflow(
         )
 
     run_warnings: list = []
+    executor = resolve_executor(parallel, max_workers)
+    timer = StageTimer()
     if dataset is not None:
         full = dataset
     else:
         workloads = (
             list(workloads) if workloads is not None else all_workloads()
         )
-        full = run_campaign(
-            platform,
-            workloads,
-            frequencies_mhz,
-            sampling_interval_s=sampling_interval_s,
-        )
+        with timer.stage(
+            "acquisition",
+            n_items=len(workloads) * len(frequencies_mhz),
+            executor=executor,
+        ):
+            full = run_campaign(
+                platform,
+                workloads,
+                frequencies_mhz,
+                sampling_interval_s=sampling_interval_s,
+                parallel=executor.kind,
+                max_workers=executor.max_workers,
+            )
     if full.n_samples == 0:
         raise ValueError("workflow dataset is empty")
 
@@ -172,20 +197,26 @@ def run_workflow(
                 f"carries only {n_candidates} counters; clamping"
             )
             effective_n_events = n_candidates
-    selection = select_events(
-        selection_ds,
-        effective_n_events,
-        criterion=criterion,
-        estimator=estimator,
-        on_missing="skip" if robust else "raise",
-    )
+    with timer.stage(
+        "selection", n_items=len(selection_ds.counter_names), executor=executor
+    ):
+        selection = select_events(
+            selection_ds,
+            effective_n_events,
+            criterion=criterion,
+            estimator=estimator,
+            on_missing="skip" if robust else "raise",
+            parallel=executor.kind,
+            max_workers=executor.max_workers,
+        )
     run_warnings.extend(selection.warnings)
     if not selection.selected:
         raise ValueError(
             "selection produced no events on this dataset; "
             + ("; ".join(selection.warnings) or "no diagnostics recorded")
         )
-    model = PowerModel(selection.selected, estimator=estimator).fit(full)
+    with timer.stage("model-fit", n_items=1):
+        model = PowerModel(selection.selected, estimator=estimator).fit(full)
     if model.diagnostics is not None:
         run_warnings.extend(model.diagnostics.warnings)
     n_splits = 10
@@ -198,10 +229,20 @@ def run_workflow(
             f"degraded dataset has fewer than {n_splits} rows"
         )
         n_splits = full.n_samples
-    validation = scenario_cv_all(
-        full, selection.selected, n_splits=n_splits, seed=seed,
-        estimator=estimator,
-    )
+    cv_issues: list = []
+    with timer.stage("validation", n_items=n_splits, executor=executor):
+        validation = scenario_cv_all(
+            full,
+            selection.selected,
+            n_splits=n_splits,
+            seed=seed,
+            estimator=estimator,
+            on_zero="skip" if robust else "raise",
+            issues=cv_issues,
+            parallel=executor.kind,
+            max_workers=executor.max_workers,
+        )
+    run_warnings.extend(cv_issues)
     return WorkflowResult(
         selection_dataset=selection_ds,
         full_dataset=full,
@@ -209,4 +250,5 @@ def run_workflow(
         model=model,
         validation=validation,
         warnings=tuple(run_warnings),
+        timing=timer.report(),
     )

@@ -6,16 +6,23 @@ Usage::
     repro-experiments table1 fig4    # run a subset
     repro-experiments --list         # show available experiments
     repro-experiments --seed 7       # different measurement campaign
+    repro-experiments --parallel process --max-workers 4   # DVFS sweep
+                                      # fanned out over worker processes
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import data
+from repro.parallel import (
+    MONOTONIC_CLOCK,
+    PARALLEL_KINDS,
+    StageTimer,
+    resolve_executor,
+)
 from repro.seeding import DEFAULT_SEED
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -43,6 +50,27 @@ EXPERIMENTS: Dict[str, Callable[[int], str]] = {
     "fig6": _runner("fig6"),
     "table4": _runner("table4"),
 }
+
+
+def _run_experiment(item: Tuple[str, int]) -> Tuple[str, str, float]:
+    """Run one experiment (module-level, picklable: the worker pickles
+    only (name, seed) and resolves the callable in its own process).
+
+    Elapsed time uses the repository's monotonic clock — wall-clock
+    sources jump under NTP corrections and suspend/resume.
+    """
+    name, seed = item
+    t0 = MONOTONIC_CLOCK()
+    report = EXPERIMENTS[name](seed)
+    return name, report, MONOTONIC_CLOCK() - t0
+
+
+def _print_report(name: str, report: str, elapsed: float) -> None:
+    print("=" * 72)
+    print(f"{name}  ({elapsed:.1f} s)")
+    print("=" * 72)
+    print(report)
+    print()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -74,6 +102,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also write every artifact as CSV/JSON into DIR",
     )
+    parser.add_argument(
+        "--parallel",
+        choices=PARALLEL_KINDS,
+        default=None,
+        help=(
+            "execution backend for the experiment sweep (default: the "
+            "REPRO_PARALLEL environment variable, else serial)"
+        ),
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --parallel thread/process",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -100,15 +144,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         written = export_all(args.export_dir, seed=args.seed)
         print(f"exported {len(written)} files to {args.export_dir}")
 
-    for name in chosen:
-        t0 = time.time()
-        report = EXPERIMENTS[name](args.seed)
-        elapsed = time.time() - t0
-        print("=" * 72)
-        print(f"{name}  ({elapsed:.1f} s)")
-        print("=" * 72)
-        print(report)
-        print()
+    executor = resolve_executor(args.parallel, args.max_workers)
+    timer = StageTimer()
+    work = [(name, args.seed) for name in chosen]
+    with timer.stage("experiments", n_items=len(work), executor=executor):
+        if executor.kind == "serial":
+            # Stream each report as it finishes.
+            for item in work:
+                _print_report(*_run_experiment(item))
+        else:
+            # Reports print after the sweep, in request order — never in
+            # completion order.
+            for result in executor.map(_run_experiment, work):
+                _print_report(*result)
+    report = timer.report()
+    print(
+        f"ran {len(work)} experiment(s) in {report.total_s:.1f} s "
+        f"({executor.describe()})"
+    )
     return 0
 
 

@@ -21,6 +21,7 @@ stream, 48-bit wrap on PMC streams, truncation of the event record).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from fnmatch import fnmatch
 from typing import Dict, Tuple, Union
@@ -52,7 +53,26 @@ class FaultInjector:
         self.plan = plan
         self.root_seed = int(root_seed)
         #: Count of faults actually injected, by kind (report material).
+        #: Advisory under parallel execution: thread workers share (and
+        #: lock) this counter, process workers count in their own copy.
         self.injected: Counter = Counter()
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Locks cannot cross process boundaries; every fault *decision*
+        # is a pure function of (root_seed, plan, kind, cell, attempt),
+        # so a pickled injector replays identically in the worker.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] += 1
 
     # ------------------------------------------------------------------
     def _rng(self, kind: str, *key: Union[str, int]) -> np.random.Generator:
@@ -87,14 +107,14 @@ class FaultInjector:
         tag = self._cell_tag(cell)
         for pattern in self.plan.kill_cells:
             if fnmatch(tag, pattern):
-                self.injected["cell-killed"] += 1
+                self._count("cell-killed")
                 raise RunFailure(
                     f"run {tag} attempt {attempt}: cell matches kill "
                     f"pattern {pattern!r} (persistently broken)",
                     kind="cell-killed",
                 )
         if self._event(self.plan.run_failure_rate, "run-crash", *cell, attempt):
-            self.injected["run-crash"] += 1
+            self._count("run-crash")
             raise RunFailure(
                 f"run {tag} attempt {attempt}: transient crash injected"
             )
@@ -103,7 +123,7 @@ class FaultInjector:
         """Whether cluster node ``node_id`` never comes up."""
         dead = self._event(self.plan.dead_node_rate, "node-dead", int(node_id))
         if dead:
-            self.injected["dead-node"] += 1
+            self._count("dead-node")
         return dead
 
     def sensor_faults(
@@ -170,7 +190,7 @@ class FaultInjector:
                     values=stream.values[keep].copy(),
                 )
             )
-        self.injected["trace-truncation"] += 1
+        self._count("trace-truncation")
         return truncated
 
     @staticmethod
@@ -205,18 +225,18 @@ class FaultInjector:
             mask = rng.random(n) < self.plan.nan_sample_rate
             if np.any(mask):
                 values[mask] = np.nan
-                self.injected["nan-sample"] += 1
+                self._count("nan-sample")
         if self._event(self.plan.sensor_dropout_rate, "sensor-dropout", *cell, attempt):
             rng = self._rng("sensor-dropout-window", *cell, attempt)
             width = max(int(n * float(rng.uniform(0.1, 0.4))), 1)
             start = int(rng.integers(0, max(n - width, 0) + 1))
             values[start : start + width] = np.nan
-            self.injected["sensor-dropout"] += 1
+            self._count("sensor-dropout")
         if self._event(self.plan.sensor_stuck_rate, "sensor-stuck", *cell, attempt):
             rng = self._rng("sensor-stuck-index", *cell, attempt)
             idx = int(rng.integers(0, max(n - 8, 0) + 1))
             values[idx:] = values[idx]
-            self.injected["sensor-stuck"] += 1
+            self._count("sensor-stuck")
 
     # -- PMC overflow ---------------------------------------------------
     def _corrupt_counter_streams(
@@ -238,7 +258,7 @@ class FaultInjector:
             width = max(n // 10, 1)
             start = int(rng.integers(0, max(n - width, 0) + 1))
             stream.values[start : start + width] = OVERFLOW_RATE_PER_S
-            self.injected["counter-overflow"] += 1
+            self._count("counter-overflow")
 
     # ------------------------------------------------------------------
     def fault_counts(self) -> Dict[str, int]:

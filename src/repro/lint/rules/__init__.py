@@ -13,6 +13,7 @@ from repro.lint.rules.rl005_cache_version import CacheVersionDiscipline
 from repro.lint.rules.rl006_atomic_write import NonAtomicCacheWrite
 from repro.lint.rules.rl007_silent_except import SilentBroadExcept
 from repro.lint.rules.rl008_raw_linalg import NoRawLinalgSolvers
+from repro.lint.rules.rl009_parallel_primitives import NoRawParallelPrimitives
 
 __all__ = [
     "all_rules",
@@ -24,6 +25,7 @@ __all__ = [
     "NonAtomicCacheWrite",
     "SilentBroadExcept",
     "NoRawLinalgSolvers",
+    "NoRawParallelPrimitives",
 ]
 
 
@@ -38,4 +40,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NonAtomicCacheWrite(),
         SilentBroadExcept(),
         NoRawLinalgSolvers(),
+        NoRawParallelPrimitives(),
     ]

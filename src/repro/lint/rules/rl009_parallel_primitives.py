@@ -1,0 +1,69 @@
+"""RL009 — concurrency primitives only inside ``repro.parallel``.
+
+The determinism contract (DESIGN.md §11) holds because every fan-out in
+the repository goes through the executor layer: results assembled by
+work-item index, side effects confined to the calling process, one
+environment switch (``REPRO_PARALLEL``) flipping every pipeline at
+once.  A stray ``ThreadPoolExecutor`` or ``multiprocessing.Pool`` at a
+random call site re-introduces completion-order nondeterminism and
+escapes the pool cache, the bit-identity tests and the timing reports.
+This rule flags any import of ``concurrent.futures`` or
+``multiprocessing`` outside the configured ``parallel-modules`` (the
+executor layer itself).  Plain ``threading`` stays allowed — locks and
+events are synchronisation, not fan-out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding
+
+__all__ = ["NoRawParallelPrimitives"]
+
+#: Top-level modules whose import marks a hand-rolled fan-out.
+_FORBIDDEN_ROOTS = ("concurrent", "multiprocessing")
+
+
+def _root(module: str) -> str:
+    return module.split(".", 1)[0]
+
+
+class NoRawParallelPrimitives(FileRule):
+    id = "RL009"
+    name = "no-raw-parallel-primitives"
+    description = (
+        "direct concurrent.futures/multiprocessing use belongs in "
+        "repro.parallel; use resolve_executor/BaseExecutor.map elsewhere"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(
+            ctx.posix_path, ctx.config.parallel_modules
+        ):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay inside the package
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                if _root(name) in _FORBIDDEN_ROOTS:
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"import of {name!r} outside repro.parallel; "
+                            "go through resolve_executor()/executor.map() "
+                            "so fan-out stays deterministic (ordered by "
+                            "work-item index) and pool-cached",
+                        )
+                    )
+                    break
+        return findings

@@ -1,0 +1,255 @@
+"""Executor abstraction: serial, thread-pool and process-pool backends.
+
+The one contract every backend honours is **deterministic ordering**:
+``map(fn, items)`` returns ``[fn(items[0]), fn(items[1]), …]`` — results
+are assembled by item index, never by completion order.  Combined with
+the repository-wide rule that work items draw randomness only from
+per-item keyed RNG streams (:func:`repro.seeding.derive_rng`), this
+makes every parallel pipeline bit-identical to its serial counterpart;
+the tier-1 suite asserts exactly that, including under injected faults.
+
+Pools are cached per ``(kind, max_workers)`` and shared across calls:
+campaign cells, selection steps and CV folds all reuse the same
+workers, so pool start-up cost is paid once per process, not once per
+fan-out.  ``shutdown_pools()`` tears them down (registered atexit).
+
+Process-backend caveats: ``fn`` and every item must be picklable (bound
+methods pickle their instance — e.g. the whole campaign), and worker
+side mutations (fault counters, recorder callbacks) stay in the child.
+Callers that need side effects run them in the parent via the
+``on_result`` hook, which fires in completion order — use it only for
+order-independent effects such as per-cell checkpoint stores.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "PARALLEL_KINDS",
+    "PARALLEL_ENV",
+    "MAX_WORKERS_ENV",
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "default_max_workers",
+    "resolve_executor",
+    "shutdown_pools",
+]
+
+#: Recognised ``parallel=`` values, in cost order.
+PARALLEL_KINDS = ("serial", "thread", "process")
+
+#: Environment override for call sites that leave ``parallel=None``.
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+#: Environment override for call sites that leave ``max_workers=None``.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+OnResult = Callable[[int, Any], None]
+
+
+def default_max_workers() -> int:
+    """Worker count when neither argument nor environment specifies one.
+
+    At least 2 even on single-core boxes: latency-bound stages (real
+    acquisition campaigns waiting on the system under test) still gain
+    from overlap there, and CPU-bound stages lose almost nothing.
+    """
+    return max(os.cpu_count() or 1, 2)
+
+
+class BaseExecutor:
+    """Common surface: ``kind``, ``max_workers`` and ordered ``map``."""
+
+    kind: str = ""
+
+    def __init__(self, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        on_result: Optional[OnResult] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; results ordered by item index.
+
+        ``on_result(index, result)`` fires in the *calling* process as
+        results arrive (completion order for pool backends, item order
+        for the serial backend) — the hook for order-independent parent
+        side effects such as incremental checkpointing.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.kind}×{self.max_workers}"
+
+
+class SerialExecutor(BaseExecutor):
+    """The reference backend: a plain loop, no concurrency at all."""
+
+    kind = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        on_result: Optional[OnResult] = None,
+    ) -> List[Any]:
+        results: List[Any] = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# shared pool cache
+# ---------------------------------------------------------------------------
+
+_POOL_CACHE: Dict[Tuple[str, int], _FuturesExecutor] = {}
+
+
+def _pool(kind: str, max_workers: int) -> _FuturesExecutor:
+    key = (kind, max_workers)
+    pool = _POOL_CACHE.get(key)
+    if pool is None:
+        if kind == "thread":
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-parallel"
+            )
+        else:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        _POOL_CACHE[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached pool (tests and interpreter exit)."""
+    pools = list(_POOL_CACHE.values())
+    _POOL_CACHE.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pools)
+
+
+class _PoolExecutor(BaseExecutor):
+    """Shared implementation for the thread and process backends."""
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        on_result: Optional[OnResult] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        try:
+            return self._map(fn, items, on_result)
+        except BrokenProcessPool:
+            # A worker died (OOM kill, hard crash).  Evict the broken
+            # pool so the next fan-out gets a fresh one, then let the
+            # caller see the failure — never retry silently.
+            broken = _POOL_CACHE.pop((self.kind, self.max_workers), None)
+            if broken is not None:
+                broken.shutdown(wait=False)
+            raise
+
+    def _map(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        on_result: Optional[OnResult],
+    ) -> List[Any]:
+        pool = _pool(self.kind, self.max_workers)
+        if on_result is None:
+            # Chunked dispatch: one task per worker slice amortises the
+            # per-task pickling of ``fn`` (which for bound methods
+            # carries the whole instance).  Executor.map already yields
+            # results in submission order.
+            chunksize = max(1, math.ceil(len(items) / self.max_workers))
+            return list(pool.map(fn, items, chunksize=chunksize))
+        futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+        results: List[Any] = [None] * len(items)
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                on_result(index, result)
+                results[index] = result
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend: zero pickling, shared memory.
+
+    The right choice for latency-bound work (acquisition on real
+    hardware waits on the system under test) and for numpy-heavy work
+    that releases the GIL.
+    """
+
+    kind = "thread"
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend: true CPU parallelism, pickled work items."""
+
+    kind = "process"
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_executor(
+    parallel: Optional[str] = None, max_workers: Optional[int] = None
+) -> BaseExecutor:
+    """Turn ``parallel=``/``max_workers=`` call arguments into a backend.
+
+    Resolution order: explicit argument → environment
+    (``REPRO_PARALLEL`` / ``REPRO_MAX_WORKERS``) → serial with
+    :func:`default_max_workers` workers.  Every parallel-capable entry
+    point in the repository funnels through here, so one environment
+    variable flips the whole pipeline (the CI ``parallel`` job runs the
+    tier-1 suite under ``REPRO_PARALLEL=process``).
+    """
+    kind = parallel if parallel is not None else os.environ.get(PARALLEL_ENV)
+    kind = (kind or "serial").strip().lower()
+    if kind not in PARALLEL_KINDS:
+        raise ValueError(
+            f"parallel must be one of {PARALLEL_KINDS}, got {kind!r}"
+        )
+    if kind == "serial":
+        return SerialExecutor()
+    if max_workers is None:
+        env = os.environ.get(MAX_WORKERS_ENV)
+        max_workers = int(env) if env else default_max_workers()
+    if kind == "thread":
+        return ThreadExecutor(max_workers)
+    return ProcessExecutor(max_workers)

@@ -1,0 +1,138 @@
+"""Per-stage wall-time accounting for the parallel pipeline.
+
+One monotonic clock (:data:`MONOTONIC_CLOCK`, ``time.perf_counter``)
+serves every measurement in the repository — wall-clock sources like
+``time.time`` jump under NTP corrections and suspend/resume, which is
+exactly what a multi-hour campaign hits.  :class:`StageTimer` collects
+:class:`StageTiming` records while a pipeline runs; the frozen
+:class:`TimingReport` travels on ``CampaignReport`` and
+``WorkflowResult`` so speedups are measured, not guessed — the
+``BENCH_parallel.json`` trajectory is built from these records.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.parallel.executor import BaseExecutor
+
+__all__ = ["MONOTONIC_CLOCK", "StageTiming", "StageTimer", "TimingReport"]
+
+#: The single monotonic time source (seconds, arbitrary epoch).
+MONOTONIC_CLOCK = time.perf_counter
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall time of one pipeline stage under one executor."""
+
+    stage: str
+    elapsed_s: float
+    n_items: int
+    """Work items actually executed (resumed/skipped items excluded)."""
+    parallel: str = "serial"
+    max_workers: int = 1
+
+    @property
+    def per_item_s(self) -> float:
+        return self.elapsed_s / self.n_items if self.n_items > 0 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.stage}: {self.elapsed_s:.3f} s "
+            f"({self.n_items} items, {self.parallel}×{self.max_workers})"
+        )
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Ordered per-stage timings of one pipeline run."""
+
+    stages: Tuple[StageTiming, ...] = ()
+
+    @property
+    def total_s(self) -> float:
+        return float(sum(s.elapsed_s for s in self.stages))
+
+    def stage(self, name: str) -> StageTiming:
+        """The first stage with the given name (KeyError if absent)."""
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise KeyError(f"no stage named {name!r} in {[s.stage for s in self.stages]}")
+
+    def speedup_over(self, baseline: "TimingReport", stage: str) -> float:
+        """How much faster this run's ``stage`` was than ``baseline``'s."""
+        mine = self.stage(stage).elapsed_s
+        theirs = baseline.stage(stage).elapsed_s
+        return theirs / mine if mine > 0.0 else float("inf")
+
+    def summary(self) -> str:
+        lines = [s.describe() for s in self.stages]
+        lines.append(f"total: {self.total_s:.3f} s")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the shape stored in BENCH_parallel.json)."""
+        return {
+            "total_s": self.total_s,
+            "stages": [
+                {
+                    "stage": s.stage,
+                    "elapsed_s": s.elapsed_s,
+                    "n_items": s.n_items,
+                    "parallel": s.parallel,
+                    "max_workers": s.max_workers,
+                }
+                for s in self.stages
+            ],
+        }
+
+
+class StageTimer:
+    """Accumulates stage timings on the shared monotonic clock."""
+
+    def __init__(self) -> None:
+        self._stages: List[StageTiming] = []
+
+    @contextmanager
+    def stage(
+        self,
+        name: str,
+        *,
+        n_items: int = 0,
+        executor: Optional[BaseExecutor] = None,
+    ) -> Iterator[None]:
+        """Time a ``with`` block as one stage (recorded even on error)."""
+        t0 = MONOTONIC_CLOCK()
+        try:
+            yield
+        finally:
+            self.record(
+                name, MONOTONIC_CLOCK() - t0, n_items=n_items, executor=executor
+            )
+
+    def record(
+        self,
+        name: str,
+        elapsed_s: float,
+        *,
+        n_items: int = 0,
+        executor: Optional[BaseExecutor] = None,
+    ) -> None:
+        """Append a stage whose extent was measured by the caller."""
+        self._stages.append(
+            StageTiming(
+                stage=name,
+                elapsed_s=float(elapsed_s),
+                n_items=int(n_items),
+                parallel=executor.kind if executor is not None else "serial",
+                max_workers=executor.max_workers if executor is not None else 1,
+            )
+        )
+
+    def report(self) -> TimingReport:
+        return TimingReport(stages=tuple(self._stages))

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.parallel import resolve_executor
 from repro.stats.metrics import mape, r2_score
 from repro.stats.ols import OLSResult, fit_ols
 from repro.stats.robust import fit_robust
@@ -41,6 +42,14 @@ class KFold:
     ) -> None:
         if n_splits < 2:
             raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        if shuffle and seed is None:
+            # default_rng(None) would draw OS entropy — silently
+            # irreproducible folds in a repository whose whole point is
+            # bit-reproducible pipelines.  Demand an explicit seed.
+            raise ValueError(
+                "KFold(shuffle=True) requires an explicit seed: "
+                "seed=None would produce irreproducible folds"
+            )
         self.n_splits = n_splits
         self.shuffle = shuffle
         self.seed = seed
@@ -143,6 +152,23 @@ def _robust_fit(y: np.ndarray, x: np.ndarray) -> OLSResult:
     return fit_robust(y, x, cov_type="HC3")
 
 
+def _score_fold(
+    args: Tuple[FitFn, np.ndarray, np.ndarray, np.ndarray, np.ndarray, str],
+) -> FoldScore:
+    """Fit and score one fold (module-level, picklable worker)."""
+    fit_fn, y_train, x_train, y_test, x_test, on_zero = args
+    res = fit_fn(y_train, x_train)
+    pred = res.predict(x_test)
+    return FoldScore(
+        rsquared=res.rsquared,
+        rsquared_adj=res.rsquared_adj,
+        mape=mape(y_test, pred, on_zero=on_zero),
+        r2_oos=r2_score(y_test, pred),
+        n_train=y_train.size,
+        n_test=y_test.size,
+    )
+
+
 def cross_validate(
     endog: np.ndarray,
     exog: np.ndarray,
@@ -151,6 +177,9 @@ def cross_validate(
     seed: Optional[int] = 0,
     fit_fn: Optional[FitFn] = None,
     robust: bool = False,
+    on_zero: str = "raise",
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> CrossValidationResult:
     """k-fold cross validation of an OLS power model.
 
@@ -161,6 +190,12 @@ def cross_validate(
 
     ``robust=True`` swaps the default per-fold fit for the Huber IRLS
     estimator; an explicit ``fit_fn`` takes precedence over the flag.
+    ``on_zero`` is forwarded to the fold MAPE (``"skip"`` for degraded
+    pipelines).  ``parallel`` / ``max_workers`` select the fold-fitting
+    backend (see :mod:`repro.parallel`); splits are materialised first
+    and scores assembled in fold order, so every backend is
+    bit-identical to serial.  A custom ``fit_fn`` must be picklable for
+    ``parallel="process"``.
     """
     if fit_fn is None:
         fit_fn = _robust_fit if robust else _default_fit
@@ -171,18 +206,13 @@ def cross_validate(
     if y.shape[0] != x.shape[0]:
         raise ValueError("endog/exog row mismatch")
 
-    scores: List[FoldScore] = []
-    for train, test in KFold(n_splits, shuffle=True, seed=seed).split(y.shape[0]):
-        res = fit_fn(y[train], x[train])
-        pred = res.predict(x[test])
-        scores.append(
-            FoldScore(
-                rsquared=res.rsquared,
-                rsquared_adj=res.rsquared_adj,
-                mape=mape(y[test], pred),
-                r2_oos=r2_score(y[test], pred),
-                n_train=train.size,
-                n_test=test.size,
-            )
-        )
+    executor = resolve_executor(parallel, max_workers)
+    splits = list(KFold(n_splits, shuffle=True, seed=seed).split(y.shape[0]))
+    scores: List[FoldScore] = executor.map(
+        _score_fold,
+        [
+            (fit_fn, y[train], x[train], y[test], x[test], on_zero)
+            for train, test in splits
+        ],
+    )
     return CrossValidationResult(folds=tuple(scores))

@@ -23,24 +23,61 @@ def _pair(actual: np.ndarray, predicted: np.ndarray):
     return a, p
 
 
-def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+def _ape_rows(
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    on_zero: str,
+    metric: str,
+):
+    """Shared zero-actual handling for the percentage-error metrics.
+
+    ``on_zero="raise"`` keeps the strict historical contract: power
+    measurements are strictly positive, so a zero actual indicates a
+    pipeline bug.  ``on_zero="skip"`` drops the offending rows instead —
+    the right mode for degraded/chaos pipelines where one corrupt sample
+    must not abort a whole evaluation (callers record a warning).
+    """
+    if on_zero not in ("raise", "skip"):
+        raise ValueError(
+            f"on_zero must be 'raise' or 'skip', got {on_zero!r}"
+        )
+    a, p = _pair(actual, predicted)
+    zero = a == 0.0  # replint: ignore[RL004] -- exact-zero guard: APE division sentinel
+    if not np.any(zero):
+        return a, p
+    if on_zero == "raise":
+        raise ValueError(f"{metric} undefined: actual contains zeros")
+    keep = ~zero
+    if not np.any(keep):
+        raise ValueError(
+            f"{metric} undefined: every actual value is zero"
+        )
+    return a[keep], p[keep]
+
+
+def mape(
+    actual: np.ndarray, predicted: np.ndarray, *, on_zero: str = "raise"
+) -> float:
     """Mean Absolute Percentage Error, in percent.
 
-    ``mean(|actual - predicted| / |actual|) * 100``.  Raises if any
-    actual value is zero — power measurements are strictly positive, so
-    a zero here indicates a pipeline bug rather than a valid sample.
+    ``mean(|actual - predicted| / |actual|) * 100``.  By default raises
+    if any actual value is zero — power measurements are strictly
+    positive, so a zero here indicates a pipeline bug rather than a
+    valid sample; ``on_zero="skip"`` drops zero-actual rows (all-zero
+    input still raises).
     """
-    a, p = _pair(actual, predicted)
-    if np.any(a == 0.0):  # replint: ignore[RL004] -- exact-zero guard: MAPE division sentinel
-        raise ValueError("MAPE undefined: actual contains zeros")
+    a, p = _ape_rows(actual, predicted, on_zero, "MAPE")
     return float(np.mean(np.abs((a - p) / a)) * 100.0)
 
 
-def max_ape(actual: np.ndarray, predicted: np.ndarray) -> float:
-    """Worst-case absolute percentage error, in percent."""
-    a, p = _pair(actual, predicted)
-    if np.any(a == 0.0):  # replint: ignore[RL004] -- exact-zero guard: MAPE division sentinel
-        raise ValueError("APE undefined: actual contains zeros")
+def max_ape(
+    actual: np.ndarray, predicted: np.ndarray, *, on_zero: str = "raise"
+) -> float:
+    """Worst-case absolute percentage error, in percent.
+
+    Same zero-actual contract as :func:`mape`.
+    """
+    a, p = _ape_rows(actual, predicted, on_zero, "APE")
     return float(np.max(np.abs((a - p) / a)) * 100.0)
 
 

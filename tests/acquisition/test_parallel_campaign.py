@@ -1,0 +1,163 @@
+"""Serial ≡ thread ≡ process: campaigns are bit-identical per backend.
+
+The ISSUE-4 tentpole contract: results are assembled in cell order and
+all randomness is keyed per (cell, attempt), so the execution backend
+must be unobservable in every output except ``timing``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.acquisition import Campaign, CampaignPlan, ResilientCampaign, RetryPolicy
+from repro.faults import FaultPlan
+from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS
+from repro.workloads import get_workload
+
+PROG = tuple(c for c in COUNTER_NAMES if c not in FIXED_COUNTERS)[:8]
+EVENTS = tuple(FIXED_COUNTERS) + PROG
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def small_plan(**overrides):
+    defaults = dict(
+        workloads=(get_workload("compute"), get_workload("idle")),
+        frequencies_mhz=(2400,),
+        events=EVENTS,
+        thread_counts_override=(8,),
+    )
+    defaults.update(overrides)
+    return CampaignPlan(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fault_seed():
+    return int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def datasets_equal(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    return (
+        a.counter_names == b.counter_names
+        and a.workloads == b.workloads
+        and a.phase_names == b.phase_names
+        and np.array_equal(a.counters, b.counters)
+        and np.array_equal(a.power_w, b.power_w)
+        and np.array_equal(a.voltage_v, b.voltage_v)
+    )
+
+
+def faulty_campaign(platform, fault_seed, **kwargs):
+    return ResilientCampaign(
+        platform,
+        small_plan(),
+        faults=FaultPlan(run_failure_rate=0.1, fault_seed=fault_seed),
+        retry=RetryPolicy(max_attempts=6, backoff_base_s=0.0),
+        **kwargs,
+    )
+
+
+class TestStrictCampaignBitIdentity:
+    def test_all_backends_build_identical_datasets(self, platform):
+        reference = Campaign(platform, small_plan(), parallel="serial").run()
+        for backend in ("thread", "process"):
+            dataset = Campaign(
+                platform, small_plan(), parallel=backend, max_workers=2
+            ).run()
+            assert datasets_equal(dataset, reference), backend
+
+
+class TestResilientCampaignBitIdentity:
+    def test_backends_identical_under_injected_faults(
+        self, platform, fault_seed
+    ):
+        results = {
+            backend: faulty_campaign(
+                platform, fault_seed, parallel=backend, max_workers=2
+            ).run()
+            for backend in BACKENDS
+        }
+        reference = results["serial"]
+        ref_report = dataclasses.replace(reference.report, timing=None)
+        for backend in ("thread", "process"):
+            result = results[backend]
+            assert datasets_equal(result.dataset, reference.dataset), backend
+            assert (
+                dataclasses.replace(result.report, timing=None) == ref_report
+            ), backend
+
+    def test_fault_counts_survive_process_boundary(self, platform):
+        # Injected faults happen in worker processes; the report must
+        # still account for them (counts travel in _CellOutcome.faults,
+        # not in the injector's advisory counter).
+        result = faulty_campaign(
+            platform, 20170529, parallel="process", max_workers=2
+        ).run()
+        serial = faulty_campaign(platform, 20170529, parallel="serial").run()
+        assert dict(result.report.faults_observed) == dict(
+            serial.report.faults_observed
+        )
+        assert result.report.retries == serial.report.retries
+
+
+class TestTimingReport:
+    def test_stages_carry_backend_identity(self, platform, fault_seed):
+        result = faulty_campaign(
+            platform, fault_seed, parallel="thread", max_workers=2
+        ).run()
+        timing = result.report.timing
+        assert timing is not None
+        acq = timing.stage("acquisition")
+        assert (acq.parallel, acq.max_workers) == ("thread", 2)
+        assert acq.n_items == result.report.total_cells
+        assert timing.stage("merge").elapsed_s >= 0.0
+        assert "timing:" in result.report.summary()
+
+    def test_serial_timing_recorded_too(self, platform, fault_seed):
+        result = faulty_campaign(
+            platform, fault_seed, parallel="serial"
+        ).run()
+        assert result.report.timing.stage("acquisition").parallel == "serial"
+
+
+class TestParallelCheckpoint:
+    def test_parallel_run_checkpoints_and_resumes(
+        self, platform, tmp_path, fault_seed
+    ):
+        first = faulty_campaign(
+            platform,
+            fault_seed,
+            parallel="thread",
+            max_workers=2,
+            checkpoint_dir=tmp_path / "ckpt",
+        ).run()
+        second = faulty_campaign(
+            platform,
+            fault_seed,
+            parallel="thread",
+            max_workers=2,
+            checkpoint_dir=tmp_path / "ckpt",
+        ).run()
+        assert first.report.resumed_cells == 0
+        assert second.report.resumed_cells == first.report.completed_cells
+        assert datasets_equal(second.dataset, first.dataset)
+
+    def test_resume_crosses_backends(self, platform, tmp_path, fault_seed):
+        # A checkpoint written serially is adopted by a process-backend
+        # campaign (and vice versa): the store is backend-agnostic.
+        serial = faulty_campaign(
+            platform, fault_seed, parallel="serial",
+            checkpoint_dir=tmp_path / "ckpt",
+        ).run()
+        resumed = faulty_campaign(
+            platform, fault_seed, parallel="process", max_workers=2,
+            checkpoint_dir=tmp_path / "ckpt",
+        ).run()
+        assert resumed.report.resumed_cells == serial.report.completed_cells
+        assert datasets_equal(resumed.dataset, serial.dataset)

@@ -117,12 +117,15 @@ class TestRetryCompletion:
 
     def test_backoff_sleeps_through_injected_fn(self, platform):
         sleeps = []
+        # Pinned serial: the recorder must observe sleeps in-process and
+        # in deterministic cell order.
         campaign = ResilientCampaign(
             platform,
             small_plan(),
             faults=FaultPlan(kill_cells=("compute:*",)),
             retry=RetryPolicy(max_attempts=3, backoff_base_s=0.5),
             sleep_fn=sleeps.append,
+            parallel="serial",
         )
         campaign.run()
         # 2 compute cells × 2 inter-attempt delays each.
@@ -214,6 +217,9 @@ class TestGracefulDegradation:
 
 class TestCheckpointResume:
     def _campaign(self, platform, tmp_path, fault_seed, **kwargs):
+        # Pinned serial: the interrupt-mid-campaign test depends on the
+        # reference loop's strictly interleaved progress/checkpointing.
+        kwargs.setdefault("parallel", "serial")
         return ResilientCampaign(
             platform,
             small_plan(

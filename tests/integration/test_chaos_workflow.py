@@ -38,7 +38,7 @@ def fault_seed():
     return int(os.environ.get("REPRO_FAULT_SEED", "0"))
 
 
-def degraded_campaign(fault_seed, seed=20170529):
+def degraded_campaign(fault_seed, seed=20170529, **kwargs):
     return run_resilient_campaign(
         Platform(seed=seed),
         [get_workload(w) for w in WORKLOADS],
@@ -46,6 +46,7 @@ def degraded_campaign(fault_seed, seed=20170529):
         events=EVENTS,
         thread_counts=THREADS,
         faults=FaultPlan.chaos(0.25, fault_seed=fault_seed),
+        **kwargs,
     )
 
 
@@ -142,3 +143,27 @@ class TestDegradedOnlinePath:
         t2, r2 = estimate_run_degraded(platform, run, wf2.model, faults=plan)
         assert np.array_equal(t1.estimated_w, t2.estimated_w)
         assert r1 == r2
+
+
+class TestParallelChaos:
+    def test_process_backend_bit_identical_under_chaos(
+        self, campaign, fault_seed
+    ):
+        """ISSUE-4 tentpole gate on the chaos path: the full degraded
+        campaign under ``parallel="process"`` reproduces the serial
+        dataset and report (timing excluded) for any CI fault seed."""
+        import dataclasses
+
+        result = degraded_campaign(
+            fault_seed, parallel="process", max_workers=2
+        )
+        assert result.dataset is not None and campaign.dataset is not None
+        assert np.array_equal(
+            result.dataset.counters, campaign.dataset.counters,
+            equal_nan=True,
+        )
+        assert np.array_equal(result.dataset.power_w, campaign.dataset.power_w)
+        assert result.dataset.counter_names == campaign.dataset.counter_names
+        assert dataclasses.replace(
+            result.report, timing=None
+        ) == dataclasses.replace(campaign.report, timing=None)

@@ -17,6 +17,7 @@ from repro.lint.rules import (
     NoUnseededRng,
     RequireAllowPickleFalse,
     NoRawLinalgSolvers,
+    NoRawParallelPrimitives,
     SilentBroadExcept,
     UnitSuffixConsistency,
 )
@@ -482,3 +483,53 @@ class TestRL008RawLinalg:
                 return np.linalg.solve(a, b)  # replint: ignore[RL008] -- benchmarked hot path, inputs pre-validated
         """
         assert run_rule(NoRawLinalgSolvers(), code) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL009ParallelPrimitives:
+    def test_flags_concurrent_futures_import(self):
+        bad = """
+            from concurrent.futures import ThreadPoolExecutor
+            def fan_out(fn, items):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(fn, items))
+        """
+        assert ids(run_rule(NoRawParallelPrimitives(), bad)) == ["RL009"]
+
+    def test_flags_plain_import(self):
+        bad = """
+            import concurrent.futures
+            import multiprocessing
+        """
+        assert ids(run_rule(NoRawParallelPrimitives(), bad)) == [
+            "RL009",
+            "RL009",
+        ]
+
+    def test_flags_multiprocessing_submodule(self):
+        bad = """
+            from multiprocessing.pool import Pool
+        """
+        assert ids(run_rule(NoRawParallelPrimitives(), bad)) == ["RL009"]
+
+    def test_passes_threading_and_executor_layer_use(self):
+        good = """
+            import threading
+            from repro.parallel import resolve_executor
+            def fan_out(fn, items):
+                return resolve_executor("thread", 4).map(fn, items)
+        """
+        assert run_rule(NoRawParallelPrimitives(), good) == []
+
+    def test_exempt_inside_parallel_layer(self):
+        code = """
+            from concurrent.futures import ProcessPoolExecutor
+        """
+        exempt = Path("src/repro/parallel/executor.py")
+        assert run_rule(NoRawParallelPrimitives(), code, path=exempt) == []
+
+    def test_inline_suppression_honoured(self):
+        code = """
+            import multiprocessing  # replint: ignore[RL009] -- cpu_count probe only, no fan-out
+        """
+        assert run_rule(NoRawParallelPrimitives(), code) == []

@@ -1,0 +1,160 @@
+"""The executor contract: deterministic ordering on every backend."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.parallel import (
+    MAX_WORKERS_ENV,
+    PARALLEL_ENV,
+    PARALLEL_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_max_workers,
+    resolve_executor,
+    shutdown_pools,
+)
+from repro.parallel.executor import _POOL_CACHE
+from repro.seeding import derive_rng
+
+
+def square(x):
+    return x * x
+
+
+def keyed_draw(i):
+    """Per-item keyed RNG — the repository-wide determinism idiom."""
+    return float(derive_rng(1234, "executor-test", i).random())
+
+
+def slow_first(i):
+    """Forces out-of-completion-order results on pool backends."""
+    if i == 0:
+        time.sleep(0.05)
+    return i
+
+
+def boom(i):
+    if i == 2:
+        raise ValueError("item 2 explodes")
+    return i
+
+
+def executors():
+    return [SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)]
+
+
+# ---------------------------------------------------------------------------
+class TestOrderingContract:
+    @pytest.mark.parametrize("executor", executors(), ids=lambda e: e.kind)
+    def test_map_preserves_item_order(self, executor):
+        assert executor.map(square, range(7)) == [0, 1, 4, 9, 16, 25, 36]
+
+    @pytest.mark.parametrize(
+        "executor", [ThreadExecutor(2), ProcessExecutor(2)], ids=lambda e: e.kind
+    )
+    def test_order_is_item_index_not_completion(self, executor):
+        # Item 0 finishes last; results must still lead with it.
+        assert executor.map(slow_first, range(4)) == [0, 1, 2, 3]
+
+    def test_backends_bit_identical_on_keyed_rng(self):
+        expected = [keyed_draw(i) for i in range(8)]
+        for executor in executors():
+            assert executor.map(keyed_draw, range(8)) == expected
+
+    @pytest.mark.parametrize("executor", executors(), ids=lambda e: e.kind)
+    def test_empty_map(self, executor):
+        assert executor.map(square, []) == []
+
+
+class TestOnResult:
+    @pytest.mark.parametrize("executor", executors(), ids=lambda e: e.kind)
+    def test_hook_sees_every_result_with_its_index(self, executor):
+        seen = {}
+        out = executor.map(square, range(5), on_result=seen.__setitem__)
+        assert out == [0, 1, 4, 9, 16]
+        assert seen == {0: 0, 1: 1, 2: 4, 3: 9, 4: 16}
+
+    def test_serial_hook_fires_in_item_order(self):
+        order = []
+        SerialExecutor().map(
+            square, range(4), on_result=lambda i, r: order.append(i)
+        )
+        assert order == [0, 1, 2, 3]
+
+    def test_hook_runs_in_calling_process(self):
+        # A closure over local state: only possible parent-side.
+        collected = []
+        ProcessExecutor(2).map(
+            square, range(3), on_result=lambda i, r: collected.append((i, r))
+        )
+        assert sorted(collected) == [(0, 0), (1, 1), (2, 4)]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("executor", executors(), ids=lambda e: e.kind)
+    def test_worker_exception_propagates(self, executor):
+        with pytest.raises(ValueError, match="item 2 explodes"):
+            executor.map(boom, range(4))
+
+    @pytest.mark.parametrize("executor", executors(), ids=lambda e: e.kind)
+    def test_worker_exception_propagates_with_hook(self, executor):
+        with pytest.raises(ValueError, match="item 2 explodes"):
+            executor.map(boom, range(4), on_result=lambda i, r: None)
+
+    def test_max_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ThreadExecutor(0)
+
+
+class TestPoolCache:
+    def test_pools_are_cached_and_shut_down(self):
+        shutdown_pools()
+        ex = ThreadExecutor(2)
+        ex.map(square, range(3))
+        ex.map(square, range(3))
+        assert ("thread", 2) in _POOL_CACHE
+        assert len(_POOL_CACHE) == 1
+        shutdown_pools()
+        assert _POOL_CACHE == {}
+
+
+class TestResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        assert resolve_executor().kind == "serial"
+
+    def test_explicit_argument(self):
+        ex = resolve_executor("thread", 3)
+        assert (ex.kind, ex.max_workers) == ("thread", 3)
+        assert ex.describe() == "thread×3"
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "process")
+        monkeypatch.setenv(MAX_WORKERS_ENV, "5")
+        ex = resolve_executor()
+        assert (ex.kind, ex.max_workers) == ("process", 5)
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "process")
+        assert resolve_executor("serial").kind == "serial"
+
+    def test_kind_is_normalised(self):
+        assert resolve_executor(" Thread ", 2).kind == "thread"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="parallel must be one of"):
+            resolve_executor("gpu")
+        assert set(PARALLEL_KINDS) == {"serial", "thread", "process"}
+
+    def test_default_worker_count_floor(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        assert default_max_workers() >= 2
+        ex = resolve_executor("thread")
+        assert ex.max_workers == default_max_workers()
+
+    def test_serial_ignores_worker_count(self):
+        assert resolve_executor("serial", 8).max_workers == 1

@@ -1,0 +1,87 @@
+"""StageTimer / TimingReport: one monotonic clock, honest stage books."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.parallel import (
+    MONOTONIC_CLOCK,
+    SerialExecutor,
+    StageTimer,
+    StageTiming,
+    ThreadExecutor,
+    TimingReport,
+)
+
+
+class TestClock:
+    def test_single_monotonic_source(self):
+        # The satellite fix: every elapsed-time measurement in the repo
+        # shares this source; wall clocks jump under NTP/suspend.
+        assert MONOTONIC_CLOCK is time.perf_counter
+
+
+class TestStageTimer:
+    def test_context_manager_records_stage(self):
+        timer = StageTimer()
+        with timer.stage("fit", n_items=4, executor=ThreadExecutor(2)):
+            pass
+        report = timer.report()
+        stage = report.stage("fit")
+        assert stage.elapsed_s >= 0.0
+        assert stage.n_items == 4
+        assert (stage.parallel, stage.max_workers) == ("thread", 2)
+
+    def test_stage_recorded_even_on_error(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("doomed"):
+                raise RuntimeError("boom")
+        assert timer.report().stage("doomed").elapsed_s >= 0.0
+
+    def test_record_direct_and_order_preserved(self):
+        timer = StageTimer()
+        timer.record("a", 1.0, n_items=2, executor=SerialExecutor())
+        timer.record("b", 3.0)
+        report = timer.report()
+        assert [s.stage for s in report.stages] == ["a", "b"]
+        assert report.total_s == pytest.approx(4.0)
+        assert report.stage("a").parallel == "serial"
+
+
+class TestTimingReport:
+    def _report(self, a=2.0, b=1.0):
+        return TimingReport(
+            stages=(
+                StageTiming("acq", a, 10, "serial", 1),
+                StageTiming("cv", b, 5, "thread", 4),
+            )
+        )
+
+    def test_stage_lookup_and_missing(self):
+        report = self._report()
+        assert report.stage("cv").max_workers == 4
+        with pytest.raises(KeyError):
+            report.stage("nope")
+
+    def test_speedup_over_baseline(self):
+        serial = self._report(a=4.0)
+        fast = self._report(a=1.0)
+        assert fast.speedup_over(serial, "acq") == pytest.approx(4.0)
+
+    def test_per_item_and_describe(self):
+        stage = StageTiming("acq", 2.0, 10, "serial", 1)
+        assert stage.per_item_s == pytest.approx(0.2)
+        assert StageTiming("x", 1.0, 0).per_item_s == 0.0
+        assert "thread×4" in self._report().stage("cv").describe()
+
+    def test_summary_and_to_dict(self):
+        report = self._report()
+        text = report.summary()
+        assert "acq" in text and "cv" in text and "total" in text
+        payload = report.to_dict()
+        assert payload["total_s"] == pytest.approx(3.0)
+        assert [s["stage"] for s in payload["stages"]] == ["acq", "cv"]
+        assert payload["stages"][1]["parallel"] == "thread"

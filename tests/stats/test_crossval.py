@@ -89,3 +89,39 @@ class TestCrossValidate:
     def test_row_mismatch(self, rng):
         with pytest.raises(ValueError):
             cross_validate(rng.normal(size=10), rng.normal(size=(11, 2)))
+
+
+class TestKFoldSeedGuard:
+    def test_shuffle_without_seed_rejected(self):
+        # The bugfix satellite: default_rng(None) would silently draw
+        # OS entropy — irreproducible folds.
+        with pytest.raises(ValueError, match="explicit seed"):
+            KFold(5, shuffle=True, seed=None)
+
+    def test_no_shuffle_without_seed_is_fine(self):
+        folds = list(KFold(5, shuffle=False, seed=None).split(25))
+        assert len(folds) == 5
+
+    def test_default_seed_still_accepted(self):
+        assert KFold(5).seed == 0
+
+
+class TestParallelCrossValidate:
+    def test_backends_bit_identical(self, rng):
+        x = rng.normal(size=(120, 3))
+        y = 60 + x @ np.array([1.0, -2.0, 0.5]) + rng.normal(size=120)
+        reference = cross_validate(y, x, n_splits=6, parallel="serial")
+        for backend in ("thread", "process"):
+            result = cross_validate(
+                y, x, n_splits=6, parallel=backend, max_workers=2
+            )
+            assert result.folds == reference.folds, backend
+
+    def test_on_zero_forwarded_to_folds(self, rng):
+        x = rng.normal(size=(40, 2))
+        y = np.abs(rng.normal(size=40)) + 1.0
+        y[7] = 0.0
+        with pytest.raises(ValueError, match="MAPE undefined"):
+            cross_validate(y, x, n_splits=4)
+        result = cross_validate(y, x, n_splits=4, on_zero="skip")
+        assert len(result.folds) == 4
