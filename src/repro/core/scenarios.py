@@ -21,10 +21,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.acquisition.dataset import PowerDataset
+from repro.core.features import design_matrix
 from repro.core.model import PowerModel
 from repro.parallel import resolve_executor
 from repro.seeding import DEFAULT_SEED, derive_rng
 from repro.stats.crossval import KFold
+from repro.stats.fastfit import FoldGramSolver, fastfit_enabled
 from repro.stats.metrics import bias, mape, r2_score
 
 __all__ = [
@@ -167,6 +169,7 @@ def cv_out_of_fold_predictions(
     issues: Optional[List[str]] = None,
     parallel: Optional[str] = None,
     max_workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Tuple[np.ndarray, Tuple[float, ...], List[Dict[str, float]]]:
     """k-fold CV with random indexing: out-of-fold predictions.
 
@@ -177,27 +180,67 @@ def cv_out_of_fold_predictions(
     recorded in the ``issues`` sink when one is given.  Folds run on
     the ``parallel``/``max_workers`` backend (see
     :mod:`repro.parallel`), assembled in fold order — bit-identical to
-    serial.
+    serial.  ``fast`` (default: ``REPRO_FASTFIT``, on) solves the OLS
+    folds from Gram downdates (:mod:`repro.stats.fastfit`) within 1e-9
+    relative tolerance of the per-fold refits; Huber folds and any fold
+    the solver declines take the exact path.
     """
-    executor = resolve_executor(parallel, max_workers)
     splits = list(
         KFold(n_splits, shuffle=True, seed=seed).split(dataset.n_samples)
     )
-    outcomes = executor.map(
-        _cv_fold_worker,
-        [
-            (
-                dataset,
-                tuple(counters),
-                cov_type,
-                estimator,
-                train,
-                test,
-                on_zero,
+    if estimator == "ols" and fastfit_enabled(fast):
+        # Constructing the model validates the counter list (duplicate
+        # names) exactly as the per-fold workers would.
+        PowerModel(tuple(counters), cov_type=cov_type, estimator=estimator)
+        solver = FoldGramSolver(
+            dataset.power_w, design_matrix(dataset, list(counters))
+        )
+        outcomes = []
+        for train, test in splits:
+            fit = solver.solve_fold(train, test)
+            if fit is None:
+                # Not fast-eligible (degraded/degenerate fold): exact
+                # slow-path fit with its historical errors.
+                outcomes.append(
+                    _cv_fold_worker(
+                        (dataset, tuple(counters), cov_type, estimator,
+                         train, test, on_zero)
+                    )
+                )
+                continue
+            p = solver.predict(fit, test)
+            test_power_w = dataset.power_w[test]
+            n_zero = int(np.sum(test_power_w == 0.0))  # replint: ignore[RL004] -- exact-zero guard: MAPE division sentinel
+            outcomes.append(
+                (
+                    p,
+                    mape(test_power_w, p, on_zero=on_zero),
+                    {"r2": fit.rsquared, "adj_r2": fit.rsquared_adj},
+                    n_zero,
+                )
             )
-            for train, test in splits
-        ],
-    )
+    else:
+        # Fold fits are sub-millisecond: the small-task guard keeps
+        # pool backends away unless the fold count can amortize them.
+        executor = resolve_executor(
+            parallel, max_workers, n_items=len(splits),
+            min_items_per_worker=8,
+        )
+        outcomes = executor.map(
+            _cv_fold_worker,
+            [
+                (
+                    dataset,
+                    tuple(counters),
+                    cov_type,
+                    estimator,
+                    train,
+                    test,
+                    on_zero,
+                )
+                for train, test in splits
+            ],
+        )
     preds = np.full(dataset.n_samples, np.nan)
     fold_mapes: List[float] = []
     fold_fits: List[Dict[str, float]] = []
@@ -314,6 +357,7 @@ def scenario_cv_all(
     issues: Optional[List[str]] = None,
     parallel: Optional[str] = None,
     max_workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> ScenarioResult:
     """Scenario 3: 10-fold CV over all experiments (the Table II run)."""
     preds, fold_mapes, _ = cv_out_of_fold_predictions(
@@ -326,6 +370,7 @@ def scenario_cv_all(
         issues=issues,
         parallel=parallel,
         max_workers=max_workers,
+        fast=fast,
     )
     return ScenarioResult(
         name=SCENARIO_NAMES[2],
@@ -346,6 +391,7 @@ def scenario_cv_synthetic(
     issues: Optional[List[str]] = None,
     parallel: Optional[str] = None,
     max_workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> ScenarioResult:
     """Scenario 4: 10-fold CV over the roco2 experiments only."""
     synth = dataset.filter(suite="roco2")
@@ -361,6 +407,7 @@ def scenario_cv_synthetic(
         issues=issues,
         parallel=parallel,
         max_workers=max_workers,
+        fast=fast,
     )
     return ScenarioResult(
         name=SCENARIO_NAMES[3],
@@ -380,6 +427,7 @@ def run_all_scenarios(
     issues: Optional[List[str]] = None,
     parallel: Optional[str] = None,
     max_workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Dict[str, ScenarioResult]:
     """All four scenarios (Fig. 4), keyed by scenario name."""
     return {
@@ -395,6 +443,7 @@ def run_all_scenarios(
             issues=issues,
             parallel=parallel,
             max_workers=max_workers,
+            fast=fast,
         ),
         SCENARIO_NAMES[3]: scenario_cv_synthetic(
             dataset,
@@ -404,5 +453,6 @@ def run_all_scenarios(
             issues=issues,
             parallel=parallel,
             max_workers=max_workers,
+            fast=fast,
         ),
     }

@@ -26,9 +26,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.acquisition.dataset import PowerDataset
+from repro.core.features import design_matrix
 from repro.core.model import ESTIMATORS, PowerModel
 from repro.parallel import resolve_executor
 from repro.stats.errors import EstimationError
+from repro.stats.fastfit import GramCache, fastfit_enabled
 from repro.stats.selection_criteria import CRITERIA
 from repro.stats.vif import VIF_PROBLEM_THRESHOLD, mean_vif
 
@@ -134,6 +136,55 @@ def _evaluate_candidate(
     return ("ok", event, score, fitted.rsquared, fitted.rsquared_adj)
 
 
+def _fast_step_evaluations(
+    dataset: PowerDataset,
+    cache: GramCache,
+    pool_pos: dict,
+    selected: Sequence[str],
+    remaining: Sequence[str],
+    max_vif: Optional[float],
+    cov_type: str,
+    criterion: str,
+) -> List[Tuple[object, ...]]:
+    """One greedy step through the Gram cache.
+
+    Produces the same pool-ordered tagged tuples as the
+    :func:`_evaluate_candidate` fan-out: the VIF guard runs through the
+    cache's memoized correlations (bitwise-identical to the slow
+    guard), the surviving candidates are scored in one batched
+    bordered-Cholesky update, and any candidate the kernel declines
+    (degraded or ill-conditioned trial design) is re-evaluated through
+    the exact slow path so its score, skip warning or error message is
+    reproduced verbatim.
+    """
+    sel_pos = [pool_pos[e] for e in selected]
+    evaluations: List[Optional[Tuple[object, ...]]] = [None] * len(remaining)
+    admissible: List[int] = []
+    for i, event in enumerate(remaining):
+        if max_vif is not None and selected:
+            trial_vif = cache.mean_vif(sel_pos + [pool_pos[event]])
+            if trial_vif > max_vif:
+                evaluations[i] = ("vif", event)
+                continue
+        admissible.append(i)
+    scores = cache.score_candidates(
+        sel_pos, [pool_pos[remaining[i]] for i in admissible], criterion
+    )
+    for i, entry in zip(admissible, scores):
+        event = remaining[i]
+        if entry is None:
+            # Not fast-eligible: exact slow-path evaluation (max_vif
+            # already enforced above, hence None here).
+            evaluations[i] = _evaluate_candidate(
+                (dataset, tuple(selected), event, None, cov_type, "ols",
+                 criterion)
+            )
+        else:
+            score, r2, adj = entry
+            evaluations[i] = ("ok", event, score, r2, adj)
+    return evaluations  # type: ignore[return-value]
+
+
 def select_events(
     dataset: PowerDataset,
     n_events: int,
@@ -146,6 +197,7 @@ def select_events(
     on_missing: str = "raise",
     parallel: Optional[str] = None,
     max_workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> SelectionResult:
     """Run Algorithm 1 on a dataset.
 
@@ -179,6 +231,15 @@ def select_events(
         :mod:`repro.parallel`).  Candidate fits are independent, and
         the reduction below walks results in pool order, so every
         backend selects bit-identically.
+    fast:
+        Score candidates through the Gram-cache fast-fit kernel
+        (:mod:`repro.stats.fastfit`) instead of one full OLS refit per
+        candidate.  Default (``None``) resolves ``REPRO_FASTFIT`` and
+        falls back to **on**; only the ``"ols"`` estimator has a fast
+        kernel.  The selected sequence and all warnings are identical
+        to the slow path, scores agree within 1e-9 relative tolerance,
+        and any candidate the kernel cannot certify well-conditioned is
+        transparently re-evaluated on the exact slow path.
 
     Determinism
     -----------
@@ -228,7 +289,22 @@ def select_events(
                 f"cannot select {n_events} events from {len(pool)} candidates"
             )
 
-    executor = resolve_executor(parallel, max_workers)
+    # Candidate fits are ~100 µs each: demand a healthy batch per
+    # worker before letting a pool backend near them (the small-task
+    # guard keeps a global REPRO_PARALLEL=process from regressing this
+    # stage — see resolve_executor).
+    executor = resolve_executor(
+        parallel, max_workers, n_items=len(pool), min_items_per_worker=16
+    )
+    cache: Optional[GramCache] = None
+    pool_pos: dict = {}
+    if fastfit_enabled(fast) and estimator == "ols":
+        cache = GramCache(
+            dataset.power_w,
+            design_matrix(dataset, pool),
+            dataset.counter_matrix(pool),
+        )
+        pool_pos = {event: i for i, event in enumerate(pool)}
     selected: List[str] = []
     steps: List[SelectionStep] = []
     remaining = list(pool)
@@ -237,21 +313,27 @@ def select_events(
         best: Optional[Tuple[str, float, float, float]] = None
         step_warnings: List[str] = []
         scores: List[Tuple[str, float]] = []
-        evaluations = executor.map(
-            _evaluate_candidate,
-            [
-                (
-                    dataset,
-                    tuple(selected),
-                    event,
-                    max_vif,
-                    cov_type,
-                    estimator,
-                    criterion,
-                )
-                for event in remaining
-            ],
-        )
+        if cache is not None:
+            evaluations = _fast_step_evaluations(
+                dataset, cache, pool_pos, selected, remaining,
+                max_vif, cov_type, criterion,
+            )
+        else:
+            evaluations = executor.map(
+                _evaluate_candidate,
+                [
+                    (
+                        dataset,
+                        tuple(selected),
+                        event,
+                        max_vif,
+                        cov_type,
+                        estimator,
+                        criterion,
+                    )
+                    for event in remaining
+                ],
+            )
         # Reduce in pool order — identical to the historical serial
         # loop, whichever backend produced the evaluations.
         for evaluation in evaluations:
@@ -289,7 +371,10 @@ def select_events(
             )
         selected.append(event)
         remaining.remove(event)
-        vif = mean_vif(dataset.counter_matrix(selected))
+        if cache is not None:
+            vif = cache.mean_vif([pool_pos[e] for e in selected])
+        else:
+            vif = mean_vif(dataset.counter_matrix(selected))
         if np.isinf(vif):
             step_warnings.append(
                 "mean VIF is infinite: selected set contains perfectly "

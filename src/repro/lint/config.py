@@ -78,6 +78,14 @@ DEFAULT_PARALLEL_MODULES: Tuple[str, ...] = (
     "repro/parallel/*",
 )
 
+#: Fast-fit hot modules (RL010): files whose inner loops must answer
+#: fits from the Gram cache, never via a per-iteration full refit.
+DEFAULT_FASTFIT_HOT_MODULES: Tuple[str, ...] = (
+    "*/core/selection.py",
+    "*/stats/vif.py",
+    "*/stats/crossval.py",
+)
+
 #: Directories whose changes alter campaign physics (RL005).
 DEFAULT_PHYSICS_PATHS: Tuple[str, ...] = (
     "src/repro/hardware/",
@@ -103,6 +111,7 @@ class LintConfig:
     atomic_modules: Tuple[str, ...] = DEFAULT_ATOMIC_MODULES
     linalg_modules: Tuple[str, ...] = DEFAULT_LINALG_MODULES
     parallel_modules: Tuple[str, ...] = DEFAULT_PARALLEL_MODULES
+    fastfit_hot_modules: Tuple[str, ...] = DEFAULT_FASTFIT_HOT_MODULES
     physics_paths: Tuple[str, ...] = DEFAULT_PHYSICS_PATHS
     version_file: str = DEFAULT_VERSION_FILE
     version_symbol: str = DEFAULT_VERSION_SYMBOL
@@ -164,6 +173,7 @@ class LintConfig:
             ("atomic-modules", "atomic_modules"),
             ("linalg-modules", "linalg_modules"),
             ("parallel-modules", "parallel_modules"),
+            ("fastfit-hot-modules", "fastfit_hot_modules"),
             ("physics-paths", "physics_paths"),
         ):
             if toml_key in section:

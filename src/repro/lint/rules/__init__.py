@@ -14,6 +14,7 @@ from repro.lint.rules.rl006_atomic_write import NonAtomicCacheWrite
 from repro.lint.rules.rl007_silent_except import SilentBroadExcept
 from repro.lint.rules.rl008_raw_linalg import NoRawLinalgSolvers
 from repro.lint.rules.rl009_parallel_primitives import NoRawParallelPrimitives
+from repro.lint.rules.rl010_hot_loop_fit import NoHotLoopRefit
 
 __all__ = [
     "all_rules",
@@ -26,6 +27,7 @@ __all__ = [
     "SilentBroadExcept",
     "NoRawLinalgSolvers",
     "NoRawParallelPrimitives",
+    "NoHotLoopRefit",
 ]
 
 
@@ -41,4 +43,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         SilentBroadExcept(),
         NoRawLinalgSolvers(),
         NoRawParallelPrimitives(),
+        NoHotLoopRefit(),
     ]

@@ -1,0 +1,71 @@
+"""RL010 — no per-candidate ``fit_ols`` in fast-fit hot loops.
+
+The Gram-cache fast-fit kernels (DESIGN.md §12) exist because greedy
+selection, VIF screening and k-fold CV used to re-fit Equation 1 from
+scratch inside their inner loops — hundreds of redundant O(n·k²)
+solves over column subsets of one design matrix.  Those call sites now
+answer fits from cached sufficient statistics, and a direct
+``fit_ols``/``fit_robust`` call inside a loop of one of the configured
+``fastfit-hot-modules`` would silently reintroduce the O(n) refit the
+refactor removed.  Per-fit fallbacks are still legitimate — the fast
+kernels decline degraded fits on purpose — but they are routed through
+the module-level fallback helpers (which the kernels certify against),
+not open-coded loops, so this rule flags any ``fit_ols``/``fit_robust``
+call lexically inside a ``for``/``while`` body in those modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NoHotLoopRefit"]
+
+#: Full-refit entry points that must not run per loop iteration inside
+#: the fast-fit hot modules.
+_FORBIDDEN = ("fit_ols", "fit_robust")
+
+
+class NoHotLoopRefit(FileRule):
+    id = "RL010"
+    name = "no-hot-loop-refit"
+    description = (
+        "direct fit_ols/fit_robust calls inside selection/VIF/CV hot "
+        "loops defeat the Gram-cache fast path; fit from the cached "
+        "sufficient statistics (repro.stats.fastfit) instead"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if not ctx.config.path_matches_any(
+            ctx.posix_path, ctx.config.fastfit_hot_modules
+        ):
+            return []
+        findings: List[Finding] = []
+        seen = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call) or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                name = dotted_name(node.func, ctx.aliases)
+                if name is None:
+                    continue
+                terminal = name.rsplit(".", 1)[-1]
+                if terminal in _FORBIDDEN:
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"{terminal} called inside a hot loop of "
+                            f"{ctx.posix_path.rsplit('/', 1)[-1]}; score "
+                            "from the Gram cache "
+                            "(repro.stats.fastfit) and fall back through "
+                            "the module-level helpers instead of "
+                            "re-fitting per iteration",
+                        )
+                    )
+        return findings

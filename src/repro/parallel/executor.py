@@ -228,7 +228,11 @@ class ProcessExecutor(_PoolExecutor):
 
 
 def resolve_executor(
-    parallel: Optional[str] = None, max_workers: Optional[int] = None
+    parallel: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    *,
+    n_items: Optional[int] = None,
+    min_items_per_worker: int = 1,
 ) -> BaseExecutor:
     """Turn ``parallel=``/``max_workers=`` call arguments into a backend.
 
@@ -238,6 +242,18 @@ def resolve_executor(
     point in the repository funnels through here, so one environment
     variable flips the whole pipeline (the CI ``parallel`` job runs the
     tier-1 suite under ``REPRO_PARALLEL=process``).
+
+    Small-task guard: a call site that knows its fan-out size passes
+    ``n_items`` (and its per-item cost class as
+    ``min_items_per_worker``); a pool backend is then granted at most
+    ``n_items // min_items_per_worker`` workers, and degrades to the
+    serial backend entirely below two.  This is what stops a global
+    ``REPRO_PARALLEL=process`` from dispatching microsecond candidate
+    fits or CV folds to a process pool where pickling costs 3–10× the
+    work itself (the 0.11×/0.62× "speedups" recorded in
+    ``BENCH_parallel.json`` before this guard existed).  Every backend
+    is bit-identical, so the degradation never changes results — only
+    wall time.
     """
     kind = parallel if parallel is not None else os.environ.get(PARALLEL_ENV)
     kind = (kind or "serial").strip().lower()
@@ -245,11 +261,20 @@ def resolve_executor(
         raise ValueError(
             f"parallel must be one of {PARALLEL_KINDS}, got {kind!r}"
         )
+    if min_items_per_worker < 1:
+        raise ValueError(
+            f"min_items_per_worker must be >= 1, got {min_items_per_worker}"
+        )
     if kind == "serial":
         return SerialExecutor()
     if max_workers is None:
         env = os.environ.get(MAX_WORKERS_ENV)
         max_workers = int(env) if env else default_max_workers()
+    if n_items is not None:
+        worker_cap = n_items // min_items_per_worker
+        if worker_cap < 2:
+            return SerialExecutor()
+        max_workers = min(max_workers, worker_cap)
     if kind == "thread":
         return ThreadExecutor(max_workers)
     return ProcessExecutor(max_workers)

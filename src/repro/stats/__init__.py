@@ -39,6 +39,12 @@ from repro.stats.diagnostics import (
     condition_number,
     white_test,
 )
+from repro.stats.fastfit import (
+    FASTFIT_ENV,
+    FoldGramSolver,
+    GramCache,
+    fastfit_enabled,
+)
 from repro.stats.errors import (
     DegenerateDesignError,
     EstimationError,
@@ -78,6 +84,7 @@ from repro.stats.vif import (
     mean_vif,
     variance_inflation_factor,
     vif_table,
+    vifs_from_correlation,
 )
 
 __all__ = [
@@ -99,7 +106,12 @@ __all__ = [
     "variance_inflation_factor",
     "mean_vif",
     "vif_table",
+    "vifs_from_correlation",
     "collinear_columns",
+    "GramCache",
+    "FoldGramSolver",
+    "fastfit_enabled",
+    "FASTFIT_ENV",
     "pearson",
     "pearson_with_target",
     "spearman",

@@ -20,9 +20,10 @@ pseudo-inverse instead of raising ``LinAlgError``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+from scipy.linalg import solve_triangular as _scipy_solve_triangular
 
 __all__ = [
     "add_constant",
@@ -31,6 +32,8 @@ __all__ = [
     "safe_solve",
     "as_2d",
     "guarded_lstsq",
+    "try_cholesky",
+    "triangular_solve",
     "GuardedSolution",
     "FitDiagnostics",
     "CONDITION_FALLBACK_THRESHOLD",
@@ -193,6 +196,46 @@ def safe_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     if not np.all(np.isfinite(x)):
         return safe_pinv(a) @ b
     return x
+
+
+def try_cholesky(matrix: np.ndarray) -> Optional[np.ndarray]:
+    """Lower Cholesky factor of a symmetric matrix, or ``None``.
+
+    The fast-fit kernels (DESIGN.md §12) use Cholesky factorizations of
+    Gram matrices as their cheap O(k³) workhorse; a factorization
+    failure (the matrix is not numerically positive definite — e.g. a
+    Gram of perfectly collinear columns) is an *expected* outcome that
+    routes the caller onto the exact slow path, so it is reported as
+    ``None`` rather than an exception.  Non-finite input is likewise
+    answered with ``None`` — LAPACK's behaviour on NaN is undefined.
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {a.shape}")
+    if not np.all(np.isfinite(a)):
+        return None
+    try:
+        return np.linalg.cholesky(a)
+    except np.linalg.LinAlgError:
+        return None
+
+
+def triangular_solve(
+    factor: np.ndarray, rhs: np.ndarray, *, trans: bool = False
+) -> np.ndarray:
+    """Solve ``L x = rhs`` (or ``Lᵀ x = rhs`` with ``trans=True``) for a
+    lower-triangular ``factor``.
+
+    Thin wrapper over the LAPACK triangular solver so the fast-fit
+    kernels stay inside the guarded linear-algebra layer (lint rule
+    RL008).  ``rhs`` may be a vector or a matrix of stacked right-hand
+    sides; the solve is exact per column, so identical columns produce
+    bitwise-identical solutions (the tie-preservation contract of the
+    selection fast path).
+    """
+    return _scipy_solve_triangular(
+        factor, rhs, lower=True, trans=1 if trans else 0, check_finite=False
+    )
 
 
 def guarded_lstsq(

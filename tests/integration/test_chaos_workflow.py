@@ -167,3 +167,51 @@ class TestParallelChaos:
         assert dataclasses.replace(
             result.report, timing=None
         ) == dataclasses.replace(campaign.report, timing=None)
+
+
+class TestFastFitChaos:
+    """ISSUE-5 gate on the chaos path: the Gram-cache fast fit must be
+    equivalent to the exact path on degraded campaign data too, for
+    any CI fault seed."""
+
+    def test_selection_fast_equals_slow_on_degraded_dataset(self, campaign):
+        from repro.core.selection import select_events
+
+        assert campaign.dataset is not None
+        kwargs = dict(n_events=3, on_missing="skip")
+        slow = select_events(campaign.dataset, fast=False, **kwargs)
+        fast = select_events(campaign.dataset, fast=True, **kwargs)
+        assert slow.selected == fast.selected
+        assert slow.warnings == fast.warnings
+        for a, b in zip(slow.steps, fast.steps):
+            assert a.counter == b.counter
+            assert a.warnings == b.warnings
+            np.testing.assert_allclose(
+                a.criterion_value, b.criterion_value, rtol=1e-9
+            )
+
+    def test_workflow_fast_equals_slow_on_degraded_dataset(self, campaign):
+        assert campaign.dataset is not None
+        kwargs = dict(
+            dataset=campaign.dataset,
+            n_events=3,
+            frequencies_mhz=FREQUENCIES,
+        )
+        outcomes = []
+        for fast in (False, True):
+            try:
+                outcomes.append(("ok", run_workflow(fast=fast, **kwargs)))
+            except Exception as exc:  # noqa: BLE001 - equivalence gate
+                outcomes.append(("err", (type(exc), str(exc))))
+        slow, fast_res = outcomes
+        assert slow[0] == fast_res[0]
+        if slow[0] == "err":
+            assert slow[1] == fast_res[1]
+        else:
+            assert (
+                slow[1].selected_counters == fast_res[1].selected_counters
+            )
+            np.testing.assert_allclose(
+                slow[1].validation.mape, fast_res[1].validation.mape,
+                rtol=1e-9,
+            )

@@ -16,6 +16,7 @@ from repro.lint.rules import (
     NonAtomicCacheWrite,
     NoUnseededRng,
     RequireAllowPickleFalse,
+    NoHotLoopRefit,
     NoRawLinalgSolvers,
     NoRawParallelPrimitives,
     SilentBroadExcept,
@@ -533,3 +534,77 @@ class TestRL009ParallelPrimitives:
             import multiprocessing  # replint: ignore[RL009] -- cpu_count probe only, no fan-out
         """
         assert run_rule(NoRawParallelPrimitives(), code) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL010HotLoopRefit:
+    HOT = Path("src/repro/core/selection.py")
+
+    def test_flags_fit_ols_in_for_loop(self):
+        bad = """
+            from repro.stats.ols import fit_ols
+            def score_all(y, designs):
+                scores = []
+                for x in designs:
+                    scores.append(fit_ols(y, x).rsquared)
+                return scores
+        """
+        assert ids(run_rule(NoHotLoopRefit(), bad, path=self.HOT)) == [
+            "RL010"
+        ]
+
+    def test_flags_fit_robust_in_while_loop(self):
+        bad = """
+            from repro.stats import robust
+            def anneal(y, x):
+                k = 0
+                while k < 3:
+                    res = robust.fit_robust(y, x)
+                    k += 1
+                return res
+        """
+        assert ids(run_rule(NoHotLoopRefit(), bad, path=self.HOT)) == [
+            "RL010"
+        ]
+
+    def test_nested_loops_flag_once_per_call(self):
+        bad = """
+            from repro.stats.ols import fit_ols
+            def grid(y, designs):
+                out = []
+                for block in designs:
+                    for x in block:
+                        out.append(fit_ols(y, x))
+                return out
+        """
+        assert ids(run_rule(NoHotLoopRefit(), bad, path=self.HOT)) == [
+            "RL010"
+        ]
+
+    def test_passes_fit_outside_loops(self):
+        good = """
+            from repro.stats.ols import fit_ols
+            def final_fit(y, x):
+                return fit_ols(y, x, cov_type="HC3")
+        """
+        assert run_rule(NoHotLoopRefit(), good, path=self.HOT) == []
+
+    def test_only_configured_hot_modules_are_checked(self):
+        code = """
+            from repro.stats.ols import fit_ols
+            def sweep(y, designs):
+                return [fit_ols(y, x) for x in designs]
+        """
+        cold = Path("src/repro/experiments/tables.py")
+        assert run_rule(NoHotLoopRefit(), code, path=cold) == []
+
+    def test_inline_suppression_honoured(self):
+        code = """
+            from repro.stats.ols import fit_ols
+            def sweep(y, designs):
+                out = []
+                for x in designs:
+                    out.append(fit_ols(y, x))  # replint: ignore[RL010] -- cold diagnostic path, runs once per report
+                return out
+        """
+        assert run_rule(NoHotLoopRefit(), code, path=self.HOT) == []

@@ -158,3 +158,44 @@ class TestResolution:
 
     def test_serial_ignores_worker_count(self):
         assert resolve_executor("serial", 8).max_workers == 1
+
+
+class TestSmallTaskGuard:
+    """n_items/min_items_per_worker degrade pools for tiny fan-outs."""
+
+    def test_too_few_items_degrades_to_serial(self):
+        ex = resolve_executor(
+            "process", 8, n_items=10, min_items_per_worker=8
+        )
+        assert ex.kind == "serial"
+
+    def test_worker_count_capped_by_items(self):
+        ex = resolve_executor(
+            "thread", 8, n_items=40, min_items_per_worker=16
+        )
+        assert (ex.kind, ex.max_workers) == ("thread", 2)
+
+    def test_large_fanout_keeps_requested_workers(self):
+        ex = resolve_executor(
+            "thread", 4, n_items=1000, min_items_per_worker=16
+        )
+        assert (ex.kind, ex.max_workers) == ("thread", 4)
+
+    def test_guard_inert_without_n_items(self):
+        ex = resolve_executor("thread", 4, min_items_per_worker=16)
+        assert (ex.kind, ex.max_workers) == ("thread", 4)
+
+    def test_guard_applies_to_environment_backends(self, monkeypatch):
+        # The whole point: a global REPRO_PARALLEL=process must not
+        # dispatch microsecond fold fits to a pool.
+        monkeypatch.setenv(PARALLEL_ENV, "process")
+        monkeypatch.setenv(MAX_WORKERS_ENV, "8")
+        ex = resolve_executor(n_items=10, min_items_per_worker=8)
+        assert ex.kind == "serial"
+
+    def test_zero_items_degrades_to_serial(self):
+        assert resolve_executor("thread", 4, n_items=0).kind == "serial"
+
+    def test_invalid_min_items_rejected(self):
+        with pytest.raises(ValueError, match="min_items_per_worker"):
+            resolve_executor("thread", 4, n_items=8, min_items_per_worker=0)
