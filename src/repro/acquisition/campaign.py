@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Callable,
@@ -40,6 +40,7 @@ from typing import (
 
 from repro.acquisition.checkpoint import CampaignCheckpoint, cell_id
 from repro.acquisition.dataset import PowerDataset
+from repro.audit.framework import AuditReport
 from repro.acquisition.postprocess import (
     MergedPhase,
     build_dataset,
@@ -348,6 +349,10 @@ class CampaignReport:
     timing: Optional[TimingReport] = None
     """Per-stage wall time (monotonic clock).  Excluded from bit-identity
     comparisons — wall time legitimately differs between backends."""
+    audit: Optional[AuditReport] = None
+    """Statistical-rigor verdict over the acquisition provenance
+    (:mod:`repro.audit` rule AU010): faults, quarantines and coverage
+    degradation roll up into ``audit.verdict``."""
 
     @property
     def clean(self) -> bool:
@@ -391,6 +396,8 @@ class CampaignReport:
             )
         if self.clean:
             lines.append("no faults observed — clean campaign")
+        if self.audit is not None and not self.audit.clean:
+            lines.append(f"audit verdict: {self.audit.verdict}")
         if self.timing is not None and self.timing.stages:
             lines.append("timing:")
             lines.extend(f"  {s.describe()}" for s in self.timing.stages)
@@ -718,6 +725,9 @@ class ResilientCampaign(Campaign):
             degraded_phases=degraded_phases,
             timing=timer.report(),
         )
+        from repro.audit.engine import audit_campaign
+
+        report = replace(report, audit=audit_campaign(report))
         return CampaignResult(dataset=dataset, report=report)
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.audit`` entry point."""
+
+import sys
+
+from repro.audit.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

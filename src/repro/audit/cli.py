@@ -1,0 +1,157 @@
+"""``repraudit`` command line: ``python -m repro.audit [models...]``.
+
+With no arguments the paper-reference workflows are audited (counter
+selection, fitted model, four validation scenarios).  With paths, each
+is loaded as a saved model JSON (:mod:`repro.core.persistence`) and
+audited individually.
+
+Exit codes follow the shared :mod:`repro.reporting` convention: 0 when
+the gate passes, 1 on gating findings, 2 on usage or I/O error.  The
+default gate tolerates ``minor`` findings; ``--strict`` requires a
+``pass`` verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.audit.config import AuditConfig
+from repro.audit.engine import model_context, run_audit
+from repro.audit.framework import AuditReport
+from repro.audit.reference import reference_contexts
+from repro.audit.rules import all_rules
+from repro.reporting import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_json_report,
+    render_text_report,
+)
+from repro.seeding import DEFAULT_SEED
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repraudit",
+        description=(
+            "Statistical-rigor audit over fitted artifacts: residual "
+            "assumptions, sample adequacy, collinearity, uncertainty "
+            "reporting and degraded-data provenance, graded on the "
+            "pass/minor/major/fail verdict scale."
+        ),
+    )
+    parser.add_argument(
+        "models", nargs="*", metavar="MODEL_JSON",
+        help=(
+            "saved model files to audit (default: audit the paper's "
+            "reference workflows)"
+        ),
+    )
+    parser.add_argument(
+        "-f", "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="require a 'pass' verdict (default gate tolerates 'minor')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="root seed for the reference workflows (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. AU004,AU009)",
+    )
+    parser.add_argument(
+        "--disable", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _render(report: AuditReport, fmt: str) -> str:
+    if fmt == "json":
+        return render_json_report(
+            report.findings,
+            checked=len(report.artifacts),
+            checked_key="artifacts_checked",
+            extra={
+                "verdict": report.verdict,
+                "artifacts": list(report.artifacts),
+                "rules_run": list(report.rules_run),
+            },
+        )
+    return render_text_report(
+        "repraudit",
+        report.findings,
+        checked=len(report.artifacts),
+        noun="artifacts",
+        trailer=f"verdict: {report.verdict}",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:28s} {rule.description}")
+        return EXIT_CLEAN
+
+    config = AuditConfig.load()
+    if args.select:
+        config.enable = {
+            s.strip().upper() for s in args.select.split(",") if s.strip()
+        }
+    if args.disable:
+        config.disable |= {
+            s.strip().upper() for s in args.disable.split(",") if s.strip()
+        }
+
+    try:
+        if args.models:
+            from repro.core.persistence import load_model
+
+            contexts = []
+            for raw in args.models:
+                path = Path(raw)
+                model = load_model(path)
+                contexts.append(
+                    model_context(model, artifact=path.name)
+                )
+        else:
+            contexts = reference_contexts(seed=args.seed)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"repraudit: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    report = run_audit(contexts, config)
+    rendered = _render(report, args.format)
+    print(rendered)
+    if args.output:
+        from repro.io.atomic import atomic_write_text
+
+        atomic_write_text(Path(args.output), rendered + "\n")
+    return (
+        EXIT_CLEAN if report.gate_passed(strict=args.strict) else EXIT_FINDINGS
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Audit engine: build contexts from fitted artifacts and run rules.
+
+The builders here are the only place the audit layer touches concrete
+result types — and even then only through duck typing plus one lazy
+import of :func:`repro.core.features.design_matrix` (needed to
+reconstruct the design a model was fit on).  The core layers import
+:mod:`repro.audit`, never the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.audit.config import AuditConfig
+from repro.audit.framework import AuditContext, AuditReport, AuditRule
+from repro.audit.rules import all_rules
+
+__all__ = [
+    "run_audit",
+    "audit_model",
+    "audit_workflow",
+    "audit_campaign",
+    "audit_drift",
+    "model_context",
+    "scenario_context",
+    "selection_context",
+    "campaign_context",
+    "drift_context",
+    "workflow_contexts",
+]
+
+
+def run_audit(
+    contexts: Iterable[AuditContext],
+    config: Optional[AuditConfig] = None,
+    rules: Optional[Sequence[AuditRule]] = None,
+) -> AuditReport:
+    """Run the (enabled) rule catalogue over a set of artifact contexts."""
+    cfg = config or AuditConfig()
+    active = [
+        r for r in (rules if rules is not None else all_rules())
+        if cfg.rule_enabled(r.id)
+    ]
+    contexts = list(contexts)
+    findings = []
+    for ctx in contexts:
+        for rule in active:
+            findings.extend(rule.check(ctx, cfg))
+    return AuditReport(
+        findings=tuple(sorted(set(findings))),
+        artifacts=tuple(dict.fromkeys(c.artifact for c in contexts)),
+        rules_run=tuple(r.id for r in active),
+    )
+
+
+# --------------------------------------------------------------------------
+# context builders
+
+
+def model_context(
+    model,
+    dataset=None,
+    *,
+    artifact: str = "model",
+) -> AuditContext:
+    """Context for a ``FittedPowerModel`` (or bare ``OLSResult``).
+
+    ``dataset`` (the training data) enables the design-dependent checks
+    — heteroscedasticity, leverage; without it the residual- and
+    coefficient-level rules still run.
+    """
+    ols = getattr(model, "ols", model)
+    exog = None
+    mape_pct = None
+    if dataset is not None and hasattr(model, "counters"):
+        from repro.core.features import design_matrix
+
+        exog = design_matrix(dataset, model.counters)
+        mape_pct = float(model.evaluate(dataset)["mape"])
+    params = np.asarray(getattr(ols, "params", ()), dtype=np.float64)
+    return AuditContext(
+        artifact=artifact,
+        kind="model",
+        ols=ols,
+        exog=exog,
+        estimator=getattr(model, "estimator", "ols"),
+        cov_type=getattr(model, "cov_type", getattr(ols, "cov_type", None)),
+        r2=float(getattr(ols, "rsquared", float("nan"))),
+        mape_pct=mape_pct,
+        n_samples=int(getattr(ols, "nobs", 0)) or None,
+        n_params=int(params.size) or None,
+    )
+
+
+def scenario_context(
+    scenario,
+    *,
+    n_params: Optional[int] = None,
+    artifact: Optional[str] = None,
+) -> AuditContext:
+    """Context for a ``ScenarioResult`` (per-scenario validation)."""
+    fold_mapes = tuple(float(m) for m in getattr(scenario, "fold_mapes", ()))
+    n_samples = int(getattr(scenario.validation, "n_samples", 0)) or None
+    return AuditContext(
+        artifact=artifact or f"scenario:{getattr(scenario, 'name', '?')}",
+        kind="scenario",
+        r2=float(scenario.r2),
+        mape_pct=float(scenario.mape),
+        n_samples=n_samples,
+        n_params=n_params,
+        n_splits=len(fold_mapes) or None,
+        fold_mapes=fold_mapes,
+    )
+
+
+def selection_context(selection, *, artifact: str = "selection") -> AuditContext:
+    """Context for a ``SelectionResult`` (the chosen counter set)."""
+    return AuditContext(
+        artifact=artifact, kind="selection", selection=selection
+    )
+
+
+def campaign_context(report, *, artifact: str = "campaign") -> AuditContext:
+    """Context for a ``CampaignReport`` (acquisition provenance)."""
+    return AuditContext(artifact=artifact, kind="campaign", campaign=report)
+
+
+def drift_context(report, *, artifact: str = "drift") -> AuditContext:
+    """Context for a ``DriftReport`` (online estimation session)."""
+    return AuditContext(artifact=artifact, kind="drift", drift=report)
+
+
+def workflow_contexts(result) -> List[AuditContext]:
+    """Contexts for every artifact a ``WorkflowResult`` carries."""
+    warnings = tuple(getattr(result, "warnings", ()))
+    contexts = [
+        model_context(result.model, result.full_dataset),
+        selection_context(result.selection),
+        scenario_context(
+            result.validation,
+            n_params=int(np.asarray(result.model.ols.params).size),
+            artifact="validation:cv",
+        ),
+    ]
+    if warnings:
+        contexts.append(
+            AuditContext(
+                artifact="workflow", kind="workflow", warnings=warnings
+            )
+        )
+    return contexts
+
+
+# --------------------------------------------------------------------------
+# one-call audits
+
+
+def audit_model(
+    model,
+    dataset=None,
+    *,
+    config: Optional[AuditConfig] = None,
+    artifact: str = "model",
+) -> AuditReport:
+    """Audit one fitted model (the persistence-gate entry point)."""
+    return run_audit(
+        [model_context(model, dataset, artifact=artifact)], config
+    )
+
+
+def audit_workflow(result, *, config: Optional[AuditConfig] = None) -> AuditReport:
+    """Audit everything a workflow run produced."""
+    return run_audit(workflow_contexts(result), config)
+
+
+def audit_campaign(report, *, config: Optional[AuditConfig] = None) -> AuditReport:
+    """Audit a campaign's acquisition provenance."""
+    return run_audit([campaign_context(report)], config)
+
+
+def audit_drift(report, *, config: Optional[AuditConfig] = None) -> AuditReport:
+    """Audit an online estimation session."""
+    return run_audit([drift_context(report)], config)

@@ -1,0 +1,227 @@
+"""Core abstractions of the ``repraudit`` statistical-rigor pass.
+
+Where :mod:`repro.lint` audits *source trees*, this pass audits
+*fitted artifacts*: the OLS fits, selection tables, cross-validation
+summaries, campaign reports and drift tallies the pipeline produces at
+scale.  The paper's headline claims — per-scenario R², MAPE, VIF
+trajectories, cross-validated errors — are statistical artifacts, and
+nothing about a number being computed makes it methodologically valid.
+Each validity condition is encoded as an :class:`AuditRule`; rules
+emit :class:`AuditFinding` objects graded on the Statistical Rigor QA
+verdict scale (``pass``/``minor``/``major``/``fail``), and an
+:class:`AuditReport` folds the findings of one audited result set into
+a single verdict that gates reporting and persistence.
+
+Rules receive an :class:`AuditContext` — a uniform, duck-typed view of
+whatever artifact is under audit — and check only the fields they
+understand, so one catalogue serves models, CV runs, scenario results,
+campaigns and online sessions alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.reporting import (
+    SEVERITY_FAIL,
+    SEVERITY_MAJOR,
+    SEVERITY_MINOR,
+    SEVERITY_PASS,
+    BaseFinding,
+    severity_rank,
+    worst_severity,
+)
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "AuditRule",
+    "AuditContext",
+    "AuditGateError",
+    "VERDICTS",
+]
+
+#: Verdict scale, least to most severe (shared with
+#: :mod:`repro.reporting`; re-exported here because it is the audit
+#: layer's primary vocabulary).
+VERDICTS = (SEVERITY_PASS, SEVERITY_MINOR, SEVERITY_MAJOR, SEVERITY_FAIL)
+
+
+class AuditGateError(RuntimeError):
+    """A ``fail``-verdict artifact hit a strict audit gate.
+
+    Raised by consumers that refuse to proceed on failed audits — most
+    prominently strict-mode model persistence
+    (:func:`repro.core.persistence.save_model`).
+    """
+
+
+@dataclass(frozen=True, order=True)
+class AuditFinding(BaseFinding):
+    """One diagnostic: a rigor rule violated by a fitted artifact."""
+
+    artifact: str
+    """Which audited artifact tripped the rule (e.g. ``model``,
+    ``scenario:3:cv-all``, ``campaign``)."""
+    rule_id: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in (SEVERITY_MINOR, SEVERITY_MAJOR, SEVERITY_FAIL):
+            raise ValueError(
+                f"finding severity must be minor/major/fail, got "
+                f"{self.severity!r}"
+            )
+
+    def format(self) -> str:
+        return (
+            f"{self.artifact}: {self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "artifact": self.artifact,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Verdict-graded account of one audit pass.
+
+    ``verdict`` is the worst finding severity (``pass`` for an empty
+    finding set) — the single value reporting and persistence gate on.
+    """
+
+    findings: Tuple[AuditFinding, ...]
+    artifacts: Tuple[str, ...] = ()
+    """Labels of every artifact the pass examined (also the ones that
+    produced no findings — an empty report over zero artifacts is
+    vacuous, not a pass)."""
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def verdict(self) -> str:
+        return worst_severity([f.severity for f in self.findings])
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def findings_for(self, artifact: str) -> Tuple[AuditFinding, ...]:
+        return tuple(f for f in self.findings if f.artifact == artifact)
+
+    def worst_at_least(self, severity: str) -> bool:
+        """True when the verdict reaches the given severity."""
+        return severity_rank(self.verdict) >= severity_rank(severity)
+
+    def gate_passed(self, *, strict: bool = False) -> bool:
+        """The exit-code gate: strict rejects any non-``pass`` verdict,
+        the default rejects ``major``/``fail``."""
+        if strict:
+            return self.verdict == SEVERITY_PASS
+        return not self.worst_at_least(SEVERITY_MAJOR)
+
+    def merged(self, other: "AuditReport") -> "AuditReport":
+        """Union of two passes (deduplicated, sorted)."""
+        return AuditReport(
+            findings=tuple(sorted(set(self.findings + other.findings))),
+            artifacts=tuple(dict.fromkeys(self.artifacts + other.artifacts)),
+            rules_run=tuple(dict.fromkeys(self.rules_run + other.rules_run)),
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line account."""
+        lines = [
+            f"audit verdict: {self.verdict} "
+            f"({len(self.findings)} finding"
+            f"{'s' if len(self.findings) != 1 else ''} over "
+            f"{len(self.artifacts)} artifact"
+            f"{'s' if len(self.artifacts) != 1 else ''})"
+        ]
+        lines.extend(f"  {f.format()}" for f in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "artifacts": list(self.artifacts),
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "count": len(self.findings),
+        }
+
+
+@dataclass
+class AuditContext:
+    """Duck-typed view of one audited artifact.
+
+    Every field is optional; a rule checks only the fields it
+    understands and stays silent on artifacts that do not carry them.
+    The builders in :mod:`repro.audit.engine` populate contexts from
+    the concrete result types (``FittedPowerModel``, ``WorkflowResult``,
+    ``CampaignReport``, ``DriftReport``, …) without this module ever
+    importing them — the audit layer must not depend on the layers it
+    audits.
+    """
+
+    artifact: str
+    kind: str = "model"
+    """``model`` / ``cv`` / ``scenario`` / ``selection`` / ``campaign``
+    / ``drift`` / ``workflow``."""
+
+    # --- regression-fit view -------------------------------------------
+    ols: Optional[object] = None
+    """An ``OLSResult``-shaped object (params/bse/residuals/rsquared)."""
+    exog: Optional[object] = None
+    """Design matrix the fit ran on (needed for BP/leverage checks)."""
+    estimator: str = "ols"
+    cov_type: Optional[str] = None
+    r2: Optional[float] = None
+    mape_pct: Optional[float] = None
+
+    # --- cross-validation view -----------------------------------------
+    n_samples: Optional[int] = None
+    n_params: Optional[int] = None
+    n_splits: Optional[int] = None
+    fold_mapes: Tuple[float, ...] = ()
+
+    # --- pipeline-artifact view ----------------------------------------
+    selection: Optional[object] = None
+    """A ``SelectionResult``-shaped object (steps with mean_vif)."""
+    campaign: Optional[object] = None
+    """A ``CampaignReport``-shaped object."""
+    drift: Optional[object] = None
+    """A ``DriftReport``-shaped object."""
+    warnings: Tuple[str, ...] = ()
+    """Degraded-data provenance notes attached to the artifact."""
+    has_ci: Optional[bool] = None
+    """Whether the artifact reports interval estimates next to points;
+    ``None`` derives it from ``ols.bse`` when available."""
+
+
+class AuditRule:
+    """Base class: subclasses set ``id``, ``name``, ``description`` and
+    implement :meth:`check`."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: AuditContext, config) -> List[AuditFinding]:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(
+        self, ctx: AuditContext, severity: str, message: str
+    ) -> AuditFinding:
+        return AuditFinding(
+            artifact=ctx.artifact,
+            rule_id=self.id,
+            severity=severity,
+            message=message,
+        )

@@ -12,9 +12,10 @@ estimation all work on the restored object.
 from __future__ import annotations
 
 import json
+import warnings as _warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -91,9 +92,64 @@ def model_from_dict(payload: Dict) -> FittedPowerModel:
     )
 
 
-def save_model(model: FittedPowerModel, path: Union[str, Path]) -> None:
+def _audit_gate(
+    model: FittedPowerModel, audit, gate: Optional[str]
+) -> None:
+    """Refuse (strict) or warn (warn) on persisting a fail-verdict model.
+
+    A model whose audit verdict is ``fail`` — a numerically perfect or
+    invalid fit — must not reach deployment silently: once serialized,
+    the residuals and design that would reveal the problem are gone.
+    """
+    from repro.audit import (
+        PERSISTENCE_MODES,
+        AuditConfig,
+        AuditGateError,
+        audit_model,
+    )
+
+    config = AuditConfig.load()
+    mode = gate if gate is not None else config.persistence_mode
+    if mode not in PERSISTENCE_MODES:
+        raise ValueError(
+            f"gate must be one of {PERSISTENCE_MODES}, got {mode!r}"
+        )
+    if mode == "off":
+        return
+    report = audit if audit is not None else audit_model(model, config=config)
+    if not report.worst_at_least("fail"):
+        return
+    detail = "; ".join(f.format() for f in report.findings)
+    message = (
+        f"model audit verdict is {report.verdict!r}: {detail}"
+    )
+    if mode == "strict":
+        raise AuditGateError(message)
+    _warnings.warn(
+        f"persisting a fail-verdict model anyway (gate={mode!r}): "
+        f"{message}",
+        stacklevel=3,
+    )
+
+
+def save_model(
+    model: FittedPowerModel,
+    path: Union[str, Path],
+    *,
+    audit=None,
+    gate: Optional[str] = None,
+) -> None:
     """Write the model to a JSON file (atomically: a crash mid-write
-    must never leave a half-serialized model for deployment to load)."""
+    must never leave a half-serialized model for deployment to load).
+
+    Persistence is audit-gated: ``gate`` (default: the
+    ``persistence-mode`` of ``[tool.repro.audit]``, ``warn`` when
+    unconfigured) decides what a ``fail`` audit verdict does — ``off``
+    ignores it, ``warn`` emits a warning, ``strict`` raises
+    :class:`~repro.audit.AuditGateError` and writes nothing.  Pass a
+    precomputed ``audit`` report to skip re-auditing.
+    """
+    _audit_gate(model, audit, gate)
     atomic_write_text(Path(path), json.dumps(model_to_dict(model), indent=2) + "\n")
 
 

@@ -196,11 +196,13 @@ def cv_out_of_fold_predictions(
             dataset.power_w, design_matrix(dataset, list(counters))
         )
         outcomes = []
+        n_declined = 0
         for train, test in splits:
             fit = solver.solve_fold(train, test)
             if fit is None:
                 # Not fast-eligible (degraded/degenerate fold): exact
                 # slow-path fit with its historical errors.
+                n_declined += 1
                 outcomes.append(
                     _cv_fold_worker(
                         (dataset, tuple(counters), cov_type, estimator,
@@ -218,6 +220,14 @@ def cv_out_of_fold_predictions(
                     {"r2": fit.rsquared, "adj_r2": fit.rsquared_adj},
                     n_zero,
                 )
+            )
+        if n_declined and issues is not None:
+            # Declines mean borderline-degenerate fold designs — a
+            # data-quality signal the audit layer (AU011) grades, so it
+            # is recorded as provenance, not just lost to the fallback.
+            issues.append(
+                f"fastfit: {n_declined}/{len(splits)} fold(s) fell back "
+                "to the exact fit path"
             )
     else:
         # Fold fits are sub-millisecond: the small-task guard keeps

@@ -15,11 +15,12 @@ model size.  Degradation is surfaced, never swallowed — see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.acquisition.campaign import run_campaign
 from repro.acquisition.dataset import PowerDataset
+from repro.audit.framework import AuditReport
 from repro.core.model import FittedPowerModel, PowerModel
 from repro.core.scenarios import ScenarioResult, scenario_cv_all
 from repro.core.selection import SelectionResult, select_events
@@ -56,6 +57,10 @@ class WorkflowResult:
     timing: Optional[TimingReport] = None
     """Per-stage wall time (monotonic clock); not part of the modeled
     output, so bit-identity comparisons must exclude it."""
+    audit: Optional[AuditReport] = None
+    """Statistical-rigor audit (:mod:`repro.audit`) of the model,
+    selection and validation artifacts; ``None`` only when the caller
+    opted out with ``audit=False``."""
 
     @property
     def selected_counters(self) -> Tuple[str, ...]:
@@ -81,6 +86,11 @@ class WorkflowResult:
         ]
         if self.diagnostics is not None and not self.diagnostics.clean:
             rows.append(f"  fit diagnostics:   {self.diagnostics.summary()}")
+        if self.audit is not None:
+            rows.append(
+                f"  audit verdict:     {self.audit.verdict} "
+                f"({len(self.audit.findings)} finding(s))"
+            )
         for w in self.warnings:
             rows.append(f"  warning: {w}")
         if self.timing is not None and self.timing.stages:
@@ -104,6 +114,7 @@ def run_workflow(
     parallel: Optional[str] = None,
     max_workers: Optional[int] = None,
     fast: Optional[bool] = None,
+    audit: bool = True,
 ) -> WorkflowResult:
     """Run the complete methodology of the paper.
 
@@ -140,6 +151,10 @@ def run_workflow(
         the exact per-fit path.  Selected counters and warnings are
         identical either way, fit statistics agree within 1e-9
         relative tolerance.
+    audit:
+        Run the :mod:`repro.audit` statistical-rigor pass over the
+        produced artifacts and attach the report (default on; the pass
+        is read-only and costs milliseconds next to acquisition).
     """
     platform = platform or Platform(seed=seed)
     if selection_frequency_mhz not in frequencies_mhz:
@@ -254,7 +269,7 @@ def run_workflow(
             fast=fast,
         )
     run_warnings.extend(cv_issues)
-    return WorkflowResult(
+    result = WorkflowResult(
         selection_dataset=selection_ds,
         full_dataset=full,
         selection=selection,
@@ -263,3 +278,8 @@ def run_workflow(
         warnings=tuple(run_warnings),
         timing=timer.report(),
     )
+    if audit:
+        from repro.audit.engine import audit_workflow
+
+        result = replace(result, audit=audit_workflow(result))
+    return result

@@ -95,6 +95,13 @@ DEFAULT_PHYSICS_PATHS: Tuple[str, ...] = (
 DEFAULT_VERSION_FILE = "src/repro/experiments/data.py"
 DEFAULT_VERSION_SYMBOL = "DATA_VERSION"
 
+#: Audit-gated modules (RL011): files that render or persist fitted
+#: results and therefore must consult the :mod:`repro.audit` gate.
+DEFAULT_AUDIT_GATED_MODULES: Tuple[str, ...] = (
+    "*/core/report.py",
+    "*/core/persistence.py",
+)
+
 
 @dataclass
 class LintConfig:
@@ -115,6 +122,7 @@ class LintConfig:
     physics_paths: Tuple[str, ...] = DEFAULT_PHYSICS_PATHS
     version_file: str = DEFAULT_VERSION_FILE
     version_symbol: str = DEFAULT_VERSION_SYMBOL
+    audit_gated_modules: Tuple[str, ...] = DEFAULT_AUDIT_GATED_MODULES
 
     # ------------------------------------------------------------------
     def rule_enabled(self, rule_id: str) -> bool:
@@ -175,6 +183,7 @@ class LintConfig:
             ("parallel-modules", "parallel_modules"),
             ("fastfit-hot-modules", "fastfit_hot_modules"),
             ("physics-paths", "physics_paths"),
+            ("audit-gated-modules", "audit_gated_modules"),
         ):
             if toml_key in section:
                 setattr(cfg, attr, tuple(str(v) for v in section[toml_key]))

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.reporting import BaseFinding
+
 __all__ = [
     "Finding",
     "Rule",
@@ -46,8 +48,13 @@ PARSE_ERROR_ID = "RL000"
 
 
 @dataclass(frozen=True, order=True)
-class Finding:
-    """One diagnostic: a rule violated at a source location."""
+class Finding(BaseFinding):
+    """One diagnostic: a rule violated at a source location.
+
+    Shares the :class:`repro.reporting.BaseFinding` contract with the
+    audit layer's findings; every lint finding is gate-failing, so the
+    inherited ``major`` severity stands.
+    """
 
     path: str
     line: int

@@ -1,40 +1,28 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Thin wrappers over the shared :mod:`repro.reporting` renderers — the
+report shapes (summary line, JSON payload, exit codes) are common to
+``replint`` and ``repraudit`` and live there.
+"""
 
 from __future__ import annotations
 
-import json
-from collections import Counter
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.lint.framework import Finding
+from repro.reporting import render_json_report, render_text_report
 
 __all__ = ["render_text", "render_json"]
 
 
 def render_text(findings: Sequence[Finding], *, files_checked: int) -> str:
     """flake8-style ``path:line:col: RLxxx message`` lines + summary."""
-    lines: List[str] = [f.format() for f in findings]
-    if findings:
-        by_rule = Counter(f.rule_id for f in findings)
-        breakdown = ", ".join(
-            f"{rule} ×{count}" for rule, count in sorted(by_rule.items())
-        )
-        lines.append("")
-        lines.append(
-            f"replint: {len(findings)} finding"
-            f"{'s' if len(findings) != 1 else ''} in {files_checked} files "
-            f"({breakdown})"
-        )
-    else:
-        lines.append(f"replint: clean ({files_checked} files)")
-    return "\n".join(lines)
+    return render_text_report(
+        "replint", findings, checked=files_checked, noun="files"
+    )
 
 
 def render_json(findings: Sequence[Finding], *, files_checked: int) -> str:
-    payload = {
-        "version": 1,
-        "files_checked": files_checked,
-        "findings": [f.to_dict() for f in findings],
-        "count": len(findings),
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return render_json_report(
+        findings, checked=files_checked, checked_key="files_checked"
+    )

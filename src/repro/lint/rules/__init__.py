@@ -15,6 +15,7 @@ from repro.lint.rules.rl007_silent_except import SilentBroadExcept
 from repro.lint.rules.rl008_raw_linalg import NoRawLinalgSolvers
 from repro.lint.rules.rl009_parallel_primitives import NoRawParallelPrimitives
 from repro.lint.rules.rl010_hot_loop_fit import NoHotLoopRefit
+from repro.lint.rules.rl011_unaudited_report import NoUnauditedReport
 
 __all__ = [
     "all_rules",
@@ -28,6 +29,7 @@ __all__ = [
     "NoRawLinalgSolvers",
     "NoRawParallelPrimitives",
     "NoHotLoopRefit",
+    "NoUnauditedReport",
 ]
 
 
@@ -44,4 +46,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NoRawLinalgSolvers(),
         NoRawParallelPrimitives(),
         NoHotLoopRefit(),
+        NoUnauditedReport(),
     ]

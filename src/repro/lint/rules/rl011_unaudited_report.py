@@ -1,0 +1,69 @@
+"""RL011 — modules that report or persist fitted results must consult
+the audit gate.
+
+The statistical-rigor audit (:mod:`repro.audit`, DESIGN.md §13) only
+protects results that actually pass through it.  The configured
+``audit-gated-modules`` — by default the table renderer
+(``core/report.py``) and model persistence (``core/persistence.py``) —
+are the two spots where a fitted result leaves the pipeline for human
+eyes or deployment, so each must import ``repro.audit`` (the gate
+check, the verdict renderer, or the report type) somewhere in the
+file.  A gated module with no such import is a path by which an
+unaudited R² or a fail-verdict model escapes the repository.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding
+
+__all__ = ["NoUnauditedReport"]
+
+_GATE_PACKAGE = "repro.audit"
+
+
+def _imports_gate(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name == _GATE_PACKAGE
+                or alias.name.startswith(_GATE_PACKAGE + ".")
+                for alias in node.names
+            ):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == _GATE_PACKAGE or mod.startswith(_GATE_PACKAGE + "."):
+                return True
+    return False
+
+
+class NoUnauditedReport(FileRule):
+    id = "RL011"
+    name = "no-unaudited-report"
+    description = (
+        "result-reporting/persistence modules must consult the "
+        "repro.audit gate; an unaudited exit path lets fail-verdict "
+        "results escape"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if not ctx.config.path_matches_any(
+            ctx.posix_path, ctx.config.audit_gated_modules
+        ):
+            return []
+        if _imports_gate(ctx.tree):
+            return []
+        return [
+            ctx.finding(
+                self,
+                ctx.tree,
+                f"{ctx.posix_path.rsplit('/', 1)[-1]} reports or "
+                "persists fitted results but never imports repro.audit; "
+                "route results through the audit gate (render_audit / "
+                "save_model's gate) so no unaudited number leaves the "
+                "pipeline",
+            )
+        ]

@@ -1,0 +1,156 @@
+"""Shared finding/severity vocabulary of the repo's analysis gates.
+
+Two gates watch this repository: ``replint`` (static analysis over
+*source trees*, :mod:`repro.lint`) and ``repraudit`` (statistical-rigor
+analysis over *fitted artifacts*, :mod:`repro.audit`).  Both emit
+one-line diagnostics, render text and JSON reports, and exit with the
+same convention — so the shared shapes live here, in one small module
+both import, instead of drifting apart in two copies.
+
+Exit-code convention (both CLIs)
+--------------------------------
+* ``0`` — clean, or no finding at/above the gating severity;
+* ``1`` — findings that fail the gate;
+* ``2`` — usage or I/O error (bad path, unreadable input).
+
+Severity scale
+--------------
+Lint findings are all gate-failing by construction (a violated source
+invariant has no "minor" reading), so :class:`BaseFinding` defaults to
+``major``.  Audit findings grade along the full
+``pass < minor < major < fail`` scale of the Statistical Rigor QA
+verdict vocabulary; ``worst_severity`` folds a set of findings into the
+report-level verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "SEVERITY_PASS",
+    "SEVERITY_MINOR",
+    "SEVERITY_MAJOR",
+    "SEVERITY_FAIL",
+    "SEVERITY_ORDER",
+    "severity_rank",
+    "worst_severity",
+    "BaseFinding",
+    "render_text_report",
+    "render_json_report",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+SEVERITY_PASS = "pass"
+SEVERITY_MINOR = "minor"
+SEVERITY_MAJOR = "major"
+SEVERITY_FAIL = "fail"
+
+#: Verdict scale, least to most severe.  ``pass`` is the verdict of an
+#: empty finding set; individual findings carry the other three.
+SEVERITY_ORDER = (SEVERITY_PASS, SEVERITY_MINOR, SEVERITY_MAJOR, SEVERITY_FAIL)
+
+_RANK: Dict[str, int] = {s: i for i, s in enumerate(SEVERITY_ORDER)}
+
+
+def severity_rank(severity: str) -> int:
+    """Position of a severity on the scale (``pass``=0 … ``fail``=3)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITY_ORDER}"
+        ) from None
+
+
+def worst_severity(severities: Sequence[str]) -> str:
+    """The report-level verdict: worst severity present, else ``pass``."""
+    worst = SEVERITY_PASS
+    for s in severities:
+        if severity_rank(s) > severity_rank(worst):
+            worst = s
+    return worst
+
+
+class BaseFinding:
+    """Contract shared by lint and audit findings.
+
+    Subclasses are (frozen, ordered) dataclasses carrying at least
+    ``rule_id`` and ``message``; this mixin fixes the reporting
+    surface — one formatted line, one JSON-able dict, a severity —
+    so the renderers below work on either kind.
+    """
+
+    rule_id = ""
+    message = ""
+    #: Lint findings are uniformly gate-failing; audit findings carry a
+    #: per-finding grade as a dataclass field shadowing this default.
+    severity = SEVERITY_MAJOR
+
+    def format(self) -> str:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _breakdown(findings: Sequence[BaseFinding]) -> str:
+    by_rule = Counter(f.rule_id for f in findings)
+    return ", ".join(f"{rule} ×{count}" for rule, count in sorted(by_rule.items()))
+
+
+def render_text_report(
+    tool: str,
+    findings: Sequence[BaseFinding],
+    *,
+    checked: int,
+    noun: str = "files",
+    trailer: Optional[str] = None,
+) -> str:
+    """Formatted finding lines plus a one-line summary.
+
+    The summary reads ``<tool>: N findings in M <noun> (<per-rule
+    breakdown>)`` — or ``<tool>: clean (M <noun>)`` — exactly the shape
+    ``replint`` has always printed; ``repraudit`` appends its verdict
+    through ``trailer``.
+    """
+    lines: List[str] = [f.format() for f in findings]
+    if findings:
+        lines.append("")
+        lines.append(
+            f"{tool}: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} in {checked} {noun} "
+            f"({_breakdown(findings)})"
+        )
+    else:
+        lines.append(f"{tool}: clean ({checked} {noun})")
+    if trailer:
+        lines.append(trailer)
+    return "\n".join(lines)
+
+
+def render_json_report(
+    findings: Sequence[BaseFinding],
+    *,
+    checked: int,
+    checked_key: str = "files_checked",
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Machine-readable report (stable key order, version-stamped)."""
+    payload: Dict[str, object] = {
+        "version": 1,
+        checked_key: checked,
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)

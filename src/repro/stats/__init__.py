@@ -35,8 +35,15 @@ from repro.stats.crossval import (
     cross_validate,
 )
 from repro.stats.diagnostics import (
+    HeteroscedasticityTest,
+    NormalityTest,
     breusch_pagan,
     condition_number,
+    dagostino_k2,
+    jarque_bera,
+    leverage_scores,
+    max_leverage,
+    residual_normality,
     white_test,
 )
 from repro.stats.fastfit import (
@@ -47,6 +54,7 @@ from repro.stats.fastfit import (
 )
 from repro.stats.errors import (
     DegenerateDesignError,
+    DegenerateResidualsError,
     EstimationError,
     NonFiniteInputError,
     RobustFitError,
@@ -102,6 +110,7 @@ __all__ = [
     "NonFiniteInputError",
     "UnderdeterminedFitError",
     "DegenerateDesignError",
+    "DegenerateResidualsError",
     "RobustFitError",
     "variance_inflation_factor",
     "mean_vif",
@@ -129,6 +138,13 @@ __all__ = [
     "breusch_pagan",
     "white_test",
     "condition_number",
+    "HeteroscedasticityTest",
+    "NormalityTest",
+    "jarque_bera",
+    "dagostino_k2",
+    "residual_normality",
+    "leverage_scores",
+    "max_leverage",
     "add_constant",
     "lstsq_via_qr",
     "safe_pinv",

@@ -17,6 +17,7 @@ __all__ = [
     "NonFiniteInputError",
     "UnderdeterminedFitError",
     "DegenerateDesignError",
+    "DegenerateResidualsError",
     "RobustFitError",
 ]
 
@@ -48,6 +49,16 @@ class DegenerateDesignError(EstimationError):
     Raised only when direct solve, ridge and pseudo-inverse all fail to
     produce finite coefficients — in practice an all-zero or otherwise
     pathological design.
+    """
+
+
+class DegenerateResidualsError(EstimationError):
+    """A residual vector carries no distributional information.
+
+    Constant residuals (a numerically perfect or collapsed fit) have
+    zero variance: normality and heteroscedasticity statistics on them
+    are 0/0 forms.  The diagnostics refuse with this error instead of
+    silently propagating NaN into an audit verdict.
     """
 
 

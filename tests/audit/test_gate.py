@@ -1,0 +1,77 @@
+"""The persistence audit gate: fail-verdict models must not ship
+silently."""
+
+import numpy as np
+import pytest
+
+from repro.audit import AuditGateError, audit_model
+from repro.core.model import FittedPowerModel
+from repro.core.persistence import load_model, save_model
+from repro.stats.ols import fit_ols
+
+
+def _model(perfect: bool) -> FittedPowerModel:
+    """A counterless Equation 1 model (structural terms only), either
+    honestly noisy or suspiciously exact."""
+    from repro.core.features import feature_names
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(1.0, 10.0, size=(40, 3))
+    noise = np.zeros(40) if perfect else rng.normal(size=40)
+    y = x @ np.array([2.0, 3.0, 1.0]) + noise
+    ols = fit_ols(
+        y,
+        x,
+        intercept=False,
+        cov_type="HC3",
+        exog_names=feature_names(()),
+    )
+    return FittedPowerModel(counters=(), ols=ols, cov_type="HC3")
+
+
+class TestStrictGate:
+    def test_perfect_fit_audits_fail(self):
+        assert audit_model(_model(perfect=True)).verdict == "fail"
+
+    def test_strict_mode_refuses_fail_verdict(self, tmp_path):
+        path = tmp_path / "model.json"
+        with pytest.raises(AuditGateError, match="AU009"):
+            save_model(_model(perfect=True), path, gate="strict")
+        assert not path.exists()  # nothing may hit disk
+
+    def test_strict_mode_saves_a_sound_model(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(_model(perfect=False), path, gate="strict")
+        assert path.exists()
+
+    def test_warn_mode_warns_but_writes(self, tmp_path):
+        path = tmp_path / "model.json"
+        with pytest.warns(UserWarning, match="fail-verdict"):
+            save_model(_model(perfect=True), path, gate="warn")
+        assert path.exists()
+
+    def test_off_mode_is_silent(self, tmp_path, recwarn):
+        path = tmp_path / "model.json"
+        save_model(_model(perfect=True), path, gate="off")
+        assert path.exists()
+        assert len(recwarn) == 0
+
+    def test_unknown_gate_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="gate must be one of"):
+            save_model(_model(perfect=False), tmp_path / "m.json", gate="no")
+
+    def test_precomputed_audit_is_honoured(self, tmp_path):
+        model = _model(perfect=True)
+        report = audit_model(model)
+        with pytest.raises(AuditGateError):
+            save_model(
+                model, tmp_path / "m.json", audit=report, gate="strict"
+            )
+
+    def test_restored_fail_model_still_audits_fail(self, tmp_path):
+        """The verdict survives the round trip: a fail model forced to
+        disk (off gate) is still flagged when re-audited after load."""
+        path = tmp_path / "model.json"
+        save_model(_model(perfect=True), path, gate="off")
+        restored = load_model(path)
+        assert audit_model(restored).verdict == "fail"

@@ -169,6 +169,36 @@ class TestParallelChaos:
         ) == dataclasses.replace(campaign.report, timing=None)
 
 
+class TestChaosAudit:
+    """ISSUE-6 gate on the chaos path: a degraded acquisition run must
+    come out of the audit graded minor or major — never a silent pass."""
+
+    def test_campaign_audit_grades_degradation(self, campaign):
+        audit = campaign.report.audit
+        assert audit is not None
+        assert "campaign" in audit.artifacts
+        if campaign.report.clean:
+            assert audit.verdict == "pass"
+        else:
+            assert audit.worst_at_least("minor")
+            assert audit.verdict != "fail"  # degraded ≠ invalid
+            assert any(f.rule_id == "AU010" for f in audit.findings)
+            assert "audit verdict:" in campaign.report.summary()
+
+    def test_workflow_audit_attached_under_chaos(self, campaign):
+        result = run_workflow(
+            dataset=campaign.dataset,
+            n_events=3,
+            frequencies_mhz=FREQUENCIES,
+            robust=True,
+        )
+        assert result.audit is not None
+        # Chaos degrades quality, it does not fabricate perfection: the
+        # fit may be graded down, but a fail verdict here would mean the
+        # robust path produced a numerically bogus model.
+        assert result.audit.verdict != "fail"
+
+
 class TestFastFitChaos:
     """ISSUE-5 gate on the chaos path: the Gram-cache fast fit must be
     equivalent to the exact path on degraded campaign data too, for

@@ -18,6 +18,7 @@ from repro.lint.rules import (
     RequireAllowPickleFalse,
     NoHotLoopRefit,
     NoRawLinalgSolvers,
+    NoUnauditedReport,
     NoRawParallelPrimitives,
     SilentBroadExcept,
     UnitSuffixConsistency,
@@ -608,3 +609,66 @@ class TestRL010HotLoopRefit:
                 return out
         """
         assert run_rule(NoHotLoopRefit(), code, path=self.HOT) == []
+
+
+# ---------------------------------------------------------------------------
+class TestRL011UnauditedReport:
+    GATED = Path("src/repro/core/report.py")
+
+    def test_flags_gated_module_without_audit_import(self):
+        bad = """
+            def render_table(rows):
+                return "|".join(map(str, rows))
+        """
+        assert ids(run_rule(NoUnauditedReport(), bad, path=self.GATED)) == [
+            "RL011"
+        ]
+
+    def test_passes_with_audit_submodule_import(self):
+        good = """
+            from repro.audit.framework import AuditReport
+
+            def render_audit(report: AuditReport) -> str:
+                return report.verdict
+        """
+        assert run_rule(NoUnauditedReport(), good, path=self.GATED) == []
+
+    def test_passes_with_plain_package_import(self):
+        good = """
+            import repro.audit
+
+            def gate(model):
+                return repro.audit.audit_model(model).verdict
+        """
+        assert run_rule(NoUnauditedReport(), good, path=self.GATED) == []
+
+    def test_persistence_module_is_gated_by_default(self):
+        bad = """
+            import json
+
+            def save_model(model, path):
+                path.write_text(json.dumps(model))
+        """
+        gated = Path("src/repro/core/persistence.py")
+        assert ids(run_rule(NoUnauditedReport(), bad, path=gated)) == [
+            "RL011"
+        ]
+
+    def test_only_configured_modules_are_checked(self):
+        code = """
+            def helper():
+                return 1
+        """
+        cold = Path("src/repro/core/model.py")
+        assert run_rule(NoUnauditedReport(), code, path=cold) == []
+
+    def test_audit_lookalike_import_does_not_satisfy_gate(self):
+        bad = """
+            import repro.auditing_helpers
+
+            def render(rows):
+                return rows
+        """
+        assert ids(run_rule(NoUnauditedReport(), bad, path=self.GATED)) == [
+            "RL011"
+        ]

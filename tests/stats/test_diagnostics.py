@@ -1,9 +1,22 @@
-"""Unit tests for heteroscedasticity diagnostics and conditioning."""
+"""Unit tests for regression diagnostics: heteroscedasticity,
+normality, conditioning, leverage and the degenerate-input contract."""
 
 import numpy as np
 import pytest
 
 from repro.stats import breusch_pagan, condition_number, fit_ols, white_test
+from repro.stats.diagnostics import (
+    dagostino_k2,
+    jarque_bera,
+    leverage_scores,
+    max_leverage,
+    residual_normality,
+)
+from repro.stats.errors import (
+    DegenerateResidualsError,
+    NonFiniteInputError,
+    UnderdeterminedFitError,
+)
 
 
 def _fit_residuals(rng, heteroscedastic: bool, n=2000):
@@ -62,3 +75,101 @@ class TestConditionNumber:
         assert condition_number(scaled) == pytest.approx(
             condition_number(x), rel=1e-6
         )
+
+
+class TestNormality:
+    def test_jb_accepts_gaussian(self, rng):
+        test = jarque_bera(rng.normal(size=500))
+        assert not test.rejects_normality(0.01)
+        assert test.n == 500
+
+    def test_jb_rejects_heavy_tails(self, rng):
+        test = jarque_bera(rng.standard_t(df=2, size=500))
+        assert test.rejects_normality(0.01)
+        assert test.excess_kurtosis > 0.0
+
+    def test_jb_reports_skew_sign(self, rng):
+        test = jarque_bera(rng.exponential(size=500))
+        assert test.skewness > 0.0
+        assert test.rejects_normality(0.01)
+
+    def test_k2_agrees_with_jb_on_gaussian(self, rng):
+        r = rng.normal(size=300)
+        assert not dagostino_k2(r).rejects_normality(0.01)
+        assert not jarque_bera(r).rejects_normality(0.01)
+
+    def test_k2_minimum_n_enforced(self, rng):
+        with pytest.raises(UnderdeterminedFitError, match="at least 8"):
+            dagostino_k2(rng.normal(size=7))
+
+    def test_dispatch_by_name(self, rng):
+        r = rng.normal(size=100)
+        assert residual_normality(r).name == "jarque-bera"
+        assert residual_normality(r, "dagostino-k2").name == "dagostino-k2"
+
+    def test_dispatch_rejects_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="method must be one of"):
+            residual_normality(rng.normal(size=100), "shapiro")
+
+
+class TestLeverage:
+    def test_balanced_design_is_flat(self, rng):
+        x = np.column_stack([np.ones(50), rng.normal(size=50)])
+        h = leverage_scores(x)
+        assert h.shape == (50,)
+        assert np.all(h >= 0.0) and np.all(h <= 1.0)
+        assert np.sum(h) == pytest.approx(2.0, rel=1e-8)  # trace = k
+
+    def test_outlier_row_dominates(self, rng):
+        x = np.column_stack([np.ones(30), rng.normal(size=30)])
+        x[0, 1] = 100.0  # a lone extreme point pins the fit
+        h = leverage_scores(x)
+        assert np.argmax(h) == 0
+        assert max_leverage(x) > 0.9
+
+    def test_underdetermined_design_rejected(self, rng):
+        with pytest.raises(UnderdeterminedFitError, match="n ≥ k"):
+            leverage_scores(rng.normal(size=(3, 5)))
+
+
+class TestDegenerateInputContract:
+    """Diagnostics fail with the typed taxonomy, never silent NaN."""
+
+    def test_constant_residuals_typed_error(self):
+        with pytest.raises(DegenerateResidualsError, match="constant"):
+            jarque_bera(np.zeros(50))
+
+    def test_nan_residuals_typed_error(self, rng):
+        r = rng.normal(size=50)
+        r[7] = np.nan
+        with pytest.raises(NonFiniteInputError, match="non-finite"):
+            jarque_bera(r)
+
+    def test_too_few_residuals_typed_error(self):
+        with pytest.raises(UnderdeterminedFitError, match="at least"):
+            jarque_bera(np.array([0.1, -0.2, 0.3]))
+
+    def test_bp_rejects_nan_exog(self, rng):
+        resid, x = _fit_residuals(rng, heteroscedastic=False, n=100)
+        x = x.copy()
+        x[3, 1] = np.inf
+        with pytest.raises(NonFiniteInputError, match="exog"):
+            breusch_pagan(resid, x)
+
+    def test_bp_needs_residual_dof(self, rng):
+        # n = k+2 used to produce a vacuous LM = 0; now it is an error.
+        x = rng.normal(size=(4, 2))
+        with pytest.raises(UnderdeterminedFitError):
+            breusch_pagan(rng.normal(size=4), x)
+
+    def test_white_constant_design_typed_error(self):
+        resid = np.array([0.1, -0.2, 0.3, -0.1, 0.2, -0.3])
+        x = np.ones((6, 2))
+        with pytest.raises(DegenerateResidualsError, match="auxiliary"):
+            white_test(resid, x)
+
+    def test_condition_number_rejects_nan(self, rng):
+        x = rng.normal(size=(20, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(NonFiniteInputError):
+            condition_number(x)
