@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -38,7 +39,11 @@ from typing import (
     Union,
 )
 
-from repro.acquisition.checkpoint import CampaignCheckpoint, cell_id
+from repro.acquisition.checkpoint import (
+    CampaignCheckpoint,
+    ShardedManifest,
+    cell_id,
+)
 from repro.acquisition.dataset import PowerDataset
 from repro.audit.framework import AuditReport
 from repro.acquisition.postprocess import (
@@ -72,6 +77,31 @@ __all__ = [
 ]
 
 ProgressFn = Callable[[str], None]
+
+
+def _call_progress(
+    progress: Optional[ProgressFn],
+    message: str,
+    errors: Optional[List[str]] = None,
+) -> None:
+    """Invoke a progress observer without letting it kill acquisition.
+
+    A campaign observer is telemetry, not control flow: a buggy one
+    must never abort a multi-day measurement session.  Its exception is
+    recorded (``errors`` and a ``RuntimeWarning``) and acquisition
+    continues.  ``BaseException`` — ``KeyboardInterrupt`` above all —
+    still propagates: an operator interrupt delivered through an
+    observer must stop the campaign (checkpoint/resume covers it).
+    """
+    if progress is None:
+        return
+    try:
+        progress(message)
+    except Exception as exc:
+        note = f"progress hook raised {type(exc).__name__}: {exc}"
+        if errors is not None:
+            errors.append(note)
+        warnings.warn(note, RuntimeWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -135,6 +165,8 @@ class Campaign:
         self.event_sets: List[EventSet] = schedule_events(
             plan.events, platform.cfg
         )
+        #: Observer-hook exceptions survived (see :func:`_call_progress`).
+        self._hook_errors: List[str] = []
 
     @property
     def runs_per_experiment(self) -> int:
@@ -214,9 +246,11 @@ class Campaign:
                     cell.workload.name, cell.frequency_mhz, cell.threads
                 )
                 if progress is not None and experiment != last_announced:
-                    progress(
+                    _call_progress(
+                        progress,
                         f"{cell.workload.name} @ {cell.frequency_mhz} MHz, "
-                        f"{cell.threads} threads"
+                        f"{cell.threads} threads",
+                        self._hook_errors,
                     )
                     last_announced = experiment
                 profiles.extend(self.execute_cell(cell))
@@ -229,9 +263,11 @@ class Campaign:
                     cell.workload.name, cell.frequency_mhz, cell.threads
                 )
                 if experiment != last_announced:
-                    progress(
+                    _call_progress(
+                        progress,
                         f"{cell.workload.name} @ {cell.frequency_mhz} MHz, "
-                        f"{cell.threads} threads"
+                        f"{cell.threads} threads",
+                        self._hook_errors,
                     )
                     last_announced = experiment
         per_cell = self.executor.map(self.execute_cell, cells)
@@ -346,6 +382,16 @@ class CampaignReport:
     """Counters excluded from the dataset for insufficient coverage."""
     degraded_phases: int
     """Merged phases dropped for missing one of the kept counters."""
+    hook_errors: Tuple[str, ...] = ()
+    """Exceptions raised by progress/observer hooks and survived.  A
+    bad observer never aborts acquisition (it is telemetry, not control
+    flow) but the campaign accounts for the breakage."""
+    scheduling: Optional[object] = None
+    """:class:`repro.sched.ProgressReport` when the campaign ran under
+    the cluster scheduler: per-node throughput, reassignment counts,
+    quarantined placements.  ``None`` for local campaigns.  Scheduling
+    is capacity accounting only — it never influences the dataset,
+    which stays a pure function of ``(root_seed, cell)``."""
     timing: Optional[TimingReport] = None
     """Per-stage wall time (monotonic clock).  Excluded from bit-identity
     comparisons — wall time legitimately differs between backends."""
@@ -394,8 +440,13 @@ class CampaignReport:
                 f"degraded: {self.degraded_phases} phases dropped for "
                 f"incomplete counter coverage"
             )
+        if self.hook_errors:
+            lines.append(f"hook errors survived ({len(self.hook_errors)}):")
+            lines.extend(f"  {err}" for err in self.hook_errors)
         if self.clean:
             lines.append("no faults observed — clean campaign")
+        if self.scheduling is not None:
+            lines.extend(self.scheduling.summary())
         if self.audit is not None and not self.audit.clean:
             lines.append(f"audit verdict: {self.audit.verdict}")
         if self.timing is not None and self.timing.stages:
@@ -484,7 +535,9 @@ class ResilientCampaign(Campaign):
         self.min_counter_coverage = min_counter_coverage
         self.validate = validate
         self.sleep_fn = sleep_fn
-        self.checkpoint: Optional[CampaignCheckpoint] = None
+        self.checkpoint: Optional[
+            Union[CampaignCheckpoint, ShardedManifest]
+        ] = None
         if checkpoint_dir is not None:
             self.checkpoint = CampaignCheckpoint(
                 checkpoint_dir, self.fingerprint()
@@ -588,8 +641,9 @@ class ResilientCampaign(Campaign):
         resumed: Dict[int, List[PhaseProfile]] = {}
         for i, cell in enumerate(cells):
             cid = cell_id(*cell.key, self.plan.events)
-            if progress is not None:
-                progress(f"cell {cell.describe()}")
+            _call_progress(
+                progress, f"cell {cell.describe()}", self._hook_errors
+            )
             if self.checkpoint is not None:
                 stored = self.checkpoint.load(cid)
                 if stored is not None:
@@ -617,8 +671,9 @@ class ResilientCampaign(Campaign):
         cids = [cell_id(*cell.key, self.plan.events) for cell in cells]
         resumed: Dict[int, List[PhaseProfile]] = {}
         for i, cell in enumerate(cells):
-            if progress is not None:
-                progress(f"cell {cell.describe()}")
+            _call_progress(
+                progress, f"cell {cell.describe()}", self._hook_errors
+            )
             if self.checkpoint is not None:
                 stored = self.checkpoint.load(cids[i])
                 if stored is not None:
@@ -639,6 +694,22 @@ class ResilientCampaign(Campaign):
             outcomes[i] = outcome
         return outcomes, resumed
 
+    def _acquire(
+        self, cells: List[CampaignCell], progress: Optional[ProgressFn]
+    ) -> Tuple[List[Optional[_CellOutcome]], Dict[int, List[PhaseProfile]]]:
+        """Acquisition stage: one outcome per cell (``None`` = resumed)
+        plus the resumed profiles by cell index.  The scheduler
+        subclass overrides this with cluster placement; accounting and
+        merging stay in :meth:`run`."""
+        if self.executor.kind == "serial":
+            return self._run_cells_serial(cells, progress)
+        return self._run_cells_parallel(cells, progress)
+
+    def _report_extras(self) -> Dict[str, object]:
+        """Extra :class:`CampaignReport` fields from subclasses (the
+        scheduler attaches its ``scheduling`` progress report here)."""
+        return {}
+
     def run(self, progress: Optional[ProgressFn] = None) -> CampaignResult:
         """Fault-tolerant campaign: retry, quarantine, checkpoint,
         merge with graceful degradation, and report.
@@ -653,19 +724,13 @@ class ResilientCampaign(Campaign):
         retries = 0
         completed = 0
         backoff_s = 0.0
+        self._hook_errors = []
         cells = self.cells()
         timer = StageTimer()
         with timer.stage(
             "acquisition", n_items=len(cells), executor=self.executor
         ):
-            if self.executor.kind == "serial":
-                outcomes, resumed_profiles = self._run_cells_serial(
-                    cells, progress
-                )
-            else:
-                outcomes, resumed_profiles = self._run_cells_parallel(
-                    cells, progress
-                )
+            outcomes, resumed_profiles = self._acquire(cells, progress)
         resumed = len(resumed_profiles)
         completed += resumed
         for i, (cell, outcome) in enumerate(zip(cells, outcomes)):
@@ -723,7 +788,9 @@ class ResilientCampaign(Campaign):
             counter_coverage=coverage,
             dropped_counters=dropped_counters,
             degraded_phases=degraded_phases,
+            hook_errors=tuple(self._hook_errors),
             timing=timer.report(),
+            **self._report_extras(),
         )
         from repro.audit.engine import audit_campaign
 

@@ -46,11 +46,21 @@ import numpy as np
 from repro.io.atomic import atomic_savez, atomic_write_json
 from repro.tracing.phases import PhaseProfile
 
-__all__ = ["CHECKPOINT_FORMAT", "CampaignCheckpoint", "cell_id"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "SHARD_FORMAT",
+    "CampaignCheckpoint",
+    "ShardedManifest",
+    "cell_id",
+]
 
 #: Bump when the cell archive layout changes; old checkpoints are
 #: discarded, never misread.
 CHECKPOINT_FORMAT = 1
+
+#: Bump when the shard archive layout changes; old shard stores are
+#: discarded, never misread.
+SHARD_FORMAT = 1
 
 #: Errors that mean "this on-disk artifact is corrupt, not a bug".
 _CORRUPT_ERRORS = (
@@ -170,32 +180,10 @@ class CampaignCheckpoint:
     # ------------------------------------------------------------------
     def store(self, cid: str, profiles: Sequence[PhaseProfile]) -> None:
         """Atomically persist one completed cell's profiles."""
-        names = sorted({c for p in profiles for c in p.counter_rates_per_s})
-        rates = np.full((len(profiles), len(names)), np.nan)
-        for i, p in enumerate(profiles):
-            for j, name in enumerate(names):
-                if name in p.counter_rates_per_s:
-                    rates[i, j] = p.counter_rates_per_s[name]
         atomic_savez(
             self.cell_path(cid),
             format=np.array(CHECKPOINT_FORMAT),
-            workload=np.array([p.workload for p in profiles]),
-            suite=np.array([p.suite for p in profiles]),
-            frequency_mhz=np.array(
-                [p.frequency_mhz for p in profiles], dtype=np.int64
-            ),
-            threads=np.array([p.threads for p in profiles], dtype=np.int64),
-            run_index=np.array([p.run_index for p in profiles], dtype=np.int64),
-            phase_name=np.array([p.phase_name for p in profiles]),
-            start_s=np.array([p.start_s for p in profiles]),
-            end_s=np.array([p.end_s for p in profiles]),
-            active_threads=np.array(
-                [p.active_threads for p in profiles], dtype=np.int64
-            ),
-            power_w=np.array([p.power_w for p in profiles]),
-            voltage_v=np.array([p.voltage_v for p in profiles]),
-            counter_names=np.array(names),
-            counter_rates_per_s=rates,
+            **_pack_profiles(profiles),
         )
 
     def load(self, cid: str) -> Optional[List[PhaseProfile]]:
@@ -215,30 +203,10 @@ class CampaignCheckpoint:
                     raise ValueError("unknown checkpoint cell format")
                 names = [str(c) for c in data["counter_names"]]
                 rates = data["counter_rates_per_s"]
-                profiles = []
-                for i in range(rates.shape[0]):
-                    row = {
-                        name: float(rates[i, j])
-                        for j, name in enumerate(names)
-                        if not np.isnan(rates[i, j])
-                    }
-                    profiles.append(
-                        PhaseProfile(
-                            workload=str(data["workload"][i]),
-                            suite=str(data["suite"][i]),
-                            frequency_mhz=int(data["frequency_mhz"][i]),
-                            threads=int(data["threads"][i]),
-                            run_index=int(data["run_index"][i]),
-                            phase_name=str(data["phase_name"][i]),
-                            start_s=float(data["start_s"][i]),
-                            end_s=float(data["end_s"][i]),
-                            active_threads=int(data["active_threads"][i]),
-                            power_w=float(data["power_w"][i]),
-                            voltage_v=float(data["voltage_v"][i]),
-                            counter_rates_per_s=row,
-                        )
-                    )
-                return profiles
+                return [
+                    _unpack_profile(data, names, rates, i)
+                    for i in range(rates.shape[0])
+                ]
         except _CORRUPT_ERRORS as exc:
             try:
                 path.unlink()
@@ -254,3 +222,256 @@ class CampaignCheckpoint:
                     f"{path.name} vanished during corrupt-cell discard",
                 )
             return None
+
+
+# ---------------------------------------------------------------------------
+# sharded manifests
+# ---------------------------------------------------------------------------
+
+
+def _pack_profiles(profiles: Sequence[PhaseProfile]) -> Dict[str, np.ndarray]:
+    """Profile scalars as parallel arrays plus the NaN-marked rate
+    matrix — the archive layout shared by cell and shard stores."""
+    names = sorted({c for p in profiles for c in p.counter_rates_per_s})
+    rates = np.full((len(profiles), len(names)), np.nan)
+    for i, p in enumerate(profiles):
+        for j, name in enumerate(names):
+            if name in p.counter_rates_per_s:
+                rates[i, j] = p.counter_rates_per_s[name]
+    return {
+        "workload": np.array([p.workload for p in profiles]),
+        "suite": np.array([p.suite for p in profiles]),
+        "frequency_mhz": np.array(
+            [p.frequency_mhz for p in profiles], dtype=np.int64
+        ),
+        "threads": np.array([p.threads for p in profiles], dtype=np.int64),
+        "run_index": np.array([p.run_index for p in profiles], dtype=np.int64),
+        "phase_name": np.array([p.phase_name for p in profiles]),
+        "start_s": np.array([p.start_s for p in profiles]),
+        "end_s": np.array([p.end_s for p in profiles]),
+        "active_threads": np.array(
+            [p.active_threads for p in profiles], dtype=np.int64
+        ),
+        "power_w": np.array([p.power_w for p in profiles]),
+        "voltage_v": np.array([p.voltage_v for p in profiles]),
+        "counter_names": np.array(names),
+        "counter_rates_per_s": rates,
+    }
+
+
+def _unpack_profile(data, names: List[str], rates: np.ndarray, i: int) -> PhaseProfile:
+    """One profile row out of a packed archive."""
+    row = {
+        name: float(rates[i, j])
+        for j, name in enumerate(names)
+        if not np.isnan(rates[i, j])
+    }
+    return PhaseProfile(
+        workload=str(data["workload"][i]),
+        suite=str(data["suite"][i]),
+        frequency_mhz=int(data["frequency_mhz"][i]),
+        threads=int(data["threads"][i]),
+        run_index=int(data["run_index"][i]),
+        phase_name=str(data["phase_name"][i]),
+        start_s=float(data["start_s"][i]),
+        end_s=float(data["end_s"][i]),
+        active_threads=int(data["active_threads"][i]),
+        power_w=float(data["power_w"][i]),
+        voltage_v=float(data["voltage_v"][i]),
+        counter_rates_per_s=row,
+    )
+
+
+class ShardedManifest:
+    """Checkpoint store sharded into N archives for cluster campaigns.
+
+    Same ``load``/``store``/``has`` surface as
+    :class:`CampaignCheckpoint` (the resilient loop does not care which
+    one it holds), but cells are hashed into ``n_shards`` archive files
+    instead of one file per cell:
+
+    * a 10⁵-cell campaign stores 10⁵ ÷ N cells per shard file, not 10⁵
+      inodes;
+    * each shard write goes through :func:`repro.io.atomic.atomic_savez`,
+      so writers of *different* shards never corrupt each other and a
+      kill mid-write leaves the old complete shard;
+    * resume reads lazily, one shard on first touch — after a kill that
+      completed k cells, at most ``min(k, N)`` dirty shards are read,
+      never one giant manifest (``shard_reads`` counts actual file
+      reads; the resume tests assert on it);
+    * a corrupt shard is discarded and logged, losing only its own
+      cells — every other shard is untouched and its cells resume.
+
+    One shard file is the unit of both atomicity and loss.
+    """
+
+    META = "shards.json"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fingerprint: str,
+        *,
+        n_shards: int = 8,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.n_shards = int(n_shards)
+        self._events: List[Dict[str, str]] = []
+        self._meta_ready = False
+        #: shard index → {cell id → profiles}, for shards read or written.
+        self._shards: Dict[int, Dict[str, List[PhaseProfile]]] = {}
+        self.shard_reads = 0
+        self.shard_writes = 0
+        self._initialise()
+
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> Path:
+        return self.directory / self.META
+
+    def _initialise(self) -> None:
+        """Adopt a matching shard store or reset a stale/corrupt one."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta = None
+        path = self._meta_path()
+        if path.is_file():
+            try:
+                meta = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                meta = None
+        if (
+            not isinstance(meta, dict)
+            or meta.get("format") != SHARD_FORMAT
+            or meta.get("fingerprint") != self.fingerprint
+            or meta.get("n_shards") != self.n_shards
+        ):
+            # Reset first, write the new meta after — a crash between
+            # the two resets again rather than adopting stale shards.
+            self.reset()
+            self._write_meta()
+        else:
+            prior = meta.get("events", [])
+            if isinstance(prior, list):
+                self._events = [e for e in prior if isinstance(e, dict)]
+            self._meta_ready = True
+
+    def _write_meta(self) -> None:
+        atomic_write_json(
+            self._meta_path(),
+            {
+                "format": SHARD_FORMAT,
+                "fingerprint": self.fingerprint,
+                "n_shards": self.n_shards,
+                "events": self._events,
+            },
+        )
+        self._meta_ready = True
+
+    def _log_event(self, kind: str, detail: str) -> None:
+        """Record a recovery action in the meta file's audit trail."""
+        self._events.append({"kind": kind, "detail": detail})
+        if self._meta_ready:
+            self._write_meta()
+
+    def events(self) -> List[Dict[str, str]]:
+        """The shard store's recovery audit trail (copy)."""
+        return list(self._events)
+
+    def reset(self) -> None:
+        """Drop every shard (stale fingerprint / fresh start)."""
+        self._shards = {}
+        for shard_path in self.directory.glob("shard_*.npz"):
+            try:
+                shard_path.unlink()
+            except FileNotFoundError:
+                self._log_event(
+                    "concurrent-cleanup",
+                    f"{shard_path.name} vanished during reset",
+                )
+
+    # ------------------------------------------------------------------
+    def shard_of(self, cid: str) -> int:
+        """Shard index a cell id hashes into."""
+        return int(cid, 16) % self.n_shards
+
+    def shard_path(self, shard: int) -> Path:
+        return self.directory / f"shard_{shard:04d}.npz"
+
+    def _load_shard(self, shard: int) -> Dict[str, List[PhaseProfile]]:
+        """Cells of one shard, reading the file on first touch only."""
+        cached = self._shards.get(shard)
+        if cached is not None:
+            return cached
+        cells: Dict[str, List[PhaseProfile]] = {}
+        self._shards[shard] = cells
+        path = self.shard_path(shard)
+        if not path.is_file():
+            return cells
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["format"]) != SHARD_FORMAT:
+                    raise ValueError("unknown shard format")
+                self.shard_reads += 1
+                names = [str(c) for c in data["counter_names"]]
+                rates = data["counter_rates_per_s"]
+                cell_ids = [str(c) for c in data["cell_ids"]]
+                for i, cid in enumerate(cell_ids):
+                    cells.setdefault(cid, []).append(
+                        _unpack_profile(data, names, rates, i)
+                    )
+        except _CORRUPT_ERRORS as exc:
+            # One corrupt shard loses only its own cells; they re-run.
+            cells.clear()
+            try:
+                path.unlink()
+                self._log_event(
+                    "corrupt-shard-discarded",
+                    f"{path.name}: {type(exc).__name__}: {exc}",
+                )
+            except FileNotFoundError:
+                self._log_event(
+                    "concurrent-cleanup",
+                    f"{path.name} vanished during corrupt-shard discard",
+                )
+        return cells
+
+    def _write_shard(self, shard: int) -> None:
+        cells = self._shards.get(shard, {})
+        profiles: List[PhaseProfile] = []
+        cell_ids: List[str] = []
+        for cid, cell_profiles in cells.items():
+            profiles.extend(cell_profiles)
+            cell_ids.extend([cid] * len(cell_profiles))
+        atomic_savez(
+            self.shard_path(shard),
+            format=np.array(SHARD_FORMAT),
+            cell_ids=np.array(cell_ids),
+            **_pack_profiles(profiles),
+        )
+        self.shard_writes += 1
+
+    # ------------------------------------------------------------------
+    def has(self, cid: str) -> bool:
+        return cid in self._load_shard(self.shard_of(cid))
+
+    def completed_cells(self) -> List[str]:
+        """Ids of all cells currently stored (reads every shard)."""
+        out: List[str] = []
+        for path in self.directory.glob("shard_*.npz"):
+            shard = int(path.stem[len("shard_"):])
+            out.extend(self._load_shard(shard))
+        return sorted(out)
+
+    def store(self, cid: str, profiles: Sequence[PhaseProfile]) -> None:
+        """Persist one completed cell: atomically rewrite its shard."""
+        cells = self._load_shard(self.shard_of(cid))
+        cells[cid] = list(profiles)
+        self._write_shard(self.shard_of(cid))
+
+    def load(self, cid: str) -> Optional[List[PhaseProfile]]:
+        """Profiles of one stored cell, or ``None`` if absent — only
+        this cell's shard is read (and only on first touch)."""
+        profiles = self._load_shard(self.shard_of(cid)).get(cid)
+        return list(profiles) if profiles is not None else None

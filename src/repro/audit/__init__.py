@@ -3,7 +3,7 @@
 Where :mod:`repro.lint` gates the *source tree*, this package gates the
 *results*: every fitted model, cross-validation summary, scenario
 result, campaign report and online-drift tally can be run through a
-catalogue of methodological validity rules (AU001–AU011) and graded on
+catalogue of methodological validity rules (AU001–AU012) and graded on
 the ``pass``/``minor``/``major``/``fail`` verdict scale.  The verdict
 gates reporting and model persistence; CI audits the paper-reference
 workflows in strict mode.

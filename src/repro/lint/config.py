@@ -102,6 +102,15 @@ DEFAULT_AUDIT_GATED_MODULES: Tuple[str, ...] = (
     "*/core/persistence.py",
 )
 
+#: Modules allowed to sleep inside a retry loop (RL012): the retry
+#: policy that owns backoff, and the scheduler that serves backoff on
+#: a virtual clock.
+DEFAULT_SLEEP_RETRY_MODULES: Tuple[str, ...] = (
+    "*/repro/sched/*",
+    "repro/sched/*",
+    "*/acquisition/campaign.py",
+)
+
 
 @dataclass
 class LintConfig:
@@ -123,6 +132,7 @@ class LintConfig:
     version_file: str = DEFAULT_VERSION_FILE
     version_symbol: str = DEFAULT_VERSION_SYMBOL
     audit_gated_modules: Tuple[str, ...] = DEFAULT_AUDIT_GATED_MODULES
+    sleep_retry_modules: Tuple[str, ...] = DEFAULT_SLEEP_RETRY_MODULES
 
     # ------------------------------------------------------------------
     def rule_enabled(self, rule_id: str) -> bool:
@@ -184,6 +194,7 @@ class LintConfig:
             ("fastfit-hot-modules", "fastfit_hot_modules"),
             ("physics-paths", "physics_paths"),
             ("audit-gated-modules", "audit_gated_modules"),
+            ("sleep-retry-modules", "sleep_retry_modules"),
         ):
             if toml_key in section:
                 setattr(cfg, attr, tuple(str(v) for v in section[toml_key]))

@@ -16,6 +16,7 @@ from repro.lint.rules.rl008_raw_linalg import NoRawLinalgSolvers
 from repro.lint.rules.rl009_parallel_primitives import NoRawParallelPrimitives
 from repro.lint.rules.rl010_hot_loop_fit import NoHotLoopRefit
 from repro.lint.rules.rl011_unaudited_report import NoUnauditedReport
+from repro.lint.rules.rl012_raw_sleep_retry import NoRawSleepRetry
 
 __all__ = [
     "all_rules",
@@ -30,6 +31,7 @@ __all__ = [
     "NoRawParallelPrimitives",
     "NoHotLoopRefit",
     "NoUnauditedReport",
+    "NoRawSleepRetry",
 ]
 
 
@@ -47,4 +49,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NoRawParallelPrimitives(),
         NoHotLoopRefit(),
         NoUnauditedReport(),
+        NoRawSleepRetry(),
     ]

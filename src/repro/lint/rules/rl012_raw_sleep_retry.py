@@ -1,0 +1,63 @@
+"""RL012 — no hand-rolled sleep-retry loops.
+
+Bounded retry with backoff is owned by exactly two places: the
+campaign's :class:`~repro.acquisition.campaign.RetryPolicy` (which
+also accounts every backoff second into the report) and the cluster
+scheduler (which serves backoff on a *virtual* clock, so chaos tests
+finish in milliseconds).  A ``time.sleep`` inside a ``for``/``while``
+body anywhere else is an unaccounted, untestable retry loop: it hides
+wall-clock in a code path the timing reports never see, stalls the
+deterministic test suite, and duplicates policy that already exists
+with quarantine semantics.  Flagged outside the configured
+``sleep-retry-modules``; injected ``sleep_fn`` callables stay fine —
+they are recordable and fake-able, which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NoRawSleepRetry"]
+
+_LOOPS = (ast.For, ast.While, ast.AsyncFor)
+
+
+class NoRawSleepRetry(FileRule):
+    id = "RL012"
+    name = "no-raw-sleep-retry"
+    description = (
+        "time.sleep inside a loop is a hand-rolled retry; use "
+        "RetryPolicy (accounted backoff) or the scheduler's virtual "
+        "clock"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(
+            ctx.posix_path, ctx.config.sleep_retry_modules
+        ):
+            return []
+        findings: List[Finding] = []
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, _LOOPS):
+                continue
+            # Only the loop's own body retries; the else-clause runs
+            # once after completion and is not a retry path.
+            for node in ast.walk(ast.Module(body=loop.body, type_ignores=[])):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func, ctx.aliases)
+                if name == "time.sleep":
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            "time.sleep in a loop body is an unaccounted "
+                            "retry/poll; route backoff through "
+                            "RetryPolicy.delay_s (accounted, testable) "
+                            "or an injected sleep_fn",
+                        )
+                    )
+        return findings

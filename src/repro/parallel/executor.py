@@ -29,6 +29,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures.process import BrokenProcessPool
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -141,12 +142,35 @@ def _pool(kind: str, max_workers: int) -> _FuturesExecutor:
     return pool
 
 
-def shutdown_pools() -> None:
-    """Tear down every cached pool (tests and interpreter exit)."""
+def shutdown_pools(*, join_timeout_s: float = 10.0) -> None:
+    """Tear down every cached pool (tests and interpreter exit).
+
+    Thread pools join cleanly (their workers only ever run our own
+    short tasks).  Process pools get a *bounded* join: a worker wedged
+    in an uninterruptible call would otherwise hang interpreter exit
+    forever, so after ``join_timeout_s`` stragglers are terminated,
+    then killed.
+    """
+    if join_timeout_s < 0:
+        raise ValueError("join_timeout_s must be non-negative")
     pools = list(_POOL_CACHE.values())
     _POOL_CACHE.clear()
+    deadline = time.perf_counter() + join_timeout_s
     for pool in pools:
-        pool.shutdown(wait=True)
+        if isinstance(pool, ProcessPoolExecutor):
+            # Snapshot workers before shutdown clears the bookkeeping.
+            workers = list(getattr(pool, "_processes", {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in workers:
+                proc.join(max(0.0, deadline - time.perf_counter()))
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(0.5)
+                if proc.is_alive():  # pragma: no cover - last resort
+                    proc.kill()
+                    proc.join(0.5)
+        else:
+            pool.shutdown(wait=True)
 
 
 atexit.register(shutdown_pools)

@@ -1,0 +1,34 @@
+"""Fault-tolerant cluster campaign scheduling.
+
+A polling job scheduler in the classic mold — poll loop,
+``parallelmax``, per-job context — placing campaign cells onto
+heterogeneous :mod:`repro.cluster` nodes through a work-stealing
+dispatch queue, surviving seeded mid-campaign node death and straggler
+slowdowns, and checkpointing into sharded manifests.  Placement is
+simulated on a virtual clock; measurement physics stays a pure
+function of ``(root_seed, cell)``, so the merged dataset is
+bit-identical to the serial campaign no matter what the cluster did.
+
+Entry point: :class:`~repro.sched.campaign.ScheduledCampaign`, or the
+``repro-sched`` CLI (``python -m repro.sched``) for a chaos demo.
+"""
+
+from repro.sched.campaign import ScheduledCampaign
+from repro.sched.liveness import NodeLivenessModel, NodeState
+from repro.sched.progress import NodeThroughput, ProgressReport
+from repro.sched.queue import DispatchQueue, JobContext, Lane
+from repro.sched.scheduler import ClusterScheduler, Placement, ScheduleTrace
+
+__all__ = [
+    "ClusterScheduler",
+    "DispatchQueue",
+    "JobContext",
+    "Lane",
+    "NodeLivenessModel",
+    "NodeState",
+    "NodeThroughput",
+    "Placement",
+    "ProgressReport",
+    "ScheduleTrace",
+    "ScheduledCampaign",
+]

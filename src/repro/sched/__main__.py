@@ -1,0 +1,7 @@
+"""``python -m repro.sched`` — the scheduler chaos demo CLI."""
+
+import sys
+
+from repro.sched.cli import main
+
+sys.exit(main())

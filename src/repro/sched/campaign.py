@@ -1,0 +1,188 @@
+"""Cluster-scheduled campaigns: placement on top, physics unchanged.
+
+:class:`ScheduledCampaign` runs a
+:class:`~repro.acquisition.campaign.ResilientCampaign` *through* the
+:class:`~repro.sched.scheduler.ClusterScheduler`: placement decides
+which cells survive the cluster's faults (and charges the virtual
+clock for every reassignment), then the surviving cells are measured
+by exactly the same ``run_cell`` path the local backends use — in cell
+order, against the campaign's single platform, checkpointed into a
+:class:`~repro.acquisition.checkpoint.ShardedManifest`.
+
+The invariant this split buys: per-cell results are a pure function of
+``(root_seed, cell)``.  Nodes, deaths, stragglers, reassignment order,
+``parallelmax`` and resume points can all change — the merged dataset
+stays **bit-identical** to the serial campaign, minus any cells the
+cluster genuinely could not complete (quarantined, and said so in the
+report).
+
+Scheduler accounting (reassignments, virtual backoff) is kept separate
+from acquisition accounting (``retries``, ``total_backoff_s``): a cell
+lost to a node death was never measured, so its fault stream and retry
+ledger are untouched.  The scheduling story lands in
+``CampaignReport.scheduling`` (a :class:`~repro.sched.progress.
+ProgressReport`), where audit rule AU012 grades it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from pathlib import Path
+
+import time
+
+from repro.acquisition.campaign import (
+    CampaignCell,
+    CampaignPlan,
+    ProgressFn,
+    ResilientCampaign,
+    RetryPolicy,
+    _call_progress,
+    _CellOutcome,
+)
+from repro.acquisition.checkpoint import ShardedManifest
+from repro.acquisition.postprocess import PhaseProfile
+from repro.cluster.nodes import ClusterNode
+from repro.faults.plan import FaultPlan
+from repro.hardware.platform import Platform
+from repro.sched.liveness import NodeLivenessModel
+from repro.sched.progress import ProgressReport
+from repro.sched.scheduler import ClusterScheduler, ScheduleTrace
+from repro.seeding import derive_rng
+
+__all__ = ["ScheduledCampaign"]
+
+
+class ScheduledCampaign(ResilientCampaign):
+    """A resilient campaign placed onto a heterogeneous cluster.
+
+    Parameters (beyond :class:`ResilientCampaign`)
+    ----------
+    nodes:
+        The cluster (see :func:`repro.cluster.nodes.build_cluster`).
+        Node ``slots`` and ``speed_factor`` shape placement only —
+        measurement physics always comes from ``platform``.
+    liveness:
+        Failure-detector timers (heartbeat timeout, straggler
+        deadline).
+    parallelmax:
+        Cluster-wide cap on concurrent placements (``None`` = total
+        slots).
+    checkpoint_dir / checkpoint_shards:
+        Scheduled campaigns checkpoint into a sharded manifest: cells
+        hash across ``checkpoint_shards`` atomic files, so a resume
+        reads only the shards that hold its cells and concurrent
+        writers never touch the same file.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        plan: CampaignPlan,
+        nodes: Sequence[ClusterNode],
+        *,
+        liveness: Optional[NodeLivenessModel] = None,
+        parallelmax: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_shards: int = 8,
+        min_counter_coverage: float = 0.75,
+        validate: bool = True,
+        sleep_fn: Callable[[float], None] = time.sleep,
+        parallel: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            platform,
+            plan,
+            faults=faults,
+            retry=retry,
+            checkpoint_dir=None,
+            min_counter_coverage=min_counter_coverage,
+            validate=validate,
+            sleep_fn=sleep_fn,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        if not nodes:
+            raise ValueError("scheduled campaign needs at least one node")
+        self.nodes = list(nodes)
+        self.liveness = liveness or NodeLivenessModel()
+        self.parallelmax = parallelmax
+        if checkpoint_dir is not None:
+            self.checkpoint = ShardedManifest(
+                checkpoint_dir, self.fingerprint(), n_shards=checkpoint_shards
+            )
+        #: Scheduling story of the last :meth:`run` (also attached to
+        #: the report as ``scheduling``).
+        self.progress_report: Optional[ProgressReport] = None
+        self.last_trace: Optional[ScheduleTrace] = None
+
+    # ------------------------------------------------------------------
+    def cell_cost_s(self, cell: CampaignCell) -> float:
+        """Nominal placement cost of a cell on a speed-1.0 node.
+
+        Seeded per cell key so cost heterogeneity is deterministic and
+        independent of cell order — purely a placement input, never a
+        physics input.
+        """
+        rng = derive_rng(self.platform.seed, "sched", "cost", *cell.key)
+        return 0.75 + 0.5 * float(rng.random())
+
+    # ------------------------------------------------------------------
+    def _acquire(
+        self, cells: List[CampaignCell], progress: Optional[ProgressFn]
+    ) -> Tuple[List[Optional[_CellOutcome]], Dict[int, List[PhaseProfile]]]:
+        """Place on the cluster, then measure the placed cells.
+
+        Placement runs first on the virtual clock; cells the cluster
+        completed are then acquired — in cell order — through the base
+        serial/parallel machinery, so checkpointing, resume and the
+        bit-identity accounting are inherited verbatim.  Cells no live
+        node could complete become quarantine outcomes with a
+        placement reason.
+        """
+        scheduler = ClusterScheduler(
+            self.nodes,
+            [self.cell_cost_s(cell) for cell in cells],
+            retry=self.retry,
+            liveness=self.liveness,
+            injector=self.injector,
+            parallelmax=self.parallelmax,
+            on_event=lambda msg: _call_progress(
+                progress, f"sched: {msg}", self._hook_errors
+            ),
+        )
+        trace = scheduler.schedule()
+        self.last_trace = trace
+
+        placed = trace.completed_indices()
+        sub_outcomes, sub_resumed = super()._acquire(
+            [cells[i] for i in placed], progress
+        )
+
+        outcomes: List[Optional[_CellOutcome]] = [None] * len(cells)
+        resumed: Dict[int, List[PhaseProfile]] = {}
+        for j, i in enumerate(placed):
+            outcomes[i] = sub_outcomes[j]
+            if j in sub_resumed:
+                resumed[i] = sub_resumed[j]
+        for i, reason in trace.quarantined.items():
+            # attempts=1 keeps the acquisition retry/backoff ledger at
+            # zero — the cell was never measured, only lost.
+            outcomes[i] = _CellOutcome(
+                profiles=None,
+                attempts=1,
+                faults=["placement-failed"],
+                last_error=reason,
+            )
+
+        self.progress_report = ProgressReport.from_trace(
+            trace, self.nodes, observer_errors=scheduler.observer_errors
+        )
+        return outcomes, resumed
+
+    def _report_extras(self) -> Dict[str, object]:
+        return {"scheduling": self.progress_report}

@@ -1,0 +1,111 @@
+"""Node liveness: heartbeats, deadlines, and declared death.
+
+The scheduler never observes a node's death directly — a dead node
+simply goes silent.  What the scheduler *can* observe is two timers:
+
+* **heartbeat timeout** — every node reports a heartbeat each
+  ``heartbeat_interval_s`` of virtual time; a node silent for
+  ``heartbeat_timeout_s`` is declared dead, and every cell in flight
+  on it is reassigned.  Detection latency is therefore bounded by the
+  timeout, never by luck.
+* **placement deadline** — a cell placed on a node must finish within
+  ``deadline_factor ×`` its nominal cost.  A straggler node (slowdown
+  drawn by the fault injector) blows this deadline; the scheduler
+  abandons the placement and reassigns, instead of waiting an unbounded
+  time for a node that is technically alive but uselessly slow.
+
+Both detections resolve to *reassignment under the campaign's
+RetryPolicy* — bounded attempts with (virtual) backoff, quarantine
+only once every live node has failed the cell.  Neither timer ever
+touches the cell's measured physics: results stay a pure function of
+``(root_seed, cell)`` regardless of where and how often a cell was
+attempted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.nodes import ClusterNode
+
+__all__ = ["NodeLivenessModel", "NodeState"]
+
+
+@dataclass(frozen=True)
+class NodeLivenessModel:
+    """Detection timers of the scheduler's failure detector."""
+
+    heartbeat_interval_s: float = 5.0
+    """Virtual-time spacing of node heartbeats."""
+    heartbeat_timeout_s: float = 15.0
+    """Silence longer than this declares the node dead (≥ the
+    interval; the gap is the usual N-missed-beats margin against
+    network jitter)."""
+    deadline_factor: float = 6.0
+    """A placement is abandoned after ``deadline_factor ×`` the cell's
+    nominal cost — the straggler detector (> 1)."""
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.heartbeat_timeout_s < self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must be >= heartbeat_interval_s"
+            )
+        if self.deadline_factor <= 1.0:
+            raise ValueError("deadline_factor must be > 1")
+
+    def deadline_s(self, nominal_cost_s: float) -> float:
+        """Longest a placement of a cell may run before abandonment."""
+        return self.deadline_factor * float(nominal_cost_s)
+
+
+@dataclass
+class NodeState:
+    """One node's liveness bookkeeping during a scheduled campaign.
+
+    ``death_s`` / ``straggler_factor`` are the injector's seeded
+    decisions (the simulation's ground truth); ``detect_s`` is when the
+    *scheduler* learns about the death via the heartbeat timeout.  The
+    dispatch loop keeps assigning to a dead-but-undetected node — those
+    placements are exactly the in-flight work a real cluster loses in
+    the detection window, and they all resolve to reassignment at
+    ``detect_s``.
+    """
+
+    node: ClusterNode
+    straggler_factor: float = 1.0
+    """Service slowdown (1.0 = healthy; > 1 = straggler)."""
+    death_s: Optional[float] = None
+    """Virtual instant the node dies (ground truth; ``None`` = lives)."""
+    detect_s: Optional[float] = None
+    """When the heartbeat timeout declares the death (death_s +
+    timeout)."""
+    completed_cells: int = 0
+    lost_placements: int = 0
+    busy_s: float = field(default=0.0)
+    """Virtual seconds of lane time spent on completed cells."""
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def speed(self) -> float:
+        """Effective service speed (SKU speed over straggler slowdown)."""
+        return self.node.speed_factor / self.straggler_factor
+
+    @property
+    def is_straggler(self) -> bool:
+        return self.straggler_factor > 1.0
+
+    def alive_at(self, t_s: float) -> bool:
+        """Ground truth: is the node actually up at ``t_s``?"""
+        return self.death_s is None or t_s < self.death_s
+
+    def accepts_at(self, t_s: float) -> bool:
+        """Scheduler view: may work be dispatched here at ``t_s``?
+        True until the death is *detected* — the detection window is
+        part of the fault model, not an optimisation target."""
+        return self.detect_s is None or t_s < self.detect_s

@@ -1,0 +1,177 @@
+"""Live progress reporting for scheduled campaigns.
+
+:class:`ProgressReport` condenses a :class:`~repro.sched.scheduler.
+ScheduleTrace` into the operator's view of the campaign: per-node
+throughput, reassignment counts, quarantine, and the ETA the scheduler
+was predicting as it went.  It rides on ``CampaignReport.scheduling``
+so the audit gate (rule AU012 ``excessive-reassignment``) can grade
+cluster health from the same artifact the operator reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.nodes import ClusterNode
+from repro.sched.scheduler import ScheduleTrace
+
+__all__ = ["NodeThroughput", "ProgressReport"]
+
+
+@dataclass(frozen=True)
+class NodeThroughput:
+    """One node's share of the campaign."""
+
+    node_id: int
+    hostname: str
+    slots: int
+    speed_factor: float
+    completed_cells: int
+    lost_placements: int
+    busy_s: float
+    died_at_s: Optional[float] = None
+    straggler_factor: Optional[float] = None
+
+    @property
+    def cells_per_s(self) -> float:
+        """Completed cells per busy virtual second (0 when idle)."""
+        if self.busy_s <= 0:
+            return 0.0
+        return self.completed_cells / self.busy_s
+
+    def describe(self) -> str:
+        state = "ok"
+        if self.died_at_s is not None:
+            state = f"died t={self.died_at_s:.1f}s"
+        elif self.straggler_factor is not None:
+            state = f"straggler x{self.straggler_factor:.1f}"
+        return (
+            f"{self.hostname}: {self.completed_cells} cells, "
+            f"{self.lost_placements} lost, "
+            f"{self.cells_per_s:.2f} cells/s [{state}]"
+        )
+
+
+@dataclass(frozen=True)
+class ProgressReport:
+    """Scheduling outcome of one campaign, in audit-ready form."""
+
+    total_cells: int
+    completed_cells: int
+    reassignments: int
+    """Lost placements (each was re-queued or quarantined)."""
+    reassignments_by_kind: Mapping[str, int]
+    reassigned_cells: int
+    """Distinct cells that lost at least one placement."""
+    disrupted_cells: int
+    """Distinct cells that lost a placement *or* were quarantined."""
+    quarantined: Mapping[int, str]
+    nodes: Tuple[NodeThroughput, ...]
+    makespan_s: float
+    eta_history: Tuple[Tuple[float, float], ...]
+    parallelmax: int
+    observer_errors: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: ScheduleTrace,
+        nodes: Sequence[ClusterNode],
+        *,
+        observer_errors: Sequence[str] = (),
+    ) -> "ProgressReport":
+        completions = trace.completions_by_node()
+        losses: Dict[int, int] = {}
+        for p in trace.placements:
+            if p.outcome != "completed":
+                losses[p.node_id] = losses.get(p.node_id, 0) + 1
+        throughput: List[NodeThroughput] = []
+        for node in nodes:
+            if not node.alive:
+                continue
+            throughput.append(
+                NodeThroughput(
+                    node_id=node.node_id,
+                    hostname=node.hostname,
+                    slots=node.slots,
+                    speed_factor=node.speed_factor,
+                    completed_cells=completions.get(node.node_id, 0),
+                    lost_placements=losses.get(node.node_id, 0),
+                    busy_s=float(trace.node_busy_s.get(node.node_id, 0.0)),
+                    died_at_s=trace.node_death_s.get(node.node_id),
+                    straggler_factor=trace.straggler_factors.get(
+                        node.node_id
+                    ),
+                )
+            )
+        return cls(
+            total_cells=trace.n_cells,
+            completed_cells=len(trace.completed_indices()),
+            reassignments=trace.reassignments,
+            reassignments_by_kind=dict(trace.reassignments_by_kind()),
+            reassigned_cells=len(trace.reassigned_cells()),
+            disrupted_cells=len(
+                set(trace.reassigned_cells()) | set(trace.quarantined)
+            ),
+            quarantined=dict(trace.quarantined),
+            nodes=tuple(throughput),
+            makespan_s=trace.makespan_s,
+            eta_history=trace.eta_history,
+            parallelmax=trace.parallelmax,
+            observer_errors=tuple(observer_errors),
+        )
+
+    @property
+    def reassignment_fraction(self) -> float:
+        """Disrupted share of the campaign: cells that lost at least
+        one placement or were given up, over all cells (AU012's
+        grading signal)."""
+        if self.total_cells <= 0:
+            return 0.0
+        return self.disrupted_cells / self.total_cells
+
+    def eta_s(self) -> Optional[float]:
+        """Last ETA the scheduler predicted (None before any dispatch)."""
+        if not self.eta_history:
+            return None
+        return self.eta_history[-1][1]
+
+    def summary(self) -> List[str]:
+        lines = [
+            f"scheduling: {self.completed_cells}/{self.total_cells} cells "
+            f"over {len(self.nodes)} nodes "
+            f"(parallelmax {self.parallelmax}), "
+            f"virtual makespan {self.makespan_s:.1f}s",
+            f"scheduling: {self.reassignments} reassignment(s) "
+            f"across {self.reassigned_cells} cell(s)"
+            + (
+                " [" + ", ".join(
+                    f"{k}: {v}"
+                    for k, v in sorted(self.reassignments_by_kind.items())
+                ) + "]"
+                if self.reassignments_by_kind
+                else ""
+            ),
+        ]
+        dead = [n for n in self.nodes if n.died_at_s is not None]
+        slow = [
+            n
+            for n in self.nodes
+            if n.straggler_factor is not None and n.died_at_s is None
+        ]
+        if dead:
+            lines.append(
+                "scheduling: node death mid-campaign: "
+                + ", ".join(n.describe() for n in dead)
+            )
+        if slow:
+            lines.append(
+                "scheduling: stragglers: "
+                + ", ".join(n.describe() for n in slow)
+            )
+        for idx, reason in sorted(self.quarantined.items()):
+            lines.append(f"scheduling: QUARANTINED cell #{idx}: {reason}")
+        for err in self.observer_errors:
+            lines.append(f"scheduling: observer error: {err}")
+        return lines

@@ -1,0 +1,158 @@
+"""Work-stealing dispatch: a shared cell queue pulled by node lanes.
+
+Placement is *pull-based*: there is one global FIFO of jobs (campaign
+cells with their per-job scheduling context) and one lane per node
+slot.  Whenever a lane goes idle it steals the next ready job from the
+shared queue — nobody pre-partitions the campaign across nodes.  That
+single decision is what makes heterogeneous clusters self-balancing: a
+node at half speed frees its lanes half as often and therefore takes
+half the cells, with no speed model in the dispatcher at all.
+
+The queue prefers handing a lane a job that has not already failed on
+that lane's node (a straggler must not repeatedly steal back the cell
+it keeps timing out on), falling back to any ready job so work never
+idles while a live lane is free.
+
+Everything here is deterministic: jobs are ordered by (ready time,
+enqueue sequence), lanes by (node id, slot) — no wall clock, no
+unordered iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+__all__ = ["JobContext", "Lane", "DispatchQueue"]
+
+
+@dataclass
+class JobContext:
+    """Per-job scheduling context: one campaign cell's placement life.
+
+    ``attempt`` counts *placements* (scheduler-level), which are
+    independent of the acquisition-level retry attempts inside
+    ``run_cell`` — a cell lost to a node death was never measured, so
+    its fault stream is untouched by the reassignment.
+    """
+
+    index: int
+    """Cell index in campaign order (the bit-identity key)."""
+    nominal_cost_s: float
+    """Expected cost on a speed-1.0 node (deadline baseline)."""
+    attempt: int = 0
+    """Placements so far (0 = never placed)."""
+    ready_s: float = 0.0
+    """Virtual instant this job may be (re)placed — carries the
+    RetryPolicy backoff after a lost placement."""
+    tried_nodes: Set[int] = field(default_factory=set)
+    """Nodes a placement of this job already failed on."""
+    last_error: str = ""
+    """Why the most recent placement was lost."""
+    fresh_only: bool = False
+    """Past the retry budget: only nodes *not* in ``tried_nodes`` may
+    take this job (its last chance is one try per remaining node —
+    letting a failing node steal it back forever would starve it)."""
+
+
+@dataclass
+class Lane:
+    """One concurrency slot of one node."""
+
+    node_id: int
+    slot: int
+    job: Optional[JobContext] = None
+    """Job currently in flight on this lane (``None`` = idle)."""
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.node_id, self.slot)
+
+
+class DispatchQueue:
+    """The shared ready-queue node lanes steal from.
+
+    FIFO by (ready time, enqueue sequence); ``pop_ready`` implements
+    the steal — next ready job, preferring one the stealing node has
+    not already failed.
+    """
+
+    def __init__(self, jobs: Optional[List[JobContext]] = None) -> None:
+        #: (ready_s, seq, job), kept sorted ascending.
+        self._jobs: List[Tuple[float, int, JobContext]] = []
+        self._seq = 0
+        for job in jobs or []:
+            self.push(job)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def empty(self) -> bool:
+        return not self._jobs
+
+    def push(self, job: JobContext) -> None:
+        """Enqueue a job (initial placement or reassignment)."""
+        self._seq += 1
+        entry = (job.ready_s, self._seq, job)
+        # Insertion keeps the list sorted; campaign queues append
+        # mostly-monotone ready times, so the scan is short.
+        pos = len(self._jobs)
+        while pos > 0 and self._jobs[pos - 1][:2] > entry[:2]:
+            pos -= 1
+        self._jobs.insert(pos, entry)
+
+    def pop_ready(self, now_s: float, node_id: int) -> Optional[JobContext]:
+        """Steal the next job ready at ``now_s`` for ``node_id``'s lane.
+
+        Prefers a job that has not already failed on this node; falls
+        back to any ready job (a retry on the same node is still a
+        fresh placement) so a free lane never idles while work waits.
+        """
+        fallback = None
+        for i, (ready_s, _, job) in enumerate(self._jobs):
+            if ready_s > now_s:
+                break
+            if node_id not in job.tried_nodes:
+                return self._jobs.pop(i)[2]
+            if fallback is None and not job.fresh_only:
+                fallback = i
+        if fallback is not None:
+            return self._jobs.pop(fallback)[2]
+        return None
+
+    def pop_blocked(
+        self, now_s: float, accepting_ids: Set[int]
+    ) -> List[JobContext]:
+        """Remove and return ready jobs no accepting node may take.
+
+        A job is blocked when it is ``fresh_only`` and every accepting
+        node already failed it — those jobs would otherwise starve in a
+        queue nobody is allowed to steal from.
+        """
+        blocked: List[JobContext] = []
+        kept: List[Tuple[float, int, JobContext]] = []
+        for entry in self._jobs:
+            ready_s, _, job = entry
+            if (
+                ready_s <= now_s
+                and job.fresh_only
+                and accepting_ids <= job.tried_nodes
+            ):
+                blocked.append(job)
+            else:
+                kept.append(entry)
+        self._jobs = kept
+        return blocked
+
+    def next_ready_s(self) -> Optional[float]:
+        """Earliest ready time among queued jobs (``None`` if empty)."""
+        if not self._jobs:
+            return None
+        return self._jobs[0][0]
+
+    def drain(self) -> List[JobContext]:
+        """Remove and return every queued job (terminal quarantine)."""
+        jobs = [job for _, _, job in self._jobs]
+        self._jobs = []
+        return jobs

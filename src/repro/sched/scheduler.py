@@ -1,0 +1,558 @@
+"""The cluster campaign scheduler: a polling placement loop.
+
+Shape of the thing (the classic polling job scheduler — poll loop,
+``parallelmax``, per-job context): :meth:`ClusterScheduler.poll` is one
+scheduling step — dispatch ready jobs onto free lanes, advance the
+virtual clock to the next event, resolve everything due at that
+instant (completions, heartbeat-timeout death detections, blown
+deadlines).  :meth:`schedule` polls until the queue and every lane are
+empty and returns a :class:`ScheduleTrace` of every placement made.
+
+**Placement is simulated; physics is not.**  The scheduler decides
+*where and when* each cell would run on the cluster — node death and
+straggler slowdowns come seeded from the fault injector, detection
+latency from the liveness model, reassignment bounds from the
+campaign's :class:`~repro.acquisition.campaign.RetryPolicy` with
+backoff served on the virtual clock (no ``time.sleep``; lint rule
+RL012 holds raw sleep-retry loops out of the rest of the repository).
+The cells' measured results are produced separately by the campaign
+executing ``run_cell`` exactly as the local backends do, in cell
+order, so the merged dataset is bit-identical no matter which node ran
+which cell, how many died, or where a resume picked up.
+
+Quarantine is a last resort: a job is given up only once it has burned
+its retry budget *and* failed a placement on every node still alive —
+before that, a lost placement goes back to the queue with backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.acquisition.campaign import RetryPolicy
+from repro.cluster.nodes import ClusterNode
+from repro.faults.injector import FaultInjector
+from repro.sched.liveness import NodeLivenessModel, NodeState
+from repro.sched.queue import DispatchQueue, JobContext, Lane
+
+__all__ = ["Placement", "ScheduleTrace", "ClusterScheduler"]
+
+#: Placement outcomes.
+OUTCOME_COMPLETED = "completed"
+OUTCOME_NODE_DEATH = "node-death"
+OUTCOME_DEADLINE = "deadline-timeout"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One attempt to run one cell on one node (virtual time)."""
+
+    cell_index: int
+    node_id: int
+    attempt: int
+    """Placement attempt of this cell (0-based)."""
+    start_s: float
+    end_s: float
+    """Completion instant, or when the loss was *detected* (heartbeat
+    timeout fires, deadline blows) — the lane is occupied until then."""
+    outcome: str
+    """``completed`` | ``node-death`` | ``deadline-timeout``."""
+
+
+@dataclass
+class _InFlight:
+    """A placement in flight, with its pre-computed resolution."""
+
+    job: JobContext
+    lane: Lane
+    start_s: float
+    resolve_s: float
+    outcome: str
+    duration_s: float
+    """Actual service time on this lane (busy-time accounting)."""
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """Everything the scheduler did, for audit and progress reporting."""
+
+    n_cells: int
+    placements: Tuple[Placement, ...]
+    quarantined: Mapping[int, str]
+    """Cell index → reason, for cells no live node could complete."""
+    node_death_s: Mapping[int, float]
+    """Node id → virtual death instant (ground truth)."""
+    straggler_factors: Mapping[int, float]
+    """Node id → slowdown factor, stragglers only (factor > 1)."""
+    makespan_s: float
+    eta_history: Tuple[Tuple[float, float], ...]
+    """(virtual now, predicted completion) after each dispatch round."""
+    parallelmax: int
+    node_busy_s: Mapping[int, float]
+    """Node id → virtual seconds spent on completed placements."""
+
+    def placements_for(self, cell_index: int) -> Tuple[Placement, ...]:
+        return tuple(
+            p for p in self.placements if p.cell_index == cell_index
+        )
+
+    def completed(self, cell_index: int) -> bool:
+        return any(
+            p.cell_index == cell_index and p.outcome == OUTCOME_COMPLETED
+            for p in self.placements
+        )
+
+    def completed_indices(self) -> List[int]:
+        """Cell indices that completed, in campaign (cell) order."""
+        return sorted(
+            {
+                p.cell_index
+                for p in self.placements
+                if p.outcome == OUTCOME_COMPLETED
+            }
+        )
+
+    def completions_by_node(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for p in self.placements:
+            if p.outcome == OUTCOME_COMPLETED:
+                out[p.node_id] = out.get(p.node_id, 0) + 1
+        return out
+
+    def reassignments_by_kind(self) -> Dict[str, int]:
+        """Lost placements by loss kind."""
+        out: Dict[str, int] = {}
+        for p in self.placements:
+            if p.outcome != OUTCOME_COMPLETED:
+                out[p.outcome] = out.get(p.outcome, 0) + 1
+        return out
+
+    @property
+    def reassignments(self) -> int:
+        """Total lost placements (each one was re-queued or gave up)."""
+        return sum(self.reassignments_by_kind().values())
+
+    def reassigned_cells(self) -> List[int]:
+        """Cells that lost at least one placement, in cell order."""
+        return sorted(
+            {
+                p.cell_index
+                for p in self.placements
+                if p.outcome != OUTCOME_COMPLETED
+            }
+        )
+
+
+class ClusterScheduler:
+    """Places campaign cells onto cluster nodes, surviving the faults.
+
+    Parameters
+    ----------
+    nodes:
+        The cluster.  Nodes with ``alive=False`` (dead at discovery,
+        the build-time fault) never receive lanes; mid-campaign death
+        and stragglers are drawn per node from ``injector``.
+    costs_s:
+        Nominal cost of each cell on a speed-1.0 node, in cell order.
+    retry:
+        Reassignment budget and backoff (virtual-clock) for lost
+        placements — the same policy object the campaign uses for
+        measurement faults.
+    liveness:
+        Heartbeat / deadline timers of the failure detector.
+    injector:
+        Seeded fault source for mid-campaign node death
+        (``node_death_rate``) and stragglers (``straggler_rate``);
+        ``None`` disables both.
+    parallelmax:
+        Cap on cluster-wide concurrent placements (``None`` = sum of
+        node slots) — the polling scheduler's classic throttle.
+    on_event:
+        Progress observer for scheduling events (dispatch, death
+        detection, reassignment, quarantine).  Wrapped: a raising
+        observer is recorded in ``observer_errors``, never aborts
+        scheduling.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        costs_s: Sequence[float],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        liveness: Optional[NodeLivenessModel] = None,
+        injector: Optional[FaultInjector] = None,
+        parallelmax: Optional[int] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("scheduler needs at least one node")
+        if any(c <= 0 for c in costs_s):
+            raise ValueError("cell costs must be positive")
+        self.nodes = list(nodes)
+        self.costs_s = [float(c) for c in costs_s]
+        self.retry = retry or RetryPolicy()
+        self.liveness = liveness or NodeLivenessModel()
+        self.injector = injector
+        total_slots = sum(n.slots for n in self.nodes if n.alive)
+        if total_slots == 0:
+            raise ValueError("every cluster node is dead at discovery")
+        if parallelmax is None:
+            parallelmax = total_slots
+        if parallelmax < 1:
+            raise ValueError("parallelmax must be at least 1")
+        self.parallelmax = int(min(parallelmax, max(total_slots, 1)))
+        self.on_event = on_event
+        #: Observer exceptions survived (telemetry must not kill
+        #: placement any more than it kills acquisition).
+        self.observer_errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _notify(self, message: str) -> None:
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(message)
+        except Exception as exc:  # observers are telemetry, not control
+            self.observer_errors.append(
+                f"scheduler observer raised {type(exc).__name__}: {exc}"
+            )
+            import warnings
+
+            warnings.warn(
+                f"scheduler observer raised {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # ------------------------------------------------------------------
+    def _build_states(self) -> Dict[int, NodeState]:
+        """Liveness state per usable node, with seeded fault draws.
+
+        Death instants are fractions of the *estimated* makespan (total
+        nominal work over healthy capacity): early enough to matter,
+        deterministic in the seed, and independent of actual placement.
+        """
+        live = [n for n in self.nodes if n.alive]
+        if not live:
+            raise ValueError("every cluster node is dead at discovery")
+        capacity = sum(n.speed_factor * n.slots for n in live)
+        makespan_est_s = sum(self.costs_s) / max(capacity, 1e-9)
+        states: Dict[int, NodeState] = {}
+        for node in live:
+            state = NodeState(node=node)
+            if self.injector is not None:
+                state.straggler_factor = self.injector.node_straggler_factor(
+                    node.node_id
+                )
+                fraction = self.injector.node_death_fraction(node.node_id)
+                if fraction is not None:
+                    state.death_s = fraction * makespan_est_s
+                    state.detect_s = (
+                        state.death_s + self.liveness.heartbeat_timeout_s
+                    )
+            states[node.node_id] = state
+        return states
+
+    def _place(
+        self, job: JobContext, lane: Lane, state: NodeState, now_s: float
+    ) -> _InFlight:
+        """Start one placement and pre-compute how it resolves.
+
+        The resolution is the *earliest* of: natural completion, the
+        placement deadline (straggler detector), and — when the node
+        dies before finishing — the heartbeat-timeout detection.
+        """
+        duration_s = job.nominal_cost_s / state.speed
+        end_s = now_s + duration_s
+        deadline_s = now_s + self.liveness.deadline_s(job.nominal_cost_s)
+        candidates = [(end_s, OUTCOME_COMPLETED)]
+        if state.death_s is not None and end_s > state.death_s:
+            # The node dies mid-run: completion never happens; the
+            # scheduler learns at the heartbeat timeout.
+            candidates = [(float(state.detect_s), OUTCOME_NODE_DEATH)]
+        if end_s > deadline_s:
+            candidates.append((deadline_s, OUTCOME_DEADLINE))
+        resolve_s, outcome = min(candidates)
+        job.attempt += 1
+        lane.job = job
+        return _InFlight(
+            job=job,
+            lane=lane,
+            start_s=now_s,
+            resolve_s=resolve_s,
+            outcome=outcome,
+            duration_s=duration_s,
+        )
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> ScheduleTrace:
+        """Run the poll loop to completion and return the trace."""
+        states = self._build_states()
+        lanes = [
+            Lane(node_id=node.node_id, slot=slot)
+            for node in self.nodes
+            if node.alive
+            for slot in range(node.slots)
+        ]
+        queue = DispatchQueue(
+            [
+                JobContext(index=i, nominal_cost_s=cost)
+                for i, cost in enumerate(self.costs_s)
+            ]
+        )
+        inflight: Dict[Tuple[int, int], _InFlight] = {}
+        placements: List[Placement] = []
+        quarantined: Dict[int, str] = {}
+        eta_history: List[Tuple[float, float]] = []
+        announced_dead: set = set()
+        now_s = 0.0
+
+        while not queue.empty or inflight:
+            now_s = self.poll(
+                now_s,
+                states,
+                lanes,
+                queue,
+                inflight,
+                placements,
+                quarantined,
+                eta_history,
+                announced_dead,
+            )
+            if now_s < 0:
+                break  # no live lanes remain; the queue was quarantined
+
+        return ScheduleTrace(
+            n_cells=len(self.costs_s),
+            placements=tuple(placements),
+            quarantined=quarantined,
+            node_death_s={
+                nid: s.death_s
+                for nid, s in states.items()
+                if s.death_s is not None
+            },
+            straggler_factors={
+                nid: s.straggler_factor
+                for nid, s in states.items()
+                if s.is_straggler
+            },
+            makespan_s=max(now_s, 0.0),
+            eta_history=tuple(eta_history),
+            parallelmax=self.parallelmax,
+            node_busy_s={nid: s.busy_s for nid, s in states.items()},
+        )
+
+    # ------------------------------------------------------------------
+    def poll(
+        self,
+        now_s: float,
+        states: Dict[int, NodeState],
+        lanes: List[Lane],
+        queue: DispatchQueue,
+        inflight: Dict[Tuple[int, int], _InFlight],
+        placements: List[Placement],
+        quarantined: Dict[int, str],
+        eta_history: List[Tuple[float, float]],
+        announced_dead: set,
+    ) -> float:
+        """One scheduling step: dispatch, advance the clock, resolve.
+
+        Returns the new virtual time, or a negative value when no live
+        lane remains and the queue has been drained into quarantine.
+        """
+        dispatched = self._dispatch(now_s, states, lanes, queue, inflight)
+        if dispatched:
+            self._record_eta(now_s, states, queue, inflight, eta_history)
+
+        if not inflight:
+            if queue.empty:
+                return now_s
+            # Jobs remain but nothing is running: every ready job is
+            # unplaceable, the rest are backing off.
+            accepting_ids = {
+                lane.node_id
+                for lane in lanes
+                if states[lane.node_id].accepts_at(now_s)
+            }
+            if not accepting_ids:
+                for job in queue.drain():
+                    reason = "no live nodes remaining" + (
+                        f" (last: {job.last_error})" if job.last_error else ""
+                    )
+                    quarantined[job.index] = reason
+                    self._notify(f"quarantined cell #{job.index}: {reason}")
+                return -1.0
+            # A ready job nobody may take (fresh-only, failed on every
+            # accepting node) has exhausted its last-chance tour.
+            for job in queue.pop_blocked(now_s, accepting_ids):
+                reason = (
+                    f"placement failed on every live node after "
+                    f"{job.attempt} attempt(s): {job.last_error}"
+                )
+                quarantined[job.index] = reason
+                self._notify(f"quarantined cell #{job.index}: {reason}")
+            next_ready = queue.next_ready_s()
+            if next_ready is None:
+                return now_s
+            return max(now_s, float(next_ready))
+
+        next_s = min(entry.resolve_s for entry in inflight.values())
+        next_ready = queue.next_ready_s()
+        if (
+            next_ready is not None
+            and next_ready > now_s
+            and any(
+                lane.job is None
+                and states[lane.node_id].accepts_at(next_ready)
+                for lane in lanes
+            )
+        ):
+            # A free live lane could start a backing-off job before the
+            # next in-flight resolution.  (A job already ready *now* was
+            # either dispatched above or is blocked on lanes/parallelmax,
+            # which only a resolution can free — so only a future ready
+            # time may pull the clock, else it would never advance.)
+            next_s = min(next_s, next_ready)
+        now_s = max(now_s, next_s)
+        self._resolve(now_s, states, queue, inflight, placements,
+                      quarantined, announced_dead)
+        return now_s
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        now_s: float,
+        states: Dict[int, NodeState],
+        lanes: List[Lane],
+        queue: DispatchQueue,
+        inflight: Dict[Tuple[int, int], _InFlight],
+    ) -> int:
+        """Fill free lanes from the queue (the work-stealing pull)."""
+        dispatched = 0
+        for lane in lanes:
+            if lane.job is not None:
+                continue
+            if len(inflight) >= self.parallelmax:
+                break
+            state = states[lane.node_id]
+            if not state.accepts_at(now_s):
+                continue
+            job = queue.pop_ready(now_s, lane.node_id)
+            if job is None:
+                continue
+            entry = self._place(job, lane, state, now_s)
+            inflight[lane.key] = entry
+            dispatched += 1
+        return dispatched
+
+    def _resolve(
+        self,
+        now_s: float,
+        states: Dict[int, NodeState],
+        queue: DispatchQueue,
+        inflight: Dict[Tuple[int, int], _InFlight],
+        placements: List[Placement],
+        quarantined: Dict[int, str],
+        announced_dead: set,
+    ) -> None:
+        """Settle every in-flight placement due at ``now_s``."""
+        due = [
+            key
+            for key, entry in inflight.items()
+            if entry.resolve_s <= now_s
+        ]
+        for key in due:
+            entry = inflight.pop(key)
+            job, state = entry.job, states[entry.lane.node_id]
+            entry.lane.job = None
+            placements.append(
+                Placement(
+                    cell_index=job.index,
+                    node_id=entry.lane.node_id,
+                    attempt=job.attempt - 1,
+                    start_s=entry.start_s,
+                    end_s=entry.resolve_s,
+                    outcome=entry.outcome,
+                )
+            )
+            if entry.outcome == OUTCOME_COMPLETED:
+                state.completed_cells += 1
+                state.busy_s += entry.duration_s
+                continue
+            # Lost placement: account, announce, requeue or give up.
+            state.lost_placements += 1
+            job.tried_nodes.add(entry.lane.node_id)
+            if entry.outcome == OUTCOME_NODE_DEATH:
+                job.last_error = (
+                    f"node {state.node.hostname} died at "
+                    f"t={state.death_s:.1f}s (detected "
+                    f"t={state.detect_s:.1f}s via heartbeat timeout)"
+                )
+                if entry.lane.node_id not in announced_dead:
+                    announced_dead.add(entry.lane.node_id)
+                    self._notify(
+                        f"node {state.node.hostname} declared dead at "
+                        f"t={now_s:.1f}s; reassigning its cells"
+                    )
+            else:
+                job.last_error = (
+                    f"deadline blown on {state.node.hostname} "
+                    f"(straggler ×{state.straggler_factor:.1f}): "
+                    f"{self.liveness.deadline_s(job.nominal_cost_s):.1f}s "
+                    f"budget"
+                )
+            live_ids = {
+                nid for nid, s in states.items() if s.accepts_at(now_s)
+            }
+            exhausted = (
+                job.attempt >= self.retry.max_attempts
+                and live_ids <= job.tried_nodes
+            )
+            if exhausted or not live_ids:
+                reason = (
+                    f"placement failed on every live node after "
+                    f"{job.attempt} attempt(s): {job.last_error}"
+                )
+                quarantined[job.index] = reason
+                self._notify(f"quarantined cell #{job.index}: {reason}")
+                continue
+            # Attempts may exceed the policy's max while untried live
+            # nodes remain (quarantine needs both); cap the backoff
+            # window at the policy's last rung rather than overflow.
+            backoff_s = self.retry.delay_s(
+                min(job.attempt, self.retry.max_attempts) - 1
+            )
+            job.ready_s = now_s + backoff_s
+            # Past the retry budget the job is on its last-chance tour:
+            # one try per not-yet-failed node, so a blown node cannot
+            # keep stealing it back and starve it forever.
+            job.fresh_only = job.attempt >= self.retry.max_attempts
+            queue.push(job)
+            self._notify(
+                f"reassigning cell #{job.index} ({entry.outcome}), "
+                f"attempt {job.attempt}, backoff {backoff_s:.1f}s"
+            )
+
+    def _record_eta(
+        self,
+        now_s: float,
+        states: Dict[int, NodeState],
+        queue: DispatchQueue,
+        inflight: Dict[Tuple[int, int], _InFlight],
+        eta_history: List[Tuple[float, float]],
+    ) -> None:
+        """Predicted completion: remaining nominal work over the
+        capacity the scheduler still believes in."""
+        remaining = sum(
+            entry.job.nominal_cost_s for entry in inflight.values()
+        ) + sum(job.nominal_cost_s for _, _, job in queue._jobs)
+        capacity = sum(
+            s.speed * s.node.slots
+            for s in states.values()
+            if s.accepts_at(now_s)
+        )
+        if capacity <= 0:
+            return
+        eta_history.append((now_s, now_s + remaining / capacity))

@@ -349,6 +349,48 @@ class TestFaultDeterminism:
                 assert b.dataset.power_w[i] == rows_a[(w, p)]
 
 
+class TestProgressHooks:
+    def test_raising_observer_is_recorded_not_fatal(self, platform):
+        # Telemetry must never kill acquisition: a crashing progress
+        # hook is warned about, logged on the report, and the campaign
+        # still completes every cell.
+        def bad_observer(msg):
+            raise RuntimeError("dashboard fell over")
+
+        campaign = ResilientCampaign(platform, small_plan())
+        with pytest.warns(RuntimeWarning, match="progress hook raised"):
+            result = campaign.run(progress=bad_observer)
+        assert result.report.completed_cells == result.report.total_cells
+        assert result.report.hook_errors
+        assert any(
+            "RuntimeError" in err for err in result.report.hook_errors
+        )
+
+    def test_keyboard_interrupt_still_propagates(self, platform):
+        # Ctrl-C is the operator, not telemetry — it must abort.
+        def interrupting(msg):
+            raise KeyboardInterrupt
+
+        campaign = ResilientCampaign(platform, small_plan())
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(progress=interrupting)
+
+    def test_hook_errors_reset_between_runs(self, platform):
+        calls = []
+
+        def flaky_once(msg):
+            if not calls:
+                calls.append(msg)
+                raise RuntimeError("only the first call crashes")
+
+        campaign = ResilientCampaign(platform, small_plan())
+        with pytest.warns(RuntimeWarning):
+            first = campaign.run(progress=flaky_once)
+        assert first.report.hook_errors
+        second = campaign.run()
+        assert second.report.hook_errors == ()
+
+
 class TestPlumbing:
     def test_run_campaign_forwards_events(self, platform):
         ds = run_campaign(

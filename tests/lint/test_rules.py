@@ -20,6 +20,7 @@ from repro.lint.rules import (
     NoRawLinalgSolvers,
     NoUnauditedReport,
     NoRawParallelPrimitives,
+    NoRawSleepRetry,
     SilentBroadExcept,
     UnitSuffixConsistency,
 )
@@ -672,3 +673,88 @@ class TestRL011UnauditedReport:
         assert ids(run_rule(NoUnauditedReport(), bad, path=self.GATED)) == [
             "RL011"
         ]
+
+
+class TestRL012RawSleepRetry:
+    def test_flags_sleep_in_while_loop(self):
+        bad = """
+            import time
+
+            def wait_for_file(path):
+                while not path.exists():
+                    time.sleep(0.5)
+        """
+        assert ids(run_rule(NoRawSleepRetry(), bad)) == ["RL012"]
+
+    def test_flags_aliased_sleep_in_for_loop(self):
+        bad = """
+            import time as t
+
+            def retry(fn, attempts):
+                for _ in range(attempts):
+                    try:
+                        return fn()
+                    except OSError:
+                        t.sleep(1.0)
+                raise RuntimeError
+        """
+        assert ids(run_rule(NoRawSleepRetry(), bad)) == ["RL012"]
+
+    def test_passes_sleep_outside_loops(self):
+        good = """
+            import time
+
+            def settle():
+                time.sleep(0.1)
+        """
+        assert run_rule(NoRawSleepRetry(), good) == []
+
+    def test_passes_injected_sleep_fn_in_loop(self):
+        good = """
+            def retry(fn, attempts, sleep_fn):
+                for attempt in range(attempts):
+                    try:
+                        return fn()
+                    except OSError:
+                        sleep_fn(2.0 ** attempt)
+                raise RuntimeError
+        """
+        assert run_rule(NoRawSleepRetry(), good) == []
+
+    def test_scheduler_and_retry_policy_modules_are_exempt(self):
+        code = """
+            import time
+
+            def poll_loop():
+                while True:
+                    time.sleep(5.0)
+        """
+        exempt = Path("src/repro/sched/scheduler.py")
+        assert run_rule(NoRawSleepRetry(), code, path=exempt) == []
+        owner = Path("src/repro/acquisition/campaign.py")
+        assert run_rule(NoRawSleepRetry(), code, path=owner) == []
+
+    def test_loop_else_clause_is_not_a_retry_path(self):
+        good = """
+            import time
+
+            def scan(items):
+                for item in items:
+                    process(item)
+                else:
+                    time.sleep(0.1)
+        """
+        assert run_rule(NoRawSleepRetry(), good) == []
+
+    def test_configured_modules_override(self):
+        code = """
+            import time
+
+            def poll():
+                while True:
+                    time.sleep(1.0)
+        """
+        config = LintConfig(sleep_retry_modules=("*/custom/poller.py",))
+        custom = Path("src/custom/poller.py")
+        assert run_rule(NoRawSleepRetry(), code, path=custom, config=config) == []
+        assert ids(run_rule(NoRawSleepRetry(), code, config=config)) == ["RL012"]

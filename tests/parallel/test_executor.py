@@ -122,6 +122,41 @@ class TestPoolCache:
         assert _POOL_CACHE == {}
 
 
+def wedge(i):
+    """A worker stuck in a long uninterruptible-looking call."""
+    time.sleep(60)
+    return i
+
+
+class TestShutdownTimeout:
+    def test_wedged_process_worker_is_terminated_within_timeout(self):
+        shutdown_pools()
+        ex = ProcessExecutor(2)
+        ex.map(square, range(2))  # warm the pool
+        pool = _POOL_CACHE[("process", 2)]
+        pool.submit(wedge, 0)
+        time.sleep(0.2)  # let the worker pick the task up
+        start = time.perf_counter()
+        shutdown_pools(join_timeout_s=0.5)
+        elapsed = time.perf_counter() - start
+        # Bounded: the 60 s sleeper is terminated, not waited out.
+        assert elapsed < 5.0
+        assert _POOL_CACHE == {}
+
+    def test_fresh_pool_works_after_forced_shutdown(self):
+        shutdown_pools()
+        ex = ProcessExecutor(2)
+        ex.map(square, range(2))
+        _POOL_CACHE[("process", 2)].submit(wedge, 0)
+        shutdown_pools(join_timeout_s=0.2)
+        assert ProcessExecutor(2).map(square, range(3)) == [0, 1, 4]
+        shutdown_pools()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="join_timeout_s"):
+            shutdown_pools(join_timeout_s=-1.0)
+
+
 class TestResolution:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv(PARALLEL_ENV, raising=False)

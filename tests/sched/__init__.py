@@ -1,0 +1,1 @@
+"""Cluster scheduler tests."""

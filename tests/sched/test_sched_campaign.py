@@ -1,0 +1,239 @@
+"""ScheduledCampaign: the bit-identity invariant under cluster chaos.
+
+Per-cell results are a pure function of ``(root_seed, cell)`` — nodes,
+deaths, stragglers, reassignment order and resume points shape *when*
+and *where* a cell runs, never what it measures.  Every test here is a
+face of that invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition import CampaignPlan, ResilientCampaign, RetryPolicy
+from repro.cluster.nodes import build_cluster
+from repro.faults.plan import FaultPlan
+from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS
+from repro.sched.campaign import ScheduledCampaign
+from repro.workloads import get_workload
+
+#: The CI chaos matrix seeds — all three must hold in one process.
+FAULT_SEEDS = (0, 1, 20170529)
+
+PROG = tuple(c for c in COUNTER_NAMES if c not in FIXED_COUNTERS)[:8]
+EVENTS = tuple(FIXED_COUNTERS) + PROG
+
+
+def chaos_plan(fault_seed):
+    """Kill ~half the cluster mid-campaign, slow ~30% of it."""
+    return FaultPlan(
+        node_death_rate=0.5, straggler_rate=0.3, fault_seed=fault_seed
+    )
+
+
+def small_plan():
+    return CampaignPlan(
+        workloads=(get_workload("compute"), get_workload("memory_read")),
+        frequencies_mhz=(1200, 2400),
+        events=EVENTS,
+        thread_counts_override=(4, 8),
+    )
+
+
+def datasets_equal(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    return (
+        a.counter_names == b.counter_names
+        and a.workloads == b.workloads
+        and a.phase_names == b.phase_names
+        and np.array_equal(a.counters, b.counters)
+        and np.array_equal(a.power_w, b.power_w)
+        and np.array_equal(a.voltage_v, b.voltage_v)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(platform):
+    """The fault-free serial reference every cluster run must match."""
+    return ResilientCampaign(
+        platform, small_plan(), retry=RetryPolicy(max_attempts=4)
+    ).run()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+    def test_cluster_chaos_dataset_matches_serial(
+        self, platform, serial_result, fault_seed
+    ):
+        nodes = build_cluster(16, seed=platform.seed)
+        result = ScheduledCampaign(
+            platform,
+            small_plan(),
+            nodes,
+            faults=chaos_plan(fault_seed),
+            retry=RetryPolicy(max_attempts=4),
+        ).run()
+        sched = result.report.scheduling
+
+        # The chaos is real: ≥25% of the 16 nodes die mid-campaign.
+        deaths = sum(1 for n in sched.nodes if n.died_at_s is not None)
+        assert deaths >= 4
+        assert sched.reassignments > 0
+        # ...and the dataset does not care.
+        assert not sched.quarantined
+        assert result.report.completed_cells == result.report.total_cells
+        assert datasets_equal(result.dataset, serial_result.dataset)
+
+    def test_scheduler_chaos_leaves_acquisition_ledger_alone(
+        self, platform, serial_result
+    ):
+        # Node deaths are placement events, not measurement faults: the
+        # retry/backoff ledger must read exactly like the serial run's.
+        result = ScheduledCampaign(
+            platform,
+            small_plan(),
+            build_cluster(16, seed=platform.seed),
+            faults=chaos_plan(0),
+            retry=RetryPolicy(max_attempts=4),
+        ).run()
+        assert result.report.retries == serial_result.report.retries
+        assert result.report.total_backoff_s == pytest.approx(
+            serial_result.report.total_backoff_s
+        )
+        assert (
+            result.report.faults_observed
+            == serial_result.report.faults_observed
+        )
+
+    def test_placement_cost_is_seeded_per_cell(self, platform):
+        campaign = ScheduledCampaign(
+            platform, small_plan(), build_cluster(4, seed=platform.seed)
+        )
+        cells = campaign.cells()
+        costs = [campaign.cell_cost_s(c) for c in cells]
+        assert costs == [campaign.cell_cost_s(c) for c in cells]
+        assert len(set(costs)) > 1  # heterogeneous, not constant
+        assert all(c > 0 for c in costs)
+
+
+class TestKillAndResume:
+    def _campaign(self, platform, tmp_path, fault_seed):
+        # Pinned serial for the same reason as the resilient-campaign
+        # resume test: the interrupt lands between cell checkpoints.
+        return ScheduledCampaign(
+            platform,
+            small_plan(),
+            build_cluster(16, seed=platform.seed),
+            faults=chaos_plan(fault_seed),
+            retry=RetryPolicy(max_attempts=4),
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_shards=8,
+            parallel="serial",
+        )
+
+    @pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+    def test_killed_campaign_resumes_bit_identical(
+        self, platform, serial_result, tmp_path, fault_seed
+    ):
+        cell_msgs = []
+
+        def interrupting(msg):
+            # Placement narration ("sched: ...") rides the same hook;
+            # the kill must land mid-acquisition, after 3 cells.
+            if msg.startswith("cell "):
+                cell_msgs.append(msg)
+                if len(cell_msgs) == 4:
+                    raise KeyboardInterrupt
+
+        first = self._campaign(platform, tmp_path, fault_seed)
+        with pytest.raises(KeyboardInterrupt):
+            first.run(progress=interrupting)
+        stored = first.checkpoint.completed_cells()
+        assert len(stored) == 3
+
+        second = self._campaign(platform, tmp_path, fault_seed)
+        result = second.run()
+        assert result.report.resumed_cells == 3
+        assert result.report.completed_cells == result.report.total_cells
+        assert datasets_equal(result.dataset, serial_result.dataset)
+        # Resume read only the dirty shards holding the 3 dead-run
+        # cells — never the whole manifest.
+        dirty = {second.checkpoint.shard_of(cid) for cid in stored}
+        assert 1 <= second.checkpoint.shard_reads <= len(dirty)
+
+    def test_corrupt_shard_cells_are_regenerated(
+        self, platform, serial_result, tmp_path
+    ):
+        first = self._campaign(platform, tmp_path, 0)
+        first.run()
+        stored = first.checkpoint.completed_cells()
+        assert stored
+        victim = first.checkpoint.shard_path(
+            first.checkpoint.shard_of(stored[0])
+        )
+        victim.write_bytes(b"not a zip archive")
+
+        second = self._campaign(platform, tmp_path, 0)
+        result = second.run()
+        # Only the corrupt shard's cells re-ran; the rest resumed.
+        assert 0 < result.report.resumed_cells < result.report.total_cells
+        assert result.report.completed_cells == result.report.total_cells
+        assert datasets_equal(result.dataset, serial_result.dataset)
+        assert any(
+            e["kind"] == "corrupt-shard-discarded"
+            for e in second.checkpoint.events()
+        )
+
+
+class TestReportWiring:
+    def test_scheduling_story_reaches_report_and_audit(self, platform):
+        result = ScheduledCampaign(
+            platform,
+            small_plan(),
+            build_cluster(16, seed=platform.seed),
+            faults=chaos_plan(0),
+            retry=RetryPolicy(max_attempts=4),
+        ).run()
+        sched = result.report.scheduling
+        assert sched is not None
+        assert sched.total_cells == result.report.total_cells
+        assert sched.completed_cells == result.report.completed_cells
+        assert "AU012" in result.report.audit.rules_run
+        # The rendered report tells the scheduling story.
+        text = result.report.summary()
+        assert "scheduling:" in text
+
+    def test_unplaceable_cells_land_in_quarantine(self, platform):
+        # A cluster that entirely dies under the campaign: whatever
+        # placement could not finish is quarantined with the placement
+        # reason, never silently dropped.
+        result = ScheduledCampaign(
+            platform,
+            small_plan(),
+            build_cluster(3, seed=platform.seed),
+            faults=FaultPlan(node_death_rate=1.0, fault_seed=1),
+            retry=RetryPolicy(max_attempts=3),
+        ).run()
+        report = result.report
+        assert report.quarantined  # the 3-node cluster did die
+        assert (
+            report.completed_cells + len(report.quarantined)
+            == report.total_cells
+        )
+        assert len(report.scheduling.quarantined) == len(report.quarantined)
+        assert report.audit is not None
+        assert report.audit.verdict != "pass"
+
+    def test_serial_campaign_report_has_no_scheduling(self, platform):
+        result = ResilientCampaign(
+            platform,
+            CampaignPlan(
+                workloads=(get_workload("idle"),),
+                frequencies_mhz=(2400,),
+                events=EVENTS,
+                thread_counts_override=(8,),
+            ),
+        ).run()
+        assert result.report.scheduling is None

@@ -1,0 +1,289 @@
+"""The placement core: work-stealing, liveness, reassignment.
+
+Everything here runs on the virtual clock — a full chaos campaign's
+placement finishes in milliseconds, so the edge cases (every node
+dead, every node a hopeless straggler) are cheap to pin exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.acquisition.campaign import RetryPolicy
+from repro.cluster.nodes import ClusterNode, build_cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sched.liveness import NodeLivenessModel, NodeState
+from repro.sched.queue import DispatchQueue, JobContext
+from repro.sched.scheduler import ClusterScheduler
+
+
+def scheduler(nodes, costs, *, fault_seed=None, plan=None, **kwargs):
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, root_seed=20170529)
+    elif fault_seed is not None:
+        injector = FaultInjector(
+            FaultPlan(
+                node_death_rate=0.5, straggler_rate=0.3,
+                fault_seed=fault_seed,
+            ),
+            root_seed=20170529,
+        )
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=4))
+    return ClusterScheduler(nodes, costs, injector=injector, **kwargs)
+
+
+class TestLivenessModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeLivenessModel(heartbeat_interval_s=0.0)
+        with pytest.raises(ValueError):
+            NodeLivenessModel(
+                heartbeat_interval_s=5.0, heartbeat_timeout_s=2.0
+            )
+        with pytest.raises(ValueError):
+            NodeLivenessModel(deadline_factor=1.0)
+
+    def test_deadline_scales_nominal_cost(self):
+        model = NodeLivenessModel(deadline_factor=6.0)
+        assert model.deadline_s(2.0) == pytest.approx(12.0)
+
+    def test_scheduler_view_lags_ground_truth(self):
+        node = build_cluster(1)[0]
+        state = NodeState(node=node, death_s=10.0, detect_s=25.0)
+        # Dead at t=12 but still *accepting* — the detection window.
+        assert not state.alive_at(12.0)
+        assert state.accepts_at(12.0)
+        assert not state.accepts_at(25.0)
+
+
+class TestDispatchQueue:
+    def test_fifo_by_ready_time_then_sequence(self):
+        q = DispatchQueue()
+        q.push(JobContext(index=0, nominal_cost_s=1.0, ready_s=5.0))
+        q.push(JobContext(index=1, nominal_cost_s=1.0, ready_s=0.0))
+        q.push(JobContext(index=2, nominal_cost_s=1.0, ready_s=0.0))
+        assert q.pop_ready(10.0, node_id=0).index == 1
+        assert q.pop_ready(10.0, node_id=0).index == 2
+        assert q.pop_ready(10.0, node_id=0).index == 0
+
+    def test_backing_off_jobs_are_not_ready(self):
+        q = DispatchQueue([JobContext(index=0, nominal_cost_s=1.0, ready_s=3.0)])
+        assert q.pop_ready(2.9, node_id=0) is None
+        assert q.next_ready_s() == pytest.approx(3.0)
+        assert q.pop_ready(3.0, node_id=0).index == 0
+
+    def test_steal_prefers_untried_job(self):
+        tried = JobContext(index=0, nominal_cost_s=1.0, tried_nodes={7})
+        fresh = JobContext(index=1, nominal_cost_s=1.0)
+        q = DispatchQueue([tried, fresh])
+        # Node 7 skips the job that already failed on it...
+        assert q.pop_ready(0.0, node_id=7).index == 1
+        # ...but takes it as a fallback when nothing else is ready.
+        assert q.pop_ready(0.0, node_id=7).index == 0
+
+    def test_fresh_only_job_never_returns_to_a_failed_node(self):
+        job = JobContext(
+            index=0, nominal_cost_s=1.0, tried_nodes={7}, fresh_only=True
+        )
+        q = DispatchQueue([job])
+        assert q.pop_ready(0.0, node_id=7) is None
+        assert q.pop_ready(0.0, node_id=3).index == 0
+
+    def test_pop_blocked_extracts_starved_jobs(self):
+        blocked = JobContext(
+            index=0, nominal_cost_s=1.0, tried_nodes={1, 2}, fresh_only=True
+        )
+        placeable = JobContext(
+            index=1, nominal_cost_s=1.0, tried_nodes={1}, fresh_only=True
+        )
+        q = DispatchQueue([blocked, placeable])
+        out = q.pop_blocked(0.0, accepting_ids={1, 2})
+        assert [j.index for j in out] == [0]
+        assert len(q) == 1
+
+
+class TestFaultFreePlacement:
+    def test_all_cells_complete_exactly_once(self):
+        nodes = build_cluster(4, slots_per_node=2)
+        trace = scheduler(nodes, [1.0] * 40).schedule()
+        counts = Counter(
+            p.cell_index
+            for p in trace.placements
+            if p.outcome == "completed"
+        )
+        assert sorted(counts) == list(range(40))
+        assert all(v == 1 for v in counts.values())
+        assert not trace.quarantined
+        assert trace.reassignments == 0
+
+    def test_work_stealing_balances_equal_nodes(self):
+        nodes = build_cluster(4)
+        trace = scheduler(nodes, [1.0] * 40).schedule()
+        by_node = trace.completions_by_node()
+        # Near-identical speeds: nobody hoards, nobody starves.
+        assert set(by_node) == {n.node_id for n in nodes}
+        assert max(by_node.values()) - min(by_node.values()) <= 2
+
+    def test_slow_node_takes_proportionally_fewer_cells(self):
+        # Pull-based stealing needs no speed model: a half-speed node
+        # frees its lane half as often, so it takes about half the work.
+        nodes = [
+            ClusterNode(node_id=0, hostname="fast", platform=None,
+                        speed_factor=1.0),
+            ClusterNode(node_id=1, hostname="slow", platform=None,
+                        speed_factor=0.5),
+        ]
+        trace = scheduler(nodes, [1.0] * 30).schedule()
+        by_node = trace.completions_by_node()
+        assert by_node[0] > by_node[1]
+        assert by_node[0] == pytest.approx(2 * by_node[1], abs=3)
+
+    def test_parallelmax_caps_concurrency(self):
+        nodes = build_cluster(4, slots_per_node=2)
+        trace = scheduler(nodes, [1.0] * 24, parallelmax=3).schedule()
+        assert trace.parallelmax == 3
+        # Count overlapping placements at every start instant.
+        for probe in trace.placements:
+            overlap = sum(
+                1
+                for p in trace.placements
+                if p.start_s <= probe.start_s < p.end_s
+            )
+            assert overlap <= 3
+        assert len(trace.completed_indices()) == 24
+
+    def test_extra_slots_increase_concurrency(self):
+        costs = [1.0] * 16
+        one = scheduler(build_cluster(2, slots_per_node=1), costs).schedule()
+        two = scheduler(build_cluster(2, slots_per_node=2), costs).schedule()
+        assert two.makespan_s < one.makespan_s
+
+    def test_eta_history_converges_to_makespan(self):
+        trace = scheduler(build_cluster(4), [1.0] * 20).schedule()
+        assert trace.eta_history
+        final_eta = trace.eta_history[-1][1]
+        assert final_eta == pytest.approx(trace.makespan_s, rel=0.5)
+
+
+class TestChaosPlacement:
+    @pytest.mark.parametrize("fault_seed", [0, 1, 20170529])
+    def test_mid_campaign_death_completes_everything(self, fault_seed):
+        # ≥25% of the 16-node cluster dies mid-campaign at each seed
+        # (verified below); every cell still completes exactly once.
+        nodes = build_cluster(16, slots_per_node=2)
+        trace = scheduler(
+            nodes, [1.0 + 0.1 * (i % 7) for i in range(48)],
+            fault_seed=fault_seed,
+        ).schedule()
+        assert len(trace.node_death_s) >= 4
+        assert not trace.quarantined
+        counts = Counter(
+            p.cell_index
+            for p in trace.placements
+            if p.outcome == "completed"
+        )
+        assert sorted(counts) == list(range(48))
+        assert all(v == 1 for v in counts.values())
+        assert trace.reassignments > 0
+
+    def test_dead_nodes_complete_nothing_after_death(self):
+        trace = scheduler(
+            build_cluster(16), [1.0] * 32, fault_seed=0
+        ).schedule()
+        assert trace.node_death_s  # seed verified to kill nodes
+        for p in trace.placements:
+            if p.outcome != "completed":
+                continue
+            death_s = trace.node_death_s.get(p.node_id)
+            if death_s is not None:
+                assert p.end_s <= death_s
+
+    def test_placement_is_deterministic(self):
+        nodes = build_cluster(16)
+        costs = [1.0 + 0.1 * (i % 5) for i in range(32)]
+        a = scheduler(nodes, costs, fault_seed=1).schedule()
+        b = scheduler(nodes, costs, fault_seed=1).schedule()
+        assert a.placements == b.placements
+        assert dict(a.quarantined) == dict(b.quarantined)
+        assert a.makespan_s == b.makespan_s
+
+    def test_all_nodes_dead_quarantines_remainder(self):
+        plan = FaultPlan(node_death_rate=1.0, fault_seed=1)
+        trace = scheduler(
+            build_cluster(3), [1.0] * 10, plan=plan,
+            retry=RetryPolicy(max_attempts=3),
+        ).schedule()
+        done = set(trace.completed_indices())
+        assert done | set(trace.quarantined) == set(range(10))
+        assert done.isdisjoint(trace.quarantined)
+        assert trace.quarantined  # the cluster did die under it
+        for reason in trace.quarantined.values():
+            assert "no live nodes" in reason or "every live node" in reason
+
+    def test_hopeless_stragglers_quarantine_not_hang(self):
+        # Every node a deep straggler + a tight deadline: placement
+        # must converge to quarantine, not retry forever.
+        plan = FaultPlan(straggler_rate=1.0, fault_seed=0)
+        trace = scheduler(
+            build_cluster(4), [1.0] * 6, plan=plan,
+            retry=RetryPolicy(max_attempts=2),
+            liveness=NodeLivenessModel(deadline_factor=2.0),
+        ).schedule()
+        assert set(trace.quarantined) == set(range(6))
+        assert "every live node" in next(iter(trace.quarantined.values()))
+
+    def test_straggler_blows_deadline_and_cell_moves_on(self):
+        plan = FaultPlan(straggler_rate=0.3, fault_seed=0)
+        trace = scheduler(
+            build_cluster(8), [1.0] * 24, plan=plan,
+            liveness=NodeLivenessModel(deadline_factor=3.0),
+        ).schedule()
+        assert trace.straggler_factors  # seed verified to slow nodes
+        kinds = trace.reassignments_by_kind()
+        if kinds:
+            assert set(kinds) <= {"deadline-timeout", "node-death"}
+        assert len(trace.completed_indices()) == 24
+
+    def test_raising_observer_is_survived(self):
+        def bad_observer(message):
+            raise RuntimeError("observer crashed")
+
+        sched = scheduler(
+            build_cluster(8), [1.0] * 16, fault_seed=0,
+            on_event=bad_observer,
+        )
+        with pytest.warns(RuntimeWarning, match="observer raised"):
+            trace = sched.schedule()
+        assert len(trace.completed_indices()) == 16
+        assert sched.observer_errors
+        assert "RuntimeError" in sched.observer_errors[0]
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler([], [1.0])
+
+    def test_nonpositive_costs_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(build_cluster(2), [1.0, 0.0])
+
+    def test_parallelmax_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(build_cluster(2), [1.0], parallelmax=0)
+
+    def test_all_dead_at_discovery_rejected(self):
+        nodes = build_cluster(2)
+        dead = [
+            ClusterNode(
+                node_id=n.node_id, hostname=n.hostname,
+                platform=n.platform, alive=False,
+            )
+            for n in nodes
+        ]
+        with pytest.raises(ValueError, match="dead at discovery"):
+            ClusterScheduler(dead, [1.0]).schedule()

@@ -1,0 +1,186 @@
+"""ShardedManifest: atomic shards, lazy dirty-shard resume, loss of
+exactly one shard on corruption.
+
+The shard file is the unit of both atomicity and loss — these tests
+pin that boundary from both sides.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.acquisition.checkpoint import ShardedManifest, cell_id
+from repro.tracing.phases import PhaseProfile
+
+FP = "fingerprint-a"
+
+
+def profile(power_w=42.0, phase_name="main"):
+    return PhaseProfile(
+        workload="compute",
+        suite="synthetic",
+        frequency_mhz=2400,
+        threads=8,
+        run_index=0,
+        phase_name=phase_name,
+        start_s=0.0,
+        end_s=1.0,
+        active_threads=8,
+        power_w=power_w,
+        voltage_v=1.05,
+        counter_rates_per_s={"TOT_INS": 1e9},
+    )
+
+
+def cids(n):
+    return [
+        cell_id("compute", 2400, 8, i, ("TOT_INS", "TOT_CYC"))
+        for i in range(n)
+    ]
+
+
+def store_cells(manifest, ids):
+    for i, cid in enumerate(ids):
+        manifest.store(cid, [profile(power_w=40.0 + i)])
+
+
+class TestRoundTrip:
+    def test_store_load_roundtrip(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=4)
+        ids = cids(12)
+        store_cells(m, ids)
+
+        fresh = ShardedManifest(tmp_path, FP, n_shards=4)
+        assert fresh.completed_cells() == sorted(ids)
+        for i, cid in enumerate(ids):
+            [prof] = fresh.load(cid)
+            assert prof.power_w == pytest.approx(40.0 + i)
+        assert fresh.load("feedface") is None
+
+    def test_cells_spread_across_shard_files(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=4)
+        store_cells(m, cids(32))
+        shard_files = sorted(p.name for p in tmp_path.glob("shard_*.npz"))
+        assert len(shard_files) > 1
+        assert all(name.startswith("shard_") for name in shard_files)
+        # Every cell hashes to the shard file it was stored in.
+        for cid in cids(32):
+            assert m.shard_path(m.shard_of(cid)).exists()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedManifest(tmp_path, FP, n_shards=0)
+
+
+class TestLazyResume:
+    def test_load_touches_only_the_cells_shard(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=8)
+        ids = cids(32)
+        store_cells(m, ids)
+
+        fresh = ShardedManifest(tmp_path, FP, n_shards=8)
+        assert fresh.shard_reads == 0
+        fresh.load(ids[0])
+        assert fresh.shard_reads == 1
+        # Same shard again: served from cache, no second file read.
+        fresh.load(ids[0])
+        assert fresh.has(ids[0])
+        assert fresh.shard_reads == 1
+        other = next(c for c in ids if fresh.shard_of(c) != fresh.shard_of(ids[0]))
+        fresh.load(other)
+        assert fresh.shard_reads == 2
+
+    def test_missing_shard_is_not_a_read(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=8)
+        assert m.load(cids(1)[0]) is None
+        assert m.shard_reads == 0
+
+    def test_store_rewrites_one_shard_atomically(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=8)
+        ids = cids(4)
+        store_cells(m, ids)
+        writes_before = m.shard_writes
+        m.store(ids[0], [profile(power_w=99.0)])
+        assert m.shard_writes == writes_before + 1
+        # No temp droppings from the atomic write.
+        assert not list(tmp_path.glob("*.tmp*"))
+
+
+class TestCorruptShard:
+    def test_corrupt_shard_loses_only_its_own_cells(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=4)
+        ids = cids(16)
+        store_cells(m, ids)
+        victim_shard = m.shard_of(ids[0])
+        m.shard_path(victim_shard).write_bytes(b"not a zip archive")
+
+        fresh = ShardedManifest(tmp_path, FP, n_shards=4)
+        lost = {c for c in ids if fresh.shard_of(c) == victim_shard}
+        kept = set(ids) - lost
+        assert lost and kept  # the scenario actually splits the cells
+        for cid in lost:
+            assert fresh.load(cid) is None
+        for cid in kept:
+            assert fresh.load(cid) is not None
+        # The corrupt file is discarded so it cannot be re-trusted...
+        assert not fresh.shard_path(victim_shard).exists()
+        # ...and the discard is on the audit trail.
+        kinds = [e["kind"] for e in fresh.events()]
+        assert "corrupt-shard-discarded" in kinds
+        meta = json.loads((tmp_path / ShardedManifest.META).read_text())
+        assert any(
+            e["kind"] == "corrupt-shard-discarded" for e in meta["events"]
+        )
+
+    def test_restored_cells_rejoin_the_shard(self, tmp_path):
+        m = ShardedManifest(tmp_path, FP, n_shards=2)
+        ids = cids(6)
+        store_cells(m, ids)
+        victim_shard = m.shard_of(ids[0])
+        m.shard_path(victim_shard).write_bytes(b"garbage")
+
+        fresh = ShardedManifest(tmp_path, FP, n_shards=2)
+        lost = [c for c in ids if fresh.shard_of(c) == victim_shard]
+        for cid in lost:  # re-run the lost cells
+            fresh.store(cid, [profile()])
+        final = ShardedManifest(tmp_path, FP, n_shards=2)
+        assert final.completed_cells() == sorted(ids)
+
+
+class TestStaleStore:
+    def test_fingerprint_mismatch_resets(self, tmp_path):
+        old = ShardedManifest(tmp_path, "fingerprint-old", n_shards=4)
+        store_cells(old, cids(8))
+        assert list(tmp_path.glob("shard_*.npz"))
+
+        fresh = ShardedManifest(tmp_path, FP, n_shards=4)
+        assert fresh.completed_cells() == []
+        assert not list(tmp_path.glob("shard_*.npz"))
+
+    def test_shard_count_mismatch_resets(self, tmp_path):
+        # Re-sharding changes every cell → shard mapping; adopting the
+        # old files would scatter cells into the wrong archives.
+        old = ShardedManifest(tmp_path, FP, n_shards=4)
+        store_cells(old, cids(8))
+        fresh = ShardedManifest(tmp_path, FP, n_shards=8)
+        assert fresh.completed_cells() == []
+
+    def test_corrupt_meta_resets(self, tmp_path):
+        old = ShardedManifest(tmp_path, FP, n_shards=4)
+        store_cells(old, cids(4))
+        (tmp_path / ShardedManifest.META).write_text("{broken json")
+        fresh = ShardedManifest(tmp_path, FP, n_shards=4)
+        assert fresh.completed_cells() == []
+
+    def test_matching_store_is_adopted_with_its_history(self, tmp_path):
+        old = ShardedManifest(tmp_path, FP, n_shards=4)
+        store_cells(old, cids(4))
+        old.shard_path(old.shard_of(cids(1)[0])).write_bytes(b"junk")
+        mid = ShardedManifest(tmp_path, FP, n_shards=4)
+        mid.completed_cells()  # triggers the corrupt-shard discard
+        final = ShardedManifest(tmp_path, FP, n_shards=4)
+        assert any(
+            e["kind"] == "corrupt-shard-discarded" for e in final.events()
+        )
