@@ -50,8 +50,10 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "SHARD_FORMAT",
     "CampaignCheckpoint",
+    "ShardedArchiveStore",
     "ShardedManifest",
     "cell_id",
+    "shard_key",
 ]
 
 #: Bump when the cell archive layout changes; old checkpoints are
@@ -282,30 +284,45 @@ def _unpack_profile(data, names: List[str], rates: np.ndarray, i: int) -> PhaseP
     )
 
 
-class ShardedManifest:
-    """Checkpoint store sharded into N archives for cluster campaigns.
+def shard_key(key: str) -> int:
+    """Stable integer hash of an arbitrary string key.
 
-    Same ``load``/``store``/``has`` surface as
-    :class:`CampaignCheckpoint` (the resilient loop does not care which
-    one it holds), but cells are hashed into ``n_shards`` archive files
-    instead of one file per cell:
+    Used for shard placement of keys that are not already hex digests
+    (e.g. fleet node ids); the same key lands in the same shard on
+    every run and every host.
+    """
+    return int(
+        hashlib.blake2b(key.encode(), digest_size=8).hexdigest(), 16
+    )
 
-    * a 10⁵-cell campaign stores 10⁵ ÷ N cells per shard file, not 10⁵
-      inodes;
+
+class ShardedArchiveStore:
+    """Generic sharded, atomic, corruption-tolerant key → value store.
+
+    The machinery that made :class:`ShardedManifest` safe for cluster
+    campaigns — lazy per-shard reads, atomic shard rewrites, corrupt
+    shards discarded with an audit trail, fingerprint-guarded adoption
+    — is value-agnostic; subclasses provide only the archive layout via
+    :meth:`_pack_shard` / :meth:`_unpack_shard`.  The serving layer's
+    per-node estimator state store reuses the exact same discipline:
+
+    * keys are hashed into ``n_shards`` archive files, so a store of
+      millions of entries is N files, not millions of inodes;
     * each shard write goes through :func:`repro.io.atomic.atomic_savez`,
       so writers of *different* shards never corrupt each other and a
       kill mid-write leaves the old complete shard;
-    * resume reads lazily, one shard on first touch — after a kill that
-      completed k cells, at most ``min(k, N)`` dirty shards are read,
-      never one giant manifest (``shard_reads`` counts actual file
-      reads; the resume tests assert on it);
+    * reads are lazy, one shard on first touch — restoring k entries
+      reads at most ``min(k, N)`` shards (``shard_reads`` counts actual
+      file reads; the resume tests assert on it);
     * a corrupt shard is discarded and logged, losing only its own
-      cells — every other shard is untouched and its cells resume.
+      entries — every other shard is untouched.
 
     One shard file is the unit of both atomicity and loss.
     """
 
     META = "shards.json"
+    #: Archive-format stamp; subclasses bump their own independently.
+    FORMAT: int = 1
 
     def __init__(
         self,
@@ -321,11 +338,22 @@ class ShardedManifest:
         self.n_shards = int(n_shards)
         self._events: List[Dict[str, str]] = []
         self._meta_ready = False
-        #: shard index → {cell id → profiles}, for shards read or written.
-        self._shards: Dict[int, Dict[str, List[PhaseProfile]]] = {}
+        #: shard index → {key → value}, for shards read or written.
+        self._shards: Dict[int, Dict[str, object]] = {}
         self.shard_reads = 0
         self.shard_writes = 0
         self._initialise()
+
+    # -- subclass hooks -------------------------------------------------
+    def _pack_shard(self, cells: Dict[str, object]) -> Dict[str, np.ndarray]:
+        """One shard's entries as ``npz``-ready arrays."""
+        raise NotImplementedError  # pragma: no cover
+
+    def _unpack_shard(self, data) -> Dict[str, object]:
+        """Entries out of one loaded ``npz`` archive.  Malformed
+        content must raise one of the corrupt-archive errors so the
+        shard is discarded, never half-trusted."""
+        raise NotImplementedError  # pragma: no cover
 
     # ------------------------------------------------------------------
     def _meta_path(self) -> Path:
@@ -343,7 +371,7 @@ class ShardedManifest:
                 meta = None
         if (
             not isinstance(meta, dict)
-            or meta.get("format") != SHARD_FORMAT
+            or meta.get("format") != self.FORMAT
             or meta.get("fingerprint") != self.fingerprint
             or meta.get("n_shards") != self.n_shards
         ):
@@ -361,7 +389,7 @@ class ShardedManifest:
         atomic_write_json(
             self._meta_path(),
             {
-                "format": SHARD_FORMAT,
+                "format": self.FORMAT,
                 "fingerprint": self.fingerprint,
                 "n_shards": self.n_shards,
                 "events": self._events,
@@ -392,37 +420,33 @@ class ShardedManifest:
                 )
 
     # ------------------------------------------------------------------
-    def shard_of(self, cid: str) -> int:
-        """Shard index a cell id hashes into."""
-        return int(cid, 16) % self.n_shards
+    def shard_of(self, key: str) -> int:
+        """Shard index a key hashes into."""
+        return shard_key(key) % self.n_shards
 
     def shard_path(self, shard: int) -> Path:
         return self.directory / f"shard_{shard:04d}.npz"
 
-    def _load_shard(self, shard: int) -> Dict[str, List[PhaseProfile]]:
-        """Cells of one shard, reading the file on first touch only."""
+    def _load_shard(self, shard: int) -> Dict[str, object]:
+        """Entries of one shard, reading the file on first touch only."""
         cached = self._shards.get(shard)
         if cached is not None:
             return cached
-        cells: Dict[str, List[PhaseProfile]] = {}
+        cells: Dict[str, object] = {}
         self._shards[shard] = cells
         path = self.shard_path(shard)
         if not path.is_file():
             return cells
         try:
             with np.load(path, allow_pickle=False) as data:
-                if int(data["format"]) != SHARD_FORMAT:
+                if int(data["format"]) != self.FORMAT:
                     raise ValueError("unknown shard format")
                 self.shard_reads += 1
-                names = [str(c) for c in data["counter_names"]]
-                rates = data["counter_rates_per_s"]
-                cell_ids = [str(c) for c in data["cell_ids"]]
-                for i, cid in enumerate(cell_ids):
-                    cells.setdefault(cid, []).append(
-                        _unpack_profile(data, names, rates, i)
-                    )
+                cells.update(self._unpack_shard(data))
         except _CORRUPT_ERRORS as exc:
-            # One corrupt shard loses only its own cells; they re-run.
+            # One corrupt shard loses only its own entries; they are
+            # re-run (campaign cells) or rebuilt from the baseline
+            # model (fleet nodes).
             cells.clear()
             try:
                 path.unlink()
@@ -439,39 +463,106 @@ class ShardedManifest:
 
     def _write_shard(self, shard: int) -> None:
         cells = self._shards.get(shard, {})
-        profiles: List[PhaseProfile] = []
-        cell_ids: List[str] = []
-        for cid, cell_profiles in cells.items():
-            profiles.extend(cell_profiles)
-            cell_ids.extend([cid] * len(cell_profiles))
         atomic_savez(
             self.shard_path(shard),
-            format=np.array(SHARD_FORMAT),
-            cell_ids=np.array(cell_ids),
-            **_pack_profiles(profiles),
+            format=np.array(self.FORMAT),
+            **self._pack_shard(cells),
         )
         self.shard_writes += 1
 
     # ------------------------------------------------------------------
-    def has(self, cid: str) -> bool:
-        return cid in self._load_shard(self.shard_of(cid))
+    def has(self, key: str) -> bool:
+        return key in self._load_shard(self.shard_of(key))
 
-    def completed_cells(self) -> List[str]:
-        """Ids of all cells currently stored (reads every shard)."""
+    def stored_keys(self) -> List[str]:
+        """All keys currently stored (reads every shard)."""
         out: List[str] = []
         for path in self.directory.glob("shard_*.npz"):
             shard = int(path.stem[len("shard_"):])
-            out.extend(self._load_shard(shard))
+            out.extend(str(k) for k in self._load_shard(shard))
         return sorted(out)
+
+    def store(self, key: str, value: object) -> None:
+        """Persist one entry: atomically rewrite its shard."""
+        cells = self._load_shard(self.shard_of(key))
+        cells[key] = value
+        self._write_shard(self.shard_of(key))
+
+    def store_many(self, items) -> int:
+        """Persist a batch of entries, rewriting each dirty shard once.
+
+        ``items`` is a mapping or an iterable of ``(key, value)``
+        pairs.  The snapshot worker's entry point: N nodes land as
+        ``min(N, n_shards)`` shard writes instead of N.  Returns the
+        number of shard files written.
+        """
+        pairs = items.items() if isinstance(items, dict) else items
+        by_shard: Dict[int, Dict[str, object]] = {}
+        for key, value in pairs:
+            by_shard.setdefault(self.shard_of(key), {})[key] = value
+        for shard, entries in sorted(by_shard.items()):
+            self._load_shard(shard).update(entries)
+            self._write_shard(shard)
+        return len(by_shard)
+
+    def load(self, key: str) -> Optional[object]:
+        """One stored entry, or ``None`` if absent — only this key's
+        shard is read (and only on first touch)."""
+        return self._load_shard(self.shard_of(key)).get(key)
+
+
+class ShardedManifest(ShardedArchiveStore):
+    """Campaign checkpoint store sharded into N archives.
+
+    Same ``load``/``store``/``has`` surface as
+    :class:`CampaignCheckpoint` (the resilient loop does not care which
+    one it holds); the sharding, atomicity and corruption-recovery
+    discipline comes from :class:`ShardedArchiveStore`, this subclass
+    only defines the cell-profile archive layout.
+    """
+
+    FORMAT = SHARD_FORMAT
+
+    # ------------------------------------------------------------------
+    def shard_of(self, cid: str) -> int:
+        """Shard index a cell id hashes into.
+
+        Cell ids are already blake2b hex digests (:func:`cell_id`), so
+        they are their own hash — and existing on-disk stores keep
+        their placement across the generic-store refactor.
+        """
+        return int(cid, 16) % self.n_shards
+
+    def _pack_shard(self, cells: Dict[str, object]) -> Dict[str, np.ndarray]:
+        profiles: List[PhaseProfile] = []
+        cell_ids: List[str] = []
+        for cid, cell_profiles in cells.items():
+            profiles.extend(cell_profiles)  # type: ignore[arg-type]
+            cell_ids.extend([cid] * len(cell_profiles))  # type: ignore[arg-type]
+        return {"cell_ids": np.array(cell_ids), **_pack_profiles(profiles)}
+
+    def _unpack_shard(self, data) -> Dict[str, object]:
+        cells: Dict[str, List[PhaseProfile]] = {}
+        names = [str(c) for c in data["counter_names"]]
+        rates = data["counter_rates_per_s"]
+        cell_ids = [str(c) for c in data["cell_ids"]]
+        for i, cid in enumerate(cell_ids):
+            cells.setdefault(cid, []).append(
+                _unpack_profile(data, names, rates, i)
+            )
+        return cells
+
+    # ------------------------------------------------------------------
+    def completed_cells(self) -> List[str]:
+        """Ids of all cells currently stored (reads every shard)."""
+        return self.stored_keys()
 
     def store(self, cid: str, profiles: Sequence[PhaseProfile]) -> None:
         """Persist one completed cell: atomically rewrite its shard."""
-        cells = self._load_shard(self.shard_of(cid))
-        cells[cid] = list(profiles)
-        self._write_shard(self.shard_of(cid))
+        super().store(cid, list(profiles))
 
     def load(self, cid: str) -> Optional[List[PhaseProfile]]:
         """Profiles of one stored cell, or ``None`` if absent — only
         this cell's shard is read (and only on first touch)."""
-        profiles = self._load_shard(self.shard_of(cid)).get(cid)
-        return list(profiles) if profiles is not None else None
+        profiles = super().load(cid)
+        return list(profiles) if profiles is not None else None  # type: ignore[arg-type]

@@ -3,7 +3,7 @@
 Where :mod:`repro.lint` gates the *source tree*, this package gates the
 *results*: every fitted model, cross-validation summary, scenario
 result, campaign report and online-drift tally can be run through a
-catalogue of methodological validity rules (AU001–AU012) and graded on
+catalogue of methodological validity rules (AU001–AU013) and graded on
 the ``pass``/``minor``/``major``/``fail`` verdict scale.  The verdict
 gates reporting and model persistence; CI audits the paper-reference
 workflows in strict mode.
@@ -24,10 +24,12 @@ from repro.audit.config import AuditConfig, PERSISTENCE_MODES
 from repro.audit.engine import (
     audit_campaign,
     audit_drift,
+    audit_fleet,
     audit_model,
     audit_workflow,
     campaign_context,
     drift_context,
+    fleet_context,
     model_context,
     run_audit,
     scenario_context,
@@ -59,6 +61,7 @@ __all__ = [
     "audit_workflow",
     "audit_campaign",
     "audit_drift",
+    "audit_fleet",
     "audit_reference",
     "reference_contexts",
     "model_context",
@@ -66,6 +69,7 @@ __all__ = [
     "selection_context",
     "campaign_context",
     "drift_context",
+    "fleet_context",
     "workflow_contexts",
     "all_rules",
     "rules_by_id",

@@ -87,6 +87,12 @@ class AuditConfig:
     reassign_major_fraction: float = 0.25
     """Disruption above this fraction grades major: the cluster spent
     a large share of the campaign redoing lost placements."""
+    fleet_degraded_minor_fraction: float = 0.05
+    """Fleet services with more than this fraction of nodes quarantined
+    or degraded grade minor (AU013)."""
+    fleet_degraded_major_fraction: float = 0.20
+    """Quarantined/degraded node fraction above this grades major; a
+    fleet with no healthy node at all fails outright."""
 
     persistence_mode: str = "warn"
     """Default :func:`save_model` gate (``off``/``warn``/``strict``)."""
@@ -134,6 +140,16 @@ class AuditConfig:
             ("drift-degraded-fraction", "drift_degraded_fraction", float),
             ("reassign-minor-fraction", "reassign_minor_fraction", float),
             ("reassign-major-fraction", "reassign_major_fraction", float),
+            (
+                "fleet-degraded-minor-fraction",
+                "fleet_degraded_minor_fraction",
+                float,
+            ),
+            (
+                "fleet-degraded-major-fraction",
+                "fleet_degraded_major_fraction",
+                float,
+            ),
         ):
             if toml_key in section:
                 setattr(cfg, attr, cast(section[toml_key]))

@@ -23,11 +23,13 @@ __all__ = [
     "audit_workflow",
     "audit_campaign",
     "audit_drift",
+    "audit_fleet",
     "model_context",
     "scenario_context",
     "selection_context",
     "campaign_context",
     "drift_context",
+    "fleet_context",
     "workflow_contexts",
 ]
 
@@ -132,6 +134,11 @@ def drift_context(report, *, artifact: str = "drift") -> AuditContext:
     return AuditContext(artifact=artifact, kind="drift", drift=report)
 
 
+def fleet_context(report, *, artifact: str = "fleet") -> AuditContext:
+    """Context for a ``FleetReport`` (serving-layer health roll-up)."""
+    return AuditContext(artifact=artifact, kind="fleet", fleet=report)
+
+
 def workflow_contexts(result) -> List[AuditContext]:
     """Contexts for every artifact a ``WorkflowResult`` carries."""
     warnings = tuple(getattr(result, "warnings", ()))
@@ -183,3 +190,8 @@ def audit_campaign(report, *, config: Optional[AuditConfig] = None) -> AuditRepo
 def audit_drift(report, *, config: Optional[AuditConfig] = None) -> AuditReport:
     """Audit an online estimation session."""
     return run_audit([drift_context(report)], config)
+
+
+def audit_fleet(report, *, config: Optional[AuditConfig] = None) -> AuditReport:
+    """Audit a fleet service's health roll-up (AU013)."""
+    return run_audit([fleet_context(report)], config)

@@ -172,7 +172,7 @@ class AuditContext:
     artifact: str
     kind: str = "model"
     """``model`` / ``cv`` / ``scenario`` / ``selection`` / ``campaign``
-    / ``drift`` / ``workflow``."""
+    / ``drift`` / ``fleet`` / ``workflow``."""
 
     # --- regression-fit view -------------------------------------------
     ols: Optional[object] = None
@@ -197,6 +197,8 @@ class AuditContext:
     """A ``CampaignReport``-shaped object."""
     drift: Optional[object] = None
     """A ``DriftReport``-shaped object."""
+    fleet: Optional[object] = None
+    """A ``FleetReport``-shaped object (serving-layer health roll-up)."""
     warnings: Tuple[str, ...] = ()
     """Degraded-data provenance notes attached to the artifact."""
     has_ci: Optional[bool] = None

@@ -669,6 +669,60 @@ class ExcessiveReassignmentRule(AuditRule):
         return findings
 
 
+class FleetDegradationRule(AuditRule):
+    """AU013 — a fleet service quietly answering a growing share of its
+    nodes from quarantine or the baseline fallback is drifting away
+    from the model it claims to serve; the degradation must be graded
+    next to the estimates, never silently absorbed."""
+
+    id = "AU013"
+    name = "fleet-degradation"
+    description = "too many fleet nodes quarantined or degraded"
+
+    def check(self, ctx: AuditContext, config: AuditConfig) -> List[AuditFinding]:
+        fleet = ctx.fleet
+        if fleet is None:
+            return []
+        findings: List[AuditFinding] = []
+        n_nodes = int(getattr(fleet, "n_nodes", 0))
+        if n_nodes == 0:
+            return findings
+        healthy = int(getattr(fleet, "healthy_nodes", 0))
+        quarantined = int(getattr(fleet, "quarantined_nodes", 0))
+        degraded = int(getattr(fleet, "degraded_nodes", 0))
+        if healthy == 0:
+            findings.append(
+                self.finding(
+                    ctx,
+                    SEVERITY_FAIL,
+                    f"no healthy node left in a {n_nodes}-node fleet "
+                    f"({quarantined} quarantined, {degraded} degraded) — "
+                    "the service is effectively serving the baseline "
+                    "model everywhere",
+                )
+            )
+            return findings
+        fraction = (quarantined + degraded) / n_nodes
+        if fraction > config.fleet_degraded_major_fraction:
+            severity = SEVERITY_MAJOR
+        elif fraction > config.fleet_degraded_minor_fraction:
+            severity = SEVERITY_MINOR
+        else:
+            return findings
+        findings.append(
+            self.finding(
+                ctx,
+                severity,
+                f"{quarantined + degraded}/{n_nodes} node(s) "
+                f"({fraction:.0%}) are quarantined or serving the "
+                "baseline fallback — estimates for those nodes no "
+                "longer reflect live counters; investigate drift before "
+                "trusting fleet-level power numbers",
+            )
+        )
+        return findings
+
+
 def all_rules() -> List[AuditRule]:
     """Fresh instances of the full catalogue, in id order."""
     return [
@@ -684,6 +738,7 @@ def all_rules() -> List[AuditRule]:
         DegradedProvenanceRule(),
         FastfitFallbackRule(),
         ExcessiveReassignmentRule(),
+        FleetDegradationRule(),
     ]
 
 

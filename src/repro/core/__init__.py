@@ -46,6 +46,7 @@ from repro.core.governor import (
     govern_workload,
 )
 from repro.core.online import (
+    ONLINE_STATE_FORMAT,
     DriftReport,
     OnlineEstimate,
     OnlineEstimator,
@@ -95,6 +96,7 @@ __all__ = [
     "run_energy",
     "dvfs_energy_profile",
     "optimal_frequency",
+    "ONLINE_STATE_FORMAT",
     "OnlineEstimator",
     "OnlineEstimate",
     "OnlineTimeline",

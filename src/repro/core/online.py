@@ -52,6 +52,7 @@ from repro.hardware.pmu import EventSet
 from repro.seeding import derive_rng
 
 __all__ = [
+    "ONLINE_STATE_FORMAT",
     "OnlineEstimate",
     "OnlineEstimator",
     "OnlineTimeline",
@@ -60,6 +61,11 @@ __all__ = [
     "estimate_run",
     "estimate_run_degraded",
 ]
+
+#: Version stamp of the :meth:`OnlineEstimator.state_dict` schema.
+#: Bump when the schema changes; stale snapshots are rejected, never
+#: misread.
+ONLINE_STATE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -249,6 +255,7 @@ class OnlineEstimator:
         self._history: List[OnlineEstimate] = []
         self._warnings: List[str] = []
         self._last_time: Optional[float] = None
+        self._n_intervals = 0
         self._seen = 0
         self._n_model = 0
         self._n_baseline = 0
@@ -280,6 +287,7 @@ class OnlineEstimator:
         self._history.clear()
         self._warnings.clear()
         self._last_time = None
+        self._n_intervals = 0
         self._seen = 0
         self._n_model = 0
         self._n_baseline = 0
@@ -293,6 +301,102 @@ class OnlineEstimator:
         self._consecutive_good = 0
         self._implausible_window.clear()
         self._drift_detected = False
+
+    # ------------------------------------------------------------------
+    # Snapshot-safe state round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Everything mutable, as plain scalars and lists.
+
+        The returned dict is JSON/npz-serialisable — no locks, no
+        closures, no object graphs — and :meth:`load_state` restores it
+        so that a resumed stream is bit-identical to an uninterrupted
+        one: subsequent estimates, breaker decisions, drift latching
+        and the final :class:`DriftReport` all match exactly.  The
+        per-interval ``history`` is deliberately *not* part of the
+        state (it is an unbounded observability log, not estimator
+        state); a restored instance starts with an empty history.
+        """
+        return {
+            "format": ONLINE_STATE_FORMAT,
+            "smoothed": self._smoothed,
+            "last_time": self._last_time,
+            "n_intervals": self._n_intervals,
+            "seen": self._seen,
+            "n_model": self._n_model,
+            "n_baseline": self._n_baseline,
+            "n_skipped": self._n_skipped,
+            "n_implausible": self._n_implausible,
+            "n_clipped": self._n_clipped,
+            "breaker_open": self._breaker_open,
+            "breaker_trips": self._breaker_trips,
+            "breaker_open_intervals": self._breaker_open_intervals,
+            "consecutive_bad": self._consecutive_bad,
+            "consecutive_good": self._consecutive_good,
+            "implausible_window": [bool(b) for b in self._implausible_window],
+            "drift_detected": self._drift_detected,
+            "warnings": list(self._warnings),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (strict, validated).
+
+        Unknown schema versions and malformed snapshots raise
+        ``ValueError`` — a corrupt snapshot must be discarded by the
+        caller (and the estimator rebuilt from the baseline model),
+        never half-loaded.
+        """
+        if not isinstance(state, dict):
+            raise ValueError("estimator state must be a dict")
+        if state.get("format") != ONLINE_STATE_FORMAT:
+            raise ValueError(
+                f"unknown estimator state format {state.get('format')!r} "
+                f"(expected {ONLINE_STATE_FORMAT})"
+            )
+        try:
+            smoothed = state["smoothed"]
+            last_time = state["last_time"]
+            window = list(state["implausible_window"])
+            warnings = [str(w) for w in state["warnings"]]
+            ints = {
+                key: int(state[key])  # type: ignore[arg-type]
+                for key in (
+                    "n_intervals", "seen", "n_model", "n_baseline",
+                    "n_skipped", "n_implausible", "n_clipped",
+                    "breaker_trips", "breaker_open_intervals",
+                    "consecutive_bad", "consecutive_good",
+                )
+            }
+            breaker_open = bool(state["breaker_open"])
+            drift_detected = bool(state["drift_detected"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed estimator state: {exc}") from exc
+        if smoothed is not None and not np.isfinite(float(smoothed)):
+            raise ValueError("estimator state carries a non-finite EWMA")
+        if len(window) > self.drift_window:
+            raise ValueError(
+                "estimator state drift window longer than configured"
+            )
+        if any(v < 0 for v in ints.values()):
+            raise ValueError("estimator state counters must be non-negative")
+        self.reset()
+        self._smoothed = None if smoothed is None else float(smoothed)
+        self._last_time = None if last_time is None else float(last_time)
+        self._n_intervals = ints["n_intervals"]
+        self._seen = ints["seen"]
+        self._n_model = ints["n_model"]
+        self._n_baseline = ints["n_baseline"]
+        self._n_skipped = ints["n_skipped"]
+        self._n_implausible = ints["n_implausible"]
+        self._n_clipped = ints["n_clipped"]
+        self._breaker_trips = ints["breaker_trips"]
+        self._breaker_open_intervals = ints["breaker_open_intervals"]
+        self._consecutive_bad = ints["consecutive_bad"]
+        self._consecutive_good = ints["consecutive_good"]
+        self._breaker_open = breaker_open
+        self._drift_detected = drift_detected
+        self._implausible_window = [bool(b) for b in window]
+        self._warnings = warnings
 
     # ------------------------------------------------------------------
     # Equation 1 pieces
@@ -348,10 +452,16 @@ class OnlineEstimator:
                 self.smoothing * power_w
                 + (1.0 - self.smoothing) * self._smoothed
             )
+        # The previous recorded timestamp is tracked explicitly (not
+        # read off the history tail) so a snapshot-restored estimator —
+        # whose history starts empty — continues the timeline exactly.
         t = time_s if time_s is not None else (
-            self._history[-1].time_s + interval_s if self._history else interval_s
+            self._last_time + interval_s
+            if self._last_time is not None
+            else interval_s
         )
         self._last_time = t
+        self._n_intervals += 1
         estimate = OnlineEstimate(
             time_s=t,
             power_w=power_w,
@@ -553,7 +663,7 @@ class OnlineEstimator:
     def drift_report(self) -> DriftReport:
         """Structured account of everything :meth:`step` observed."""
         return DriftReport(
-            n_intervals=len(self._history),
+            n_intervals=self._n_intervals,
             n_model=self._n_model,
             n_baseline=self._n_baseline,
             n_skipped=self._n_skipped,

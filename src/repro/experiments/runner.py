@@ -53,6 +53,10 @@ EXPERIMENTS: Dict[str, Callable[[int], str]] = {
     # merged dataset survives node death bit-identical (see
     # repro.sched).
     "sched": _runner("sched_demo"),
+    # Not a paper artifact: fleet-serving chaos soak asserting healthy
+    # nodes stay bit-identical to the serial estimator while faults
+    # are quarantined and audited (see repro.serve).
+    "serve": _runner("serve_demo"),
 }
 
 

@@ -18,6 +18,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultyPlatform,
 )
+from repro.faults.ingest import IngestFaultInjector, IngestFaultPlan
 from repro.faults.online import CounterLossPlan, OnlineFaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import (
@@ -33,6 +34,8 @@ __all__ = [
     "FaultyPlatform",
     "CounterLossPlan",
     "OnlineFaultInjector",
+    "IngestFaultPlan",
+    "IngestFaultInjector",
     "FaultError",
     "RunFailure",
     "AcquisitionError",

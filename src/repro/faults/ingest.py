@@ -1,0 +1,225 @@
+"""Seeded ingestion faults against the fleet estimation service.
+
+The online fault model (:mod:`repro.faults.online`) corrupts one
+node's counter stream; a *fleet* ingestion path fails in more ways:
+whole submissions arrive malformed, node ids duplicate, timestamps
+step backwards per node, and traffic bursts past queue capacity.
+:class:`IngestFaultPlan` declares the rates and
+:class:`IngestFaultInjector` applies them to submission batches —
+deterministically, keyed by ``(root_seed, "ingest-fault", fault_seed,
+kind, tick, node_id[, extra])``, so the chaos soak replays bit for
+bit and the bit-identity tests can drive the serial and vectorized
+paths from the same corrupted stream.
+
+Only ``faulty_node_fraction`` of nodes (a seeded, per-node decision)
+are eligible for per-sample faults — the chaos acceptance criterion
+needs healthy nodes whose estimates must come through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.seeding import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.serve.api import NodeSample
+
+__all__ = ["IngestFaultPlan", "IngestFaultInjector"]
+
+_RATE_FIELDS: Tuple[str, ...] = (
+    "malformed_rate",
+    "drop_rate",
+    "nan_rate",
+    "negative_rate",
+    "context_rate",
+    "backwards_time_rate",
+    "duplicate_rate",
+    "burst_rate",
+)
+
+
+@dataclass(frozen=True)
+class IngestFaultPlan:
+    """Rates of the modelled fleet-ingestion faults.
+
+    Per-sample rates apply only to samples from fault-eligible nodes
+    (see ``faulty_node_fraction``); ``burst_rate`` is per submission
+    tick and replays the whole tick's traffic ``burst_factor`` times —
+    the overload case the bounded queue's backpressure policy exists
+    for.
+    """
+
+    malformed_rate: float = 0.0
+    """Per-sample probability the submission is structural garbage
+    (dropped and counted by the schema middleware)."""
+    drop_rate: float = 0.0
+    """Per-sample probability the report never arrives."""
+    nan_rate: float = 0.0
+    """Per-sample probability one counter delta reads back NaN."""
+    negative_rate: float = 0.0
+    """Per-sample probability one counter delta goes negative."""
+    context_rate: float = 0.0
+    """Per-sample probability of invalid context (zero voltage)."""
+    backwards_time_rate: float = 0.0
+    """Per-sample probability the timestamp steps backwards (NTP)."""
+    duplicate_rate: float = 0.0
+    """Per-sample probability the report is delivered twice."""
+    burst_rate: float = 0.0
+    """Per-tick probability of a traffic burst."""
+    burst_factor: int = 2
+    """How many times a burst tick's traffic is replayed."""
+    faulty_node_fraction: float = 1.0
+    """Fraction of nodes eligible for per-sample faults (seeded,
+    per-node, stable across ticks)."""
+    fault_seed: int = 0
+    """Extra stream key, mirroring the other fault plans."""
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS + ("faulty_node_fraction",):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be at least 1")
+
+    @property
+    def any_active(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @classmethod
+    def chaos(
+        cls,
+        intensity: float = 0.1,
+        *,
+        faulty_node_fraction: float = 0.2,
+        fault_seed: int = 0,
+    ) -> "IngestFaultPlan":
+        """Every ingestion fault class at once, scaled by ``intensity``
+        (cf. :meth:`CounterLossPlan.chaos`)."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return cls(
+            malformed_rate=min(0.2 * intensity, 1.0),
+            drop_rate=min(0.2 * intensity, 1.0),
+            nan_rate=min(0.5 * intensity, 1.0),
+            negative_rate=min(0.3 * intensity, 1.0),
+            context_rate=min(0.2 * intensity, 1.0),
+            backwards_time_rate=min(0.3 * intensity, 1.0),
+            duplicate_rate=min(0.3 * intensity, 1.0),
+            burst_rate=min(0.2 * intensity, 1.0),
+            burst_factor=2,
+            faulty_node_fraction=faulty_node_fraction,
+            fault_seed=fault_seed,
+        )
+
+    def describe(self) -> str:
+        active = [
+            f"{name}={getattr(self, name):g}"
+            for name in _RATE_FIELDS
+            if getattr(self, name) > 0.0
+        ]
+        if active and self.faulty_node_fraction < 1.0:
+            active.append(f"faulty_node_fraction={self.faulty_node_fraction:g}")
+        return "IngestFaultPlan(" + (", ".join(active) or "inactive") + ")"
+
+
+class _Garbage:
+    """A structurally-invalid submission (not a :class:`NodeSample`)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<malformed submission>"
+
+
+class IngestFaultInjector:
+    """Apply an :class:`IngestFaultPlan` to per-tick submission batches.
+
+    Every decision draws from its own derived stream keyed by fault
+    kind, tick and node id, so changing one rate never shifts another
+    fault class's decisions.
+    """
+
+    def __init__(self, plan: IngestFaultPlan, root_seed: int) -> None:
+        self.plan = plan
+        self.root_seed = int(root_seed)
+
+    def _rng(self, kind: str, *key):
+        return derive_rng(
+            self.root_seed, "ingest-fault", self.plan.fault_seed, kind, *key
+        )
+
+    def _decide(self, kind: str, *key) -> bool:
+        rate = getattr(self.plan, kind)
+        if rate <= 0.0:
+            return False
+        return bool(self._rng(kind, *key).random() < rate)
+
+    def node_faulty(self, node_id: str) -> bool:
+        """Is this node eligible for per-sample faults?  Seeded and
+        stable across the whole session."""
+        if self.plan.faulty_node_fraction >= 1.0:
+            return True
+        if self.plan.faulty_node_fraction <= 0.0:
+            return False
+        rng = self._rng("faulty-node", node_id)
+        return bool(rng.random() < self.plan.faulty_node_fraction)
+
+    def corrupt(
+        self, samples: Sequence[NodeSample], tick: int
+    ) -> List[object]:
+        """A corrupted copy of one tick's submissions.
+
+        The input is never mutated.  Returns a mixed list of
+        :class:`NodeSample` and garbage objects, possibly with
+        duplicates, drops, and a whole-tick burst replay.
+        """
+        if not self.plan.any_active:
+            return list(samples)
+        out: List[object] = []
+        for sample in samples:
+            node_id = sample.node_id
+            if not self.node_faulty(node_id):
+                out.append(sample)
+                continue
+            if self._decide("drop_rate", tick, node_id):
+                continue
+            if self._decide("malformed_rate", tick, node_id):
+                out.append(_Garbage())
+                continue
+            corrupted = sample
+            if self._decide("nan_rate", tick, node_id) and corrupted.counter_deltas:
+                deltas = dict(corrupted.counter_deltas)
+                names = sorted(deltas)
+                victim = names[
+                    int(self._rng("nan-victim", tick, node_id).integers(
+                        0, len(names)
+                    ))
+                ]
+                deltas[victim] = float("nan")
+                corrupted = replace(corrupted, counter_deltas=deltas)
+            elif self._decide("negative_rate", tick, node_id) and corrupted.counter_deltas:
+                deltas = dict(corrupted.counter_deltas)
+                names = sorted(deltas)
+                victim = names[
+                    int(self._rng("neg-victim", tick, node_id).integers(
+                        0, len(names)
+                    ))
+                ]
+                deltas[victim] = -abs(deltas[victim]) - 1.0
+                corrupted = replace(corrupted, counter_deltas=deltas)
+            if self._decide("context_rate", tick, node_id):
+                corrupted = replace(corrupted, voltage_v=0.0)
+            if (
+                corrupted.time_s is not None
+                and self._decide("backwards_time_rate", tick, node_id)
+            ):
+                corrupted = replace(
+                    corrupted, time_s=corrupted.time_s - 1000.0
+                )
+            out.append(corrupted)
+            if self._decide("duplicate_rate", tick, node_id):
+                out.append(corrupted)
+        if self._decide("burst_rate", tick):
+            out = out * self.plan.burst_factor
+        return out

@@ -111,6 +111,15 @@ DEFAULT_SLEEP_RETRY_MODULES: Tuple[str, ...] = (
     "*/acquisition/campaign.py",
 )
 
+#: Modules allowed to build raw queues/deques without a capacity
+#: (RL013): the serving layer's bounded-queue abstraction itself,
+#: which must count every drop instead of letting ``deque(maxlen=...)``
+#: evict silently.
+DEFAULT_QUEUE_MODULES: Tuple[str, ...] = (
+    "*/repro/serve/*",
+    "repro/serve/*",
+)
+
 
 @dataclass
 class LintConfig:
@@ -133,6 +142,7 @@ class LintConfig:
     version_symbol: str = DEFAULT_VERSION_SYMBOL
     audit_gated_modules: Tuple[str, ...] = DEFAULT_AUDIT_GATED_MODULES
     sleep_retry_modules: Tuple[str, ...] = DEFAULT_SLEEP_RETRY_MODULES
+    queue_modules: Tuple[str, ...] = DEFAULT_QUEUE_MODULES
 
     # ------------------------------------------------------------------
     def rule_enabled(self, rule_id: str) -> bool:
@@ -195,6 +205,7 @@ class LintConfig:
             ("physics-paths", "physics_paths"),
             ("audit-gated-modules", "audit_gated_modules"),
             ("sleep-retry-modules", "sleep_retry_modules"),
+            ("queue-modules", "queue_modules"),
         ):
             if toml_key in section:
                 setattr(cfg, attr, tuple(str(v) for v in section[toml_key]))

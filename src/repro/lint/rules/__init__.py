@@ -17,6 +17,7 @@ from repro.lint.rules.rl009_parallel_primitives import NoRawParallelPrimitives
 from repro.lint.rules.rl010_hot_loop_fit import NoHotLoopRefit
 from repro.lint.rules.rl011_unaudited_report import NoUnauditedReport
 from repro.lint.rules.rl012_raw_sleep_retry import NoRawSleepRetry
+from repro.lint.rules.rl013_unbounded_queue import NoUnboundedQueue
 
 __all__ = [
     "all_rules",
@@ -32,6 +33,7 @@ __all__ = [
     "NoHotLoopRefit",
     "NoUnauditedReport",
     "NoRawSleepRetry",
+    "NoUnboundedQueue",
 ]
 
 
@@ -50,4 +52,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NoHotLoopRefit(),
         NoUnauditedReport(),
         NoRawSleepRetry(),
+        NoUnboundedQueue(),
     ]

@@ -1,0 +1,106 @@
+"""RL013 — no unbounded in-memory queues.
+
+An unbounded queue between a producer and a slower consumer is a
+memory leak with extra steps: under sustained overload it grows until
+the process dies, and it hides the overload from every health metric
+until then.  The serving layer owns exactly one answer to this —
+:class:`repro.serve.queue.BoundedIngestQueue`, whose explicit capacity
+makes the overload *visible* (rejected/shed/diverted counts feed the
+``FleetReport`` and the AU013 grade).  Everywhere else, a
+``queue.Queue()`` without a positive ``maxsize`` or a
+``collections.deque()`` without a ``maxlen`` is flagged.  Modules
+matching the configured ``queue-modules`` (the serve layer itself) are
+exempt — they implement the bounded abstraction and must account for
+every drop, which ``deque(maxlen=...)``'s silent eviction cannot do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.framework import FileContext, FileRule, Finding, dotted_name
+
+__all__ = ["NoUnboundedQueue"]
+
+#: Queue constructors whose first argument / ``maxsize`` keyword bounds
+#: the queue (0 and negative mean "unbounded" for these classes).
+_MAXSIZE_QUEUES = (
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+    "asyncio.Queue",
+    "asyncio.LifoQueue",
+    "asyncio.PriorityQueue",
+    "multiprocessing.Queue",
+)
+
+
+def _is_unbounding_constant(node: ast.AST) -> bool:
+    """True when the expression is a constant that disables the bound
+    (``None``, ``0`` or a negative literal)."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if value is None:
+            return True
+        return isinstance(value, (int, float)) and value <= 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        operand = node.operand
+        return isinstance(operand, ast.Constant) and isinstance(
+            operand.value, (int, float)
+        )
+    return False
+
+
+def _bound_argument(
+    call: ast.Call, keyword: str, position: Optional[int]
+) -> Optional[ast.AST]:
+    """The expression passed as the bounding argument, or ``None``."""
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if position is not None and len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+class NoUnboundedQueue(FileRule):
+    id = "RL013"
+    name = "no-unbounded-queue"
+    description = (
+        "queue.Queue()/deque() without a capacity grows without bound "
+        "under overload; use BoundedIngestQueue or pass maxsize/maxlen"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(ctx.posix_path, ctx.config.queue_modules):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, ctx.aliases)
+            if name in _MAXSIZE_QUEUES:
+                if name.endswith("SimpleQueue"):
+                    # SimpleQueue takes no maxsize at all — inherently
+                    # unbounded, so the construction itself is the bug.
+                    findings.append(self._finding(ctx, node, name))
+                    continue
+                bound = _bound_argument(node, "maxsize", 0)
+                if bound is None or _is_unbounding_constant(bound):
+                    findings.append(self._finding(ctx, node, name))
+            elif name == "collections.deque":
+                bound = _bound_argument(node, "maxlen", 1)
+                if bound is None or _is_unbounding_constant(bound):
+                    findings.append(self._finding(ctx, node, name))
+        return findings
+
+    def _finding(self, ctx: FileContext, node: ast.Call, name: str) -> Finding:
+        return ctx.finding(
+            self,
+            node,
+            f"{name} without a positive capacity is unbounded under "
+            "overload; pass maxsize/maxlen or route ingestion through "
+            "repro.serve.BoundedIngestQueue (counted backpressure)",
+        )

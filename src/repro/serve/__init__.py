@@ -1,0 +1,58 @@
+"""Fleet-scale resilient online power estimation service.
+
+Layered like a backend app (DESIGN.md §15):
+
+* :mod:`repro.serve.api` — wire types (:class:`NodeSample`,
+  :class:`Batch`);
+* :mod:`repro.serve.middleware` — schema validation + duplicate audit;
+* :mod:`repro.serve.queue` — bounded ingestion with explicit
+  backpressure policies;
+* :mod:`repro.serve.fleet` — vectorized per-node estimator state,
+  bit-identical to the serial :class:`~repro.core.online.OnlineEstimator`;
+* :mod:`repro.serve.state` — sharded atomic snapshot/restore;
+* :mod:`repro.serve.breaker` — per-shard operation circuit breakers;
+* :mod:`repro.serve.report` — shard and fleet health roll-ups;
+* :mod:`repro.serve.app` — :class:`FleetService` tying it together.
+"""
+
+from repro.serve.api import Batch, NodeSample, make_batch
+from repro.serve.app import FleetService, ProcessOutcome, SnapshotWorker
+from repro.serve.breaker import BREAKER_STATES, ShardBreaker
+from repro.serve.fleet import BatchResult, FleetEstimator
+from repro.serve.middleware import DuplicateAuditor, SchemaValidator
+from repro.serve.queue import (
+    POLICIES,
+    BoundedIngestQueue,
+    OfferOutcome,
+    QueueStats,
+)
+from repro.serve.report import FleetReport, ShardReport
+from repro.serve.state import (
+    SERVE_STATE_FORMAT,
+    FleetStateStore,
+    fleet_fingerprint,
+)
+
+__all__ = [
+    "BREAKER_STATES",
+    "POLICIES",
+    "SERVE_STATE_FORMAT",
+    "Batch",
+    "BatchResult",
+    "BoundedIngestQueue",
+    "DuplicateAuditor",
+    "FleetEstimator",
+    "FleetReport",
+    "FleetService",
+    "FleetStateStore",
+    "NodeSample",
+    "OfferOutcome",
+    "ProcessOutcome",
+    "QueueStats",
+    "SchemaValidator",
+    "ShardBreaker",
+    "ShardReport",
+    "SnapshotWorker",
+    "fleet_fingerprint",
+    "make_batch",
+]

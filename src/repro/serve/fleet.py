@@ -1,0 +1,669 @@
+"""Vectorized fleet-wide online estimation over (nodes × counters).
+
+:class:`FleetEstimator` holds the state of millions of per-node
+:class:`~repro.core.online.OnlineEstimator` sessions in flat numpy
+arrays and advances a whole :class:`~repro.serve.api.Batch` per call.
+
+Bit-identity contract
+---------------------
+``step_batch`` is **bit-identical** to looping the single-node
+:meth:`OnlineEstimator.step` over the batch rows in order: every
+estimate (power, EWMA, timestamp), every ``source`` / ``flags``
+decision, every breaker transition, drift latch, counter tally and
+warning string matches the serial path exactly.  Three things make
+that possible:
+
+* every arithmetic expression is evaluated in the *same operand
+  order* as the serial code — numpy elementwise float64 ops are
+  IEEE-identical to the scalar ops they replace;
+* branching becomes masking: each serial branch is a boolean mask,
+  and warning/flag strings are built by sparse Python loops over
+  ``np.nonzero`` of *incident* rows only, so the clean fast path
+  stays loop-free;
+* duplicate node ids inside one batch are processed in **waves**
+  (first occurrence of every node, then second, …), preserving each
+  node's per-sample order — exactly what the serial loop sees.
+
+The drift window is a fixed-size int8 ring buffer per node (the serial
+list-append-and-trim, without the allocation).  Quarantine is a
+fleet-level *reporting overlay* on top of the serial semantics: a node
+whose drift latch fires is quarantined (seeded probation via
+:func:`repro.seeding.derive_rng`) so shard health statistics exclude
+it; its estimates are still produced bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import FittedPowerModel
+from repro.core.online import (
+    ONLINE_STATE_FORMAT,
+    DriftReport,
+    OnlineEstimate,
+    OnlineEstimator,
+    PowerEnvelope,
+)
+from repro.seeding import DEFAULT_SEED, derive_rng
+from repro.serve.api import Batch
+
+__all__ = ["FleetEstimator", "BatchResult"]
+
+
+@dataclass
+class BatchResult:
+    """Row-aligned outcome of one ``step_batch`` call.
+
+    ``produced[i]`` is False where the serial path would have returned
+    ``None`` (skipped interval); ``power_w``/``smoothed_w``/``time_s``
+    are NaN there.  ``flags`` is sparse: only rows with at least one
+    flag appear.
+    """
+
+    node_ids: Tuple[str, ...]
+    produced: np.ndarray
+    power_w: np.ndarray
+    smoothed_w: np.ndarray
+    time_s: np.ndarray
+    source_model: np.ndarray
+    flags: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def n_produced(self) -> int:
+        return int(np.count_nonzero(self.produced))
+
+    def estimate(self, i: int) -> Optional[OnlineEstimate]:
+        """Row *i* as the :class:`OnlineEstimate` the serial path
+        returns (``None`` for a skipped row)."""
+        if not self.produced[i]:
+            return None
+        return OnlineEstimate(
+            time_s=float(self.time_s[i]),
+            power_w=float(self.power_w[i]),
+            smoothed_w=float(self.smoothed_w[i]),
+            source="model" if self.source_model[i] else "baseline",
+            flags=self.flags.get(i, ()),
+        )
+
+    def estimates(self) -> List[Optional[OnlineEstimate]]:
+        return [self.estimate(i) for i in range(self.n_rows)]
+
+
+class FleetEstimator:
+    """Per-node online-estimator state for a whole fleet, in arrays."""
+
+    def __init__(
+        self,
+        model: FittedPowerModel,
+        *,
+        smoothing: float = 0.5,
+        envelope: Optional[PowerEnvelope] = None,
+        breaker_threshold: int = 3,
+        recovery_threshold: int = 2,
+        drift_window: int = 20,
+        drift_tolerance: float = 0.5,
+        seed: int = DEFAULT_SEED,
+        quarantine_probation: int = 50,
+        capacity: int = 1024,
+    ) -> None:
+        # The scratch estimator validates every config parameter with
+        # the serial rules and later validates node-state snapshots via
+        # its load_state — one validator, zero drift between paths.
+        self._scratch = OnlineEstimator(
+            model,
+            smoothing=smoothing,
+            envelope=envelope,
+            breaker_threshold=breaker_threshold,
+            recovery_threshold=recovery_threshold,
+            drift_window=drift_window,
+            drift_tolerance=drift_tolerance,
+        )
+        if quarantine_probation < 1:
+            raise ValueError("quarantine_probation must be at least 1")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.model = model
+        self.counters: Tuple[str, ...] = tuple(model.counters)
+        self.smoothing = float(smoothing)
+        self.envelope = envelope
+        self.breaker_threshold = int(breaker_threshold)
+        self.recovery_threshold = int(recovery_threshold)
+        self.drift_window = int(drift_window)
+        self.drift_tolerance = float(drift_tolerance)
+        self.seed = int(seed)
+        self.quarantine_probation = int(quarantine_probation)
+
+        coeffs = model.coefficients
+        self._alphas = [coeffs[f"alpha:{c}"] for c in self.counters]
+        self._beta = coeffs["beta:V2f"]
+        self._gamma = coeffs["gamma:V"]
+        self._delta = coeffs["delta:Z"]
+
+        self._index: Dict[str, int] = {}
+        self._ids: List[str] = []
+        self._warnings: Dict[int, List[str]] = {}
+        self._dirty: set = set()
+        self._allocate(int(capacity))
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    _INT_FIELDS = (
+        "_seen", "_n_intervals", "_n_model", "_n_baseline", "_n_skipped",
+        "_n_implausible", "_n_clipped", "_breaker_trips",
+        "_breaker_open_intervals", "_consecutive_bad", "_consecutive_good",
+        "_wlen", "_wpos", "_wsum", "_quarantine_release", "_n_quarantines",
+    )
+    _BOOL_FIELDS = (
+        "_smoothed_valid", "_last_time_valid", "_breaker_open",
+        "_drift_detected", "_quarantined",
+    )
+
+    def _allocate(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._smoothed = np.full(capacity, np.nan, dtype=np.float64)
+        self._last_time = np.full(capacity, np.nan, dtype=np.float64)
+        for name in self._INT_FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=np.int64))
+        for name in self._BOOL_FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=bool))
+        self._ring = np.zeros((capacity, self.drift_window), dtype=np.int8)
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        old = {
+            name: getattr(self, name)
+            for name in ("_smoothed", "_last_time", "_ring")
+            + self._INT_FIELDS + self._BOOL_FIELDS
+        }
+        n = len(self._ids)
+        self._allocate(capacity)
+        for name, arr in old.items():
+            getattr(self, name)[:n] = arr[:n]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._ids)
+
+    def node_ids(self) -> Tuple[str, ...]:
+        return tuple(self._ids)
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._index
+
+    def ensure_node(self, node_id: str) -> int:
+        """Index of a node, registering it fresh on first sight."""
+        idx = self._index.get(node_id)
+        if idx is not None:
+            return idx
+        idx = len(self._ids)
+        if idx >= self._capacity:
+            self._grow(idx + 1)
+        self._ids.append(node_id)
+        self._index[node_id] = idx
+        return idx
+
+    def _node_index(self, node_id: str) -> int:
+        idx = self._index.get(node_id)
+        if idx is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        return idx
+
+    # ------------------------------------------------------------------
+    # Snapshot-safe per-node state (OnlineEstimator schema)
+    # ------------------------------------------------------------------
+    def _window_list(self, idx: int) -> List[bool]:
+        """The node's implausible window, oldest → newest."""
+        wlen = int(self._wlen[idx])
+        if wlen < self.drift_window:
+            raw = self._ring[idx, :wlen]
+        else:
+            pos = int(self._wpos[idx])
+            raw = np.concatenate(
+                [self._ring[idx, pos:], self._ring[idx, :pos]]
+            )
+        return [bool(v) for v in raw]
+
+    def node_state(self, node_id: str) -> Dict[str, object]:
+        """One node's state in the exact
+        :meth:`OnlineEstimator.state_dict` schema — a fleet snapshot
+        restores into a single-node estimator and vice versa."""
+        i = self._node_index(node_id)
+        return {
+            "format": ONLINE_STATE_FORMAT,
+            "smoothed": (
+                float(self._smoothed[i]) if self._smoothed_valid[i] else None
+            ),
+            "last_time": (
+                float(self._last_time[i])
+                if self._last_time_valid[i]
+                else None
+            ),
+            "n_intervals": int(self._n_intervals[i]),
+            "seen": int(self._seen[i]),
+            "n_model": int(self._n_model[i]),
+            "n_baseline": int(self._n_baseline[i]),
+            "n_skipped": int(self._n_skipped[i]),
+            "n_implausible": int(self._n_implausible[i]),
+            "n_clipped": int(self._n_clipped[i]),
+            "breaker_open": bool(self._breaker_open[i]),
+            "breaker_trips": int(self._breaker_trips[i]),
+            "breaker_open_intervals": int(self._breaker_open_intervals[i]),
+            "consecutive_bad": int(self._consecutive_bad[i]),
+            "consecutive_good": int(self._consecutive_good[i]),
+            "implausible_window": self._window_list(i),
+            "drift_detected": bool(self._drift_detected[i]),
+            "warnings": list(self._warnings.get(i, [])),
+        }
+
+    def load_node_state(self, node_id: str, state: Dict[str, object]) -> int:
+        """Restore one node from a snapshot (strict, validated).
+
+        Validation is delegated to :meth:`OnlineEstimator.load_state`
+        so the fleet accepts and rejects exactly what the serial
+        estimator would; malformed snapshots raise ``ValueError`` and
+        leave the node untouched.
+        """
+        self._scratch.load_state(state)  # raises ValueError if malformed
+        src = self._scratch
+        i = self.ensure_node(node_id)
+        sm = src._smoothed
+        self._smoothed[i] = np.nan if sm is None else float(sm)
+        self._smoothed_valid[i] = sm is not None
+        lt = src._last_time
+        self._last_time[i] = np.nan if lt is None else float(lt)
+        self._last_time_valid[i] = lt is not None
+        self._n_intervals[i] = src._n_intervals
+        self._seen[i] = src._seen
+        self._n_model[i] = src._n_model
+        self._n_baseline[i] = src._n_baseline
+        self._n_skipped[i] = src._n_skipped
+        self._n_implausible[i] = src._n_implausible
+        self._n_clipped[i] = src._n_clipped
+        self._breaker_open[i] = src._breaker_open
+        self._breaker_trips[i] = src._breaker_trips
+        self._breaker_open_intervals[i] = src._breaker_open_intervals
+        self._consecutive_bad[i] = src._consecutive_bad
+        self._consecutive_good[i] = src._consecutive_good
+        self._drift_detected[i] = src._drift_detected
+        window = src._implausible_window
+        self._ring[i, :] = 0
+        self._ring[i, : len(window)] = [int(b) for b in window]
+        self._wlen[i] = len(window)
+        self._wpos[i] = len(window) % self.drift_window
+        self._wsum[i] = sum(window)
+        if src._warnings:
+            self._warnings[i] = list(src._warnings)
+        else:
+            self._warnings.pop(i, None)
+        # Quarantine is a live overlay, not snapshot state: a restored
+        # node re-earns it if its window stays implausible.
+        self._quarantined[i] = False
+        self._quarantine_release[i] = 0
+        self._scratch.reset()
+        return i
+
+    # ------------------------------------------------------------------
+    # Vectorized stepping
+    # ------------------------------------------------------------------
+    def _warn(self, idx: int, message: str) -> None:
+        self._warnings.setdefault(idx, []).append(
+            f"interval {int(self._seen[idx])}: {message}"
+        )
+
+    def step_batch(self, batch: Batch) -> BatchResult:
+        """Advance every row's node by one interval (see module doc)."""
+        if batch.counters != self.counters:
+            raise ValueError(
+                f"batch counters {batch.counters} do not match model "
+                f"counters {self.counters}"
+            )
+        n = batch.n_rows
+        out = BatchResult(
+            node_ids=batch.node_ids,
+            produced=np.zeros(n, dtype=bool),
+            power_w=np.full(n, np.nan, dtype=np.float64),
+            smoothed_w=np.full(n, np.nan, dtype=np.float64),
+            time_s=np.full(n, np.nan, dtype=np.float64),
+            source_model=np.zeros(n, dtype=bool),
+        )
+        if n == 0:
+            return out
+        nodes = np.empty(n, dtype=np.int64)
+        occurrence = np.zeros(n, dtype=np.int64)
+        occ_count: Dict[str, int] = {}
+        for i, node_id in enumerate(batch.node_ids):
+            nodes[i] = self.ensure_node(node_id)
+            c = occ_count.get(node_id, 0)
+            occurrence[i] = c
+            occ_count[node_id] = c + 1
+        self._dirty.update(int(v) for v in np.unique(nodes))
+        if occurrence.any():
+            # Duplicate reports: each node's k-th sample lands in wave
+            # k, so per-node ordering matches the serial loop.
+            for wave in range(int(occurrence.max()) + 1):
+                sel = occurrence == wave
+                self._step_wave(batch, np.nonzero(sel)[0], nodes[sel], out)
+        else:
+            self._step_wave(batch, np.arange(n), nodes, out)
+        self._maintain_quarantine(nodes)
+        return out
+
+    def _step_wave(
+        self,
+        batch: Batch,
+        rows: np.ndarray,
+        nd: np.ndarray,
+        out: BatchResult,
+    ) -> None:
+        """One wave: every node appears at most once in ``rows``."""
+        flags: Dict[int, List[str]] = {}
+
+        def add_flag(row: int, flag: str) -> None:
+            flags.setdefault(row, []).append(flag)
+
+        self._seen[nd] += 1
+        interval = batch.interval_s[rows]
+        voltage_v = batch.voltage_v[rows]
+        freq_mhz = batch.frequency_mhz[rows]
+
+        ctx_ok = (
+            np.isfinite(interval) & (interval > 0)
+            & np.isfinite(voltage_v) & (voltage_v > 0)
+            & np.isfinite(freq_mhz) & (freq_mhz > 0)
+        )
+        for j in np.nonzero(~ctx_ok)[0]:
+            self._n_skipped[nd[j]] += 1
+            self._warn(
+                int(nd[j]),
+                f"skipped: invalid context (interval={float(interval[j])}, "
+                f"voltage={float(voltage_v[j])}, "
+                f"frequency={float(freq_mhz[j])})",
+            )
+        t_valid = batch.time_valid[rows]
+        lt_valid = self._last_time_valid[nd]
+        t_in = batch.time_s[rows]
+        nonmono = (
+            ctx_ok & t_valid & lt_valid & (t_in <= self._last_time[nd])
+        )
+        for j in np.nonzero(nonmono)[0]:
+            self._n_skipped[nd[j]] += 1
+            self._warn(
+                int(nd[j]),
+                f"skipped: non-monotonic timestamp {float(t_in[j])} "
+                f"after {float(self._last_time[nd[j]])}",
+            )
+        live = ctx_ok & ~nonmono
+        if not live.any():
+            return
+        rows, nd = rows[live], nd[live]
+        interval, voltage_v, freq_mhz = (
+            interval[live], voltage_v[live], freq_mhz[live],
+        )
+        t_valid, t_in = t_valid[live], t_in[live]
+        m = len(rows)
+
+        deltas = batch.deltas[rows]
+        present = batch.present[rows]
+        finite = np.isfinite(deltas)
+        missing = ~present
+        nonfinite = present & ~finite
+        negative = present & finite & (deltas < 0)
+        any_bad = missing | nonfinite | negative
+        bad_rows = any_bad.any(axis=1)
+        for j in np.nonzero(bad_rows)[0]:
+            parts = []
+            for k, counter in enumerate(self.counters):
+                if missing[j, k]:
+                    parts.append(f"{counter} missing")
+                elif nonfinite[j, k]:
+                    parts.append(f"{counter} non-finite")
+                elif negative[j, k]:
+                    parts.append(f"{counter} negative")
+            joined = "; ".join(parts)
+            add_flag(int(rows[j]), "degraded-counters: " + joined)
+            self._warn(int(nd[j]), "degraded counters: " + joined)
+
+        # Breaker transitions (same thresholds, same warning text).
+        good_nodes = nd[~bad_rows]
+        self._consecutive_good[good_nodes] += 1
+        self._consecutive_bad[good_nodes] = 0
+        closing = good_nodes[
+            self._breaker_open[good_nodes]
+            & (self._consecutive_good[good_nodes] >= self.recovery_threshold)
+        ]
+        self._breaker_open[closing] = False
+        for node in closing:
+            self._warn(
+                int(node),
+                f"circuit breaker closed after "
+                f"{int(self._consecutive_good[node])} clean intervals",
+            )
+        bad_nodes = nd[bad_rows]
+        self._consecutive_bad[bad_nodes] += 1
+        self._consecutive_good[bad_nodes] = 0
+        opening = bad_nodes[
+            ~self._breaker_open[bad_nodes]
+            & (self._consecutive_bad[bad_nodes] >= self.breaker_threshold)
+        ]
+        self._breaker_open[opening] = True
+        self._breaker_trips[opening] += 1
+        for node in opening:
+            self._warn(
+                int(node),
+                f"circuit breaker opened after "
+                f"{int(self._consecutive_bad[node])} degraded intervals",
+            )
+        is_open = self._breaker_open[nd]
+        self._breaker_open_intervals[nd[is_open]] += 1
+        for j in np.nonzero(is_open)[0]:
+            add_flag(int(rows[j]), "breaker-open")
+
+        # Equation 1, in the serial operand order.
+        v2f = voltage_v * voltage_v * (freq_mhz / 1000.0)
+        baseline = self._beta * v2f + self._gamma * voltage_v + self._delta
+        power_w = baseline.copy()
+        source_model = np.zeros(m, dtype=bool)
+        implausible = np.zeros(m, dtype=bool)
+        eligible = np.nonzero(~bad_rows & ~is_open)[0]
+        if eligible.size:
+            cycles = freq_mhz[eligible] * 1e6 * interval[eligible]
+            v2fe = v2f[eligible]
+            model_power_w = baseline[eligible].copy()
+            de = deltas[eligible]
+            for k, alpha in enumerate(self._alphas):
+                model_power_w = (
+                    model_power_w + alpha * (de[:, k] / cycles) * v2fe
+                )
+            plausible = np.isfinite(model_power_w)
+            if self.envelope is not None:
+                plausible &= (model_power_w >= self.envelope.lo_w) & (
+                    model_power_w <= self.envelope.hi_w
+                )
+            ok = eligible[plausible]
+            power_w[ok] = model_power_w[plausible]
+            source_model[ok] = True
+            self._n_model[nd[ok]] += 1
+            bad_est = eligible[~plausible]
+            implausible[bad_est] = True
+            self._n_implausible[nd[bad_est]] += 1
+            for j in bad_est:
+                add_flag(int(rows[j]), "implausible-model-estimate")
+        self._n_baseline[nd[~source_model]] += 1
+
+        if self.envelope is not None:
+            b = np.nonzero(~source_model)[0]
+            if b.size:
+                p = power_w[b]
+                nonfin = ~np.isfinite(p)
+                clipped = np.minimum(
+                    np.maximum(p, self.envelope.lo_w), self.envelope.hi_w
+                )
+                clipped[nonfin] = 0.5 * (
+                    self.envelope.lo_w + self.envelope.hi_w
+                )
+                changed = (clipped != p) | nonfin
+                hit = b[changed]
+                self._n_clipped[nd[hit]] += 1
+                for j in hit:
+                    add_flag(int(rows[j]), "clipped-to-envelope")
+                power_w[hit] = clipped[changed]
+        zeroed = np.nonzero(~np.isfinite(power_w))[0]
+        for j in zeroed:
+            add_flag(int(rows[j]), "non-finite-estimate-zeroed")
+            self._warn(int(nd[j]), "non-finite estimate replaced by 0.0")
+        power_w[zeroed] = 0.0
+
+        # Drift window: the serial append-and-trim as a ring buffer.
+        val = implausible.astype(np.int8)
+        full = self._wlen[nd] == self.drift_window
+        old = np.where(full, self._ring[nd, self._wpos[nd]], 0)
+        self._wsum[nd] += val - old
+        self._ring[nd, self._wpos[nd]] = val
+        self._wpos[nd] = (self._wpos[nd] + 1) % self.drift_window
+        self._wlen[nd] = np.minimum(self._wlen[nd] + 1, self.drift_window)
+        fraction = self._wsum[nd] / self._wlen[nd]
+        detect = (
+            (self._wlen[nd] == self.drift_window)
+            & ~self._drift_detected[nd]
+            & (fraction > self.drift_tolerance)
+        )
+        detected_nodes = nd[detect]
+        self._drift_detected[detected_nodes] = True
+        for j in np.nonzero(detect)[0]:
+            self._warn(
+                int(nd[j]),
+                f"drift detected: {float(fraction[j]):.0%} of the last "
+                f"{self.drift_window} intervals implausible",
+            )
+
+        # Record: EWMA, timeline, interval count (serial operand order).
+        sm_prev = self._smoothed[nd]
+        smoothed = np.where(
+            self._smoothed_valid[nd],
+            self.smoothing * power_w + (1.0 - self.smoothing) * sm_prev,
+            power_w,
+        )
+        self._smoothed[nd] = smoothed
+        self._smoothed_valid[nd] = True
+        t = np.where(
+            t_valid,
+            t_in,
+            np.where(
+                self._last_time_valid[nd],
+                self._last_time[nd] + interval,
+                interval,
+            ),
+        )
+        self._last_time[nd] = t
+        self._last_time_valid[nd] = True
+        self._n_intervals[nd] += 1
+
+        # Quarantine overlay: a freshly latched node enters probation.
+        for node in detected_nodes:
+            self._enter_quarantine(int(node))
+
+        out.produced[rows] = True
+        out.power_w[rows] = power_w
+        out.smoothed_w[rows] = smoothed
+        out.time_s[rows] = t
+        out.source_model[rows] = source_model
+        for row, row_flags in flags.items():
+            out.flags[row] = tuple(row_flags)
+
+    # ------------------------------------------------------------------
+    # Quarantine overlay
+    # ------------------------------------------------------------------
+    def _enter_quarantine(self, idx: int) -> None:
+        self._quarantined[idx] = True
+        self._n_quarantines[idx] += 1
+        rng = derive_rng(
+            self.seed, "serve-quarantine", self._ids[idx],
+            int(self._n_quarantines[idx]),
+        )
+        probation = self.quarantine_probation + int(
+            rng.integers(0, self.quarantine_probation)
+        )
+        self._quarantine_release[idx] = int(self._n_intervals[idx]) + probation
+
+    def _maintain_quarantine(self, nodes: np.ndarray) -> None:
+        """Release quarantined nodes whose probation elapsed *and*
+        whose recent window is back under the drift tolerance."""
+        idx = np.unique(nodes)
+        q = idx[self._quarantined[idx]]
+        if q.size == 0:
+            return
+        served = self._n_intervals[q] >= self._quarantine_release[q]
+        denom = np.maximum(self._wlen[q], 1)
+        calm = self._wsum[q] / denom <= self.drift_tolerance
+        self._quarantined[q[served & calm]] = False
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def warnings(self, node_id: str) -> Tuple[str, ...]:
+        return tuple(self._warnings.get(self._node_index(node_id), []))
+
+    def is_quarantined(self, node_id: str) -> bool:
+        return bool(self._quarantined[self._node_index(node_id)])
+
+    def quarantined_node_ids(self) -> Tuple[str, ...]:
+        n = self.n_nodes
+        hits = np.nonzero(self._quarantined[:n])[0]
+        return tuple(self._ids[int(i)] for i in hits)
+
+    def drift_report(self, node_id: str) -> DriftReport:
+        """One node's session tally — identical to what the serial
+        estimator's :meth:`OnlineEstimator.drift_report` would say."""
+        i = self._node_index(node_id)
+        wlen = int(self._wlen[i])
+        fraction = float(self._wsum[i]) / wlen if wlen else 0.0
+        return DriftReport(
+            n_intervals=int(self._n_intervals[i]),
+            n_model=int(self._n_model[i]),
+            n_baseline=int(self._n_baseline[i]),
+            n_skipped=int(self._n_skipped[i]),
+            n_implausible=int(self._n_implausible[i]),
+            n_clipped=int(self._n_clipped[i]),
+            breaker_trips=int(self._breaker_trips[i]),
+            breaker_open_intervals=int(self._breaker_open_intervals[i]),
+            breaker_open=bool(self._breaker_open[i]),
+            drift_detected=bool(self._drift_detected[i]),
+            drift_fraction=fraction,
+            warnings=tuple(self._warnings.get(i, [])),
+        )
+
+    def take_dirty_nodes(self) -> List[str]:
+        """Node ids touched since the last call (snapshot worker's
+        work-list); clears the dirty set."""
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        return [self._ids[i] for i in dirty]
+
+    def health_counts(self) -> Dict[str, int]:
+        """Fleet-level health tally over all registered nodes."""
+        n = self.n_nodes
+        quarantined = self._quarantined[:n]
+        degraded = (
+            (self._breaker_open[:n] | self._drift_detected[:n])
+            & ~quarantined
+        )
+        return {
+            "n_nodes": n,
+            "quarantined": int(np.count_nonzero(quarantined)),
+            "degraded": int(np.count_nonzero(degraded)),
+            "healthy": int(
+                n
+                - np.count_nonzero(quarantined)
+                - np.count_nonzero(degraded)
+            ),
+        }

@@ -1,0 +1,101 @@
+"""Ingestion middleware: validate and audit samples before they queue.
+
+The service's first line of defense.  Malformed submissions (wrong
+type, missing fields, empty node id, non-finite context *types*,
+NaN/infinite timestamps) are dropped **and counted** here — they never
+reach the estimator.  Degraded-but-well-formed samples (NaN deltas,
+non-positive voltage, backwards timestamps) pass through untouched:
+judging *values* is the estimator's job, and it must see them so the
+fleet path stays bit-identical to the serial
+:meth:`~repro.core.online.OnlineEstimator.step` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.api import NodeSample
+
+__all__ = ["SchemaValidator", "DuplicateAuditor"]
+
+
+@dataclass
+class SchemaValidator:
+    """Drop structurally-invalid submissions, tallying why.
+
+    ``validate`` returns the surviving samples; ``dropped`` maps a
+    reason to how many submissions it rejected.  Dropping is always
+    observable — a silent filter would make overload and fault rates
+    unmeasurable downstream.
+    """
+
+    dropped: Dict[str, int] = field(default_factory=dict)
+
+    def _drop(self, reason: str) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def validate(self, submissions: Sequence[object]) -> List[NodeSample]:
+        out: List[NodeSample] = []
+        for sub in submissions:
+            if not isinstance(sub, NodeSample):
+                self._drop("not-a-sample")
+                continue
+            if not isinstance(sub.node_id, str) or not sub.node_id:
+                self._drop("bad-node-id")
+                continue
+            if not isinstance(sub.counter_deltas, dict):
+                self._drop("bad-deltas")
+                continue
+            try:
+                float(sub.interval_s)
+                float(sub.voltage_v)
+                float(sub.frequency_mhz)
+            except (TypeError, ValueError):
+                self._drop("non-numeric-context")
+                continue
+            if sub.time_s is not None:
+                try:
+                    t = float(sub.time_s)
+                except (TypeError, ValueError):
+                    self._drop("bad-timestamp")
+                    continue
+                if not np.isfinite(t):
+                    self._drop("bad-timestamp")
+                    continue
+            out.append(sub)
+        return out
+
+
+@dataclass
+class DuplicateAuditor:
+    """Count duplicate node ids per submission batch (never drops).
+
+    Duplicates are *legal* — a node may report twice in one window and
+    the estimator processes both in arrival order — but a high rate is
+    an ingestion-pipeline smell worth surfacing in the fleet report.
+    """
+
+    n_rows: int = 0
+    n_duplicates: int = 0
+
+    def observe(self, samples: Sequence[NodeSample]) -> None:
+        seen = set()
+        for sample in samples:
+            self.n_rows += 1
+            if sample.node_id in seen:
+                self.n_duplicates += 1
+            seen.add(sample.node_id)
+
+    @property
+    def duplicate_fraction(self) -> float:
+        return self.n_duplicates / self.n_rows if self.n_rows else 0.0
+
+    def counts(self) -> Tuple[int, int]:
+        return self.n_rows, self.n_duplicates

@@ -111,7 +111,7 @@ class TestReferenceAudit:
         # model + the four Fig. 4 scenarios
         assert len(report.artifacts) == 5
         assert set(report.rules_run) == {
-            f"AU{i:03d}" for i in range(1, 13)
+            f"AU{i:03d}" for i in range(1, 14)
         }
 
 

@@ -537,3 +537,77 @@ class TestAU012ExcessiveReassignment:
         cfg = AuditConfig.from_pyproject(toml)
         assert cfg.reassign_minor_fraction == 0.02
         assert cfg.reassign_major_fraction == 0.04
+
+
+# ---------------------------------------------------------------------------
+class TestAU013FleetDegradation:
+    """Fleet-service health grading over a ``FleetReport``-shaped
+    roll-up.  Health counts alone drive the rule, so a bare namespace
+    stands in for the real report."""
+
+    @staticmethod
+    def _fleet(n_nodes=100, healthy=100, degraded=0, quarantined=0):
+        return SimpleNamespace(
+            n_nodes=n_nodes,
+            healthy_nodes=healthy,
+            degraded_nodes=degraded,
+            quarantined_nodes=quarantined,
+        )
+
+    def test_healthy_fleet_is_silent(self):
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=self._fleet())
+        report = audit_one(ctx)
+        assert report.findings == ()
+        assert report.verdict == "pass"
+
+    def test_moderate_degradation_rates_minor(self):
+        fleet = self._fleet(healthy=92, degraded=5, quarantined=3)
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=fleet)
+        report = audit_one(ctx)
+        assert rule_ids(report) == {"AU013"}
+        assert report.verdict == "minor"
+
+    def test_heavy_degradation_rates_major(self):
+        fleet = self._fleet(healthy=70, degraded=20, quarantined=10)
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=fleet)
+        report = audit_one(ctx)
+        assert rule_ids(report) == {"AU013"}
+        assert report.verdict == "major"
+
+    def test_no_healthy_node_fails(self):
+        fleet = self._fleet(healthy=0, degraded=60, quarantined=40)
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=fleet)
+        report = audit_one(ctx)
+        assert rule_ids(report) == {"AU013"}
+        assert report.verdict == "fail"
+
+    def test_fraction_at_threshold_is_silent(self):
+        # Exactly 5% degraded: the minor grade requires *exceeding*
+        # the threshold.
+        fleet = self._fleet(healthy=95, degraded=5, quarantined=0)
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=fleet)
+        assert audit_one(ctx).findings == ()
+
+    def test_empty_fleet_is_silent(self):
+        fleet = self._fleet(n_nodes=0, healthy=0)
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=fleet)
+        assert audit_one(ctx).findings == ()
+
+    def test_thresholds_configurable(self):
+        fleet = self._fleet(healthy=98, degraded=2, quarantined=0)
+        ctx = AuditContext(artifact="fleet", kind="fleet", fleet=fleet)
+        assert audit_one(ctx).findings == ()
+        tightened = audit_one(ctx, fleet_degraded_minor_fraction=0.01)
+        assert rule_ids(tightened) == {"AU013"}
+        assert tightened.verdict == "minor"
+
+    def test_pyproject_thresholds(self, tmp_path):
+        toml = tmp_path / "pyproject.toml"
+        toml.write_text(
+            "[tool.repro.audit]\n"
+            "fleet-degraded-minor-fraction = 0.02\n"
+            "fleet-degraded-major-fraction = 0.5\n"
+        )
+        cfg = AuditConfig.from_pyproject(toml)
+        assert cfg.fleet_degraded_minor_fraction == 0.02
+        assert cfg.fleet_degraded_major_fraction == 0.5

@@ -1,0 +1,172 @@
+"""State snapshot round-trip of the online estimator.
+
+The resume contract: an estimator restored from ``state_dict()``
+mid-stream must be bit-identical to one that never stopped — every
+subsequent estimate, breaker decision, drift latch and the final
+``DriftReport`` match exactly (``==`` on floats, not approx).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import FittedPowerModel
+from repro.core.online import (
+    ONLINE_STATE_FORMAT,
+    OnlineEstimator,
+    PowerEnvelope,
+)
+from repro.stats.ols import OLSResult
+
+COUNTERS = ("instructions", "cache-misses")
+
+
+def synthetic_model():
+    names = tuple(f"alpha:{c}" for c in COUNTERS) + (
+        "beta:V2f", "gamma:V", "delta:Z",
+    )
+    params = np.array([8.0, 25.0, 12.0, 4.0, 18.0])
+    k = len(params)
+    ols = OLSResult(
+        params=params,
+        bse=np.ones(k),
+        cov_params=np.eye(k),
+        rsquared=0.99,
+        rsquared_adj=0.99,
+        nobs=100,
+        df_model=k - 1,
+        df_resid=100 - k,
+        cov_type="HC3",
+        fitted_values=np.zeros(100),
+        residuals=np.zeros(100),
+        exog_names=names,
+        has_intercept=False,
+    )
+    return FittedPowerModel(counters=COUNTERS, ols=ols, cov_type="HC3")
+
+
+def stream(rng, tick, *, degraded=False):
+    deltas = {c: float(rng.uniform(0.0, 2e7)) for c in COUNTERS}
+    if degraded:
+        deltas["instructions"] = float("nan")
+    return dict(
+        counter_deltas=deltas,
+        interval_s=0.5,
+        voltage_v=float(rng.uniform(0.9, 1.2)),
+        frequency_mhz=float(rng.uniform(1200.0, 2600.0)),
+        time_s=0.5 * (tick + 1),
+    )
+
+
+def step(est, sample):
+    return est.step(
+        sample["counter_deltas"],
+        interval_s=sample["interval_s"],
+        voltage_v=sample["voltage_v"],
+        frequency_mhz=sample["frequency_mhz"],
+        time_s=sample["time_s"],
+    )
+
+
+KW = dict(
+    smoothing=0.5,
+    envelope=PowerEnvelope(5.0, 150.0),
+    breaker_threshold=2,
+    recovery_threshold=2,
+    drift_window=5,
+    drift_tolerance=0.4,
+)
+
+
+class TestOnlineStateRoundtrip:
+    def test_resume_is_bit_identical(self):
+        """Snapshot mid-stream — including mid breaker episode — and
+        resume; the continuation must match the uninterrupted run."""
+        model = synthetic_model()
+        continuous = OnlineEstimator(model, **KW)
+        interrupted = OnlineEstimator(model, **KW)
+        rng_a = np.random.default_rng(17)
+        rng_b = np.random.default_rng(17)
+
+        # Degraded ticks 6-9 leave the breaker open at the snapshot.
+        for tick in range(10):
+            degraded = tick >= 6
+            step(continuous, stream(rng_a, tick, degraded=degraded))
+            step(interrupted, stream(rng_b, tick, degraded=degraded))
+
+        snapshot = interrupted.state_dict()
+        resumed = OnlineEstimator(model, **KW)
+        resumed.load_state(snapshot)
+
+        for tick in range(10, 25):
+            sample_a = stream(rng_a, tick)
+            sample_b = stream(rng_b, tick)
+            est_a = step(continuous, sample_a)
+            est_b = step(resumed, sample_b)
+            assert float(est_a.power_w) == float(est_b.power_w)
+            assert float(est_a.smoothed_w) == float(est_b.smoothed_w)
+            assert float(est_a.time_s) == float(est_b.time_s)
+            assert est_a.source == est_b.source
+            assert tuple(est_a.flags) == tuple(est_b.flags)
+        assert continuous.drift_report() == resumed.drift_report()
+
+    def test_state_dict_is_json_serialisable(self):
+        import json
+
+        est = OnlineEstimator(synthetic_model(), **KW)
+        rng = np.random.default_rng(2)
+        for tick in range(4):
+            step(est, stream(rng, tick))
+        state = est.state_dict()
+        assert state["format"] == ONLINE_STATE_FORMAT
+        restored = OnlineEstimator(synthetic_model(), **KW)
+        restored.load_state(json.loads(json.dumps(state)))
+        assert restored.state_dict() == state
+
+    def test_unknown_format_rejected(self):
+        est = OnlineEstimator(synthetic_model(), **KW)
+        state = est.state_dict()
+        state["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            est.load_state(state)
+
+    def test_malformed_state_rejected(self):
+        est = OnlineEstimator(synthetic_model(), **KW)
+        with pytest.raises(ValueError, match="dict"):
+            est.load_state("not a dict")
+        state = est.state_dict()
+        del state["seen"]
+        with pytest.raises(ValueError, match="malformed"):
+            est.load_state(state)
+
+    def test_invalid_values_rejected(self):
+        est = OnlineEstimator(synthetic_model(), **KW)
+        rng = np.random.default_rng(4)
+        for tick in range(3):
+            step(est, stream(rng, tick))
+        bad_ewma = est.state_dict()
+        bad_ewma["smoothed"] = float("inf")
+        with pytest.raises(ValueError, match="EWMA"):
+            est.load_state(bad_ewma)
+        bad_counter = est.state_dict()
+        bad_counter["seen"] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            est.load_state(bad_counter)
+        long_window = est.state_dict()
+        long_window["implausible_window"] = [False] * (KW["drift_window"] + 1)
+        with pytest.raises(ValueError, match="window"):
+            est.load_state(long_window)
+
+    def test_rejected_load_leaves_estimator_usable(self):
+        """A failed load must not half-apply: the estimator still
+        steps and reports afterwards."""
+        est = OnlineEstimator(synthetic_model(), **KW)
+        rng = np.random.default_rng(6)
+        step(est, stream(rng, 0))
+        state = est.state_dict()
+        state["format"] = 99
+        with pytest.raises(ValueError):
+            est.load_state(state)
+        out = step(est, stream(rng, 1))
+        assert np.isfinite(out.power_w)

@@ -66,4 +66,5 @@ class TestRunnerCLI:
             "fig5",
             "fig6",
             "sched",
+            "serve",
         }

@@ -21,6 +21,7 @@ from repro.lint.rules import (
     NoUnauditedReport,
     NoRawParallelPrimitives,
     NoRawSleepRetry,
+    NoUnboundedQueue,
     SilentBroadExcept,
     UnitSuffixConsistency,
 )
@@ -758,3 +759,85 @@ class TestRL012RawSleepRetry:
         custom = Path("src/custom/poller.py")
         assert run_rule(NoRawSleepRetry(), code, path=custom, config=config) == []
         assert ids(run_rule(NoRawSleepRetry(), code, config=config)) == ["RL012"]
+
+
+# ---------------------------------------------------------------------------
+class TestRL013UnboundedQueue:
+    def test_flags_capacityless_queue(self):
+        bad = """
+            import queue
+
+            q = queue.Queue()
+        """
+        assert ids(run_rule(NoUnboundedQueue(), bad)) == ["RL013"]
+
+    def test_flags_unbounding_constants(self):
+        bad = """
+            import queue
+
+            a = queue.Queue(0)
+            b = queue.Queue(maxsize=None)
+            c = queue.Queue(-1)
+        """
+        assert ids(run_rule(NoUnboundedQueue(), bad)) == ["RL013"] * 3
+
+    def test_flags_capacityless_deque(self):
+        bad = """
+            from collections import deque
+
+            buffer = deque()
+            window = deque(maxlen=None)
+        """
+        assert ids(run_rule(NoUnboundedQueue(), bad)) == ["RL013"] * 2
+
+    def test_flags_aliased_and_asyncio_queues(self):
+        bad = """
+            import asyncio
+            from queue import Queue as Q
+
+            a = asyncio.Queue()
+            b = Q()
+        """
+        assert ids(run_rule(NoUnboundedQueue(), bad)) == ["RL013"] * 2
+
+    def test_flags_simplequeue_always(self):
+        # SimpleQueue has no maxsize parameter at all.
+        bad = """
+            import queue
+
+            q = queue.SimpleQueue()
+        """
+        assert ids(run_rule(NoUnboundedQueue(), bad)) == ["RL013"]
+
+    def test_passes_bounded_constructions(self):
+        good = """
+            import queue
+            from collections import deque
+
+            a = queue.Queue(100)
+            b = queue.Queue(maxsize=8)
+            c = deque(maxlen=16)
+            d = deque([1, 2], 5)
+            e = deque(items, maxlen=cap)
+        """
+        assert run_rule(NoUnboundedQueue(), good) == []
+
+    def test_serve_layer_is_exempt(self):
+        code = """
+            from collections import deque
+
+            pending = deque()
+        """
+        exempt = Path("src/repro/serve/queue.py")
+        assert run_rule(NoUnboundedQueue(), code, path=exempt) == []
+
+    def test_configured_modules_override(self):
+        code = """
+            import queue
+
+            q = queue.Queue()
+        """
+        config = LintConfig(queue_modules=("*/custom/buffer.py",))
+        custom = Path("src/custom/buffer.py")
+        assert run_rule(NoUnboundedQueue(), code, path=custom, config=config) == []
+        assert ids(run_rule(NoUnboundedQueue(), code, config=config)) == ["RL013"]

@@ -1,0 +1,72 @@
+"""Shared fixtures for the serving-layer tests.
+
+The fleet tests never need a real campaign fit: a hand-built
+``FittedPowerModel`` with known coefficients exercises every estimator
+path (Eq. 1 evaluation, envelope plausibility, baseline fallback) in
+microseconds, and keeps the bit-identity assertions independent of the
+fitting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import FittedPowerModel
+from repro.core.online import PowerEnvelope
+from repro.serve import NodeSample
+from repro.stats.ols import OLSResult
+
+COUNTERS = ("instructions", "cache-misses", "branches")
+
+
+def synthetic_model(counters=COUNTERS):
+    """A FittedPowerModel with fixed, plausible coefficients."""
+    names = tuple(f"alpha:{c}" for c in counters) + (
+        "beta:V2f", "gamma:V", "delta:Z",
+    )
+    params = np.array([8.0, 25.0, 3.5, 12.0, 4.0, 18.0][: len(names)])
+    k = len(params)
+    ols = OLSResult(
+        params=params,
+        bse=np.ones(k),
+        cov_params=np.eye(k),
+        rsquared=0.99,
+        rsquared_adj=0.99,
+        nobs=100,
+        df_model=k - 1,
+        df_resid=100 - k,
+        cov_type="HC3",
+        fitted_values=np.zeros(100),
+        residuals=np.zeros(100),
+        exog_names=names,
+        has_intercept=False,
+    )
+    return FittedPowerModel(counters=counters, ols=ols, cov_type="HC3")
+
+
+@pytest.fixture()
+def model():
+    return synthetic_model()
+
+
+@pytest.fixture()
+def envelope():
+    return PowerEnvelope(lo_w=5.0, hi_w=150.0)
+
+
+def make_fleet_samples(node_ids, tick, rng, counters=COUNTERS, interval_s=0.5):
+    """One well-formed sample per node for the given tick."""
+    return [
+        NodeSample(
+            node_id=nid,
+            counter_deltas={
+                c: float(rng.uniform(0.0, 2e7)) for c in counters
+            },
+            interval_s=interval_s,
+            voltage_v=float(rng.uniform(0.9, 1.2)),
+            frequency_mhz=float(rng.uniform(1200.0, 2600.0)),
+            time_s=interval_s * (tick + 1),
+        )
+        for nid in node_ids
+    ]
