@@ -20,10 +20,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.acquisition.dataset import PowerDataset
+from repro.acquisition.dataset import DatasetHandle, PowerDataset
 from repro.core.features import design_matrix
 from repro.core.model import PowerModel
-from repro.parallel import resolve_executor
+from repro.parallel import (
+    ProcessExecutor,
+    SharedArena,
+    arena_enabled,
+    resolve_executor,
+    split_batches,
+)
 from repro.seeding import DEFAULT_SEED, derive_rng
 from repro.stats.crossval import KFold
 from repro.stats.fastfit import FoldGramSolver, fastfit_enabled
@@ -157,6 +163,34 @@ def _cv_fold_worker(
     )
 
 
+def _cv_fold_batch_worker(
+    args: Tuple[
+        DatasetHandle,
+        Tuple[str, ...],
+        str,
+        str,
+        Tuple[Tuple[np.ndarray, np.ndarray], ...],
+        str,
+    ],
+) -> List[Tuple[np.ndarray, float, Dict[str, float], int]]:
+    """Fit and score one batch of CV folds against a shared dataset.
+
+    The zero-copy variant of :func:`_cv_fold_worker`: the work item
+    carries a :class:`~repro.acquisition.dataset.DatasetHandle` and
+    this worker's fold slices instead of the pickled dataset; each fold
+    runs the exact per-fold worker, so the flattened batch outcomes are
+    bitwise-identical to per-fold dispatch.
+    """
+    handle, counters, cov_type, estimator, folds, on_zero = args
+    dataset = handle.resolve()
+    return [
+        _cv_fold_worker(
+            (dataset, counters, cov_type, estimator, train, test, on_zero)
+        )
+        for train, test in folds
+    ]
+
+
 def cv_out_of_fold_predictions(
     dataset: PowerDataset,
     counters: Sequence[str],
@@ -180,7 +214,9 @@ def cv_out_of_fold_predictions(
     recorded in the ``issues`` sink when one is given.  Folds run on
     the ``parallel``/``max_workers`` backend (see
     :mod:`repro.parallel`), assembled in fold order — bit-identical to
-    serial.  ``fast`` (default: ``REPRO_FASTFIT``, on) solves the OLS
+    serial; the process backend shares the dataset through a zero-copy
+    arena and dispatches fold batches as handles (``REPRO_ARENA=0``
+    restores pickled per-fold payloads).  ``fast`` (default: ``REPRO_FASTFIT``, on) solves the OLS
     folds from Gram downdates (:mod:`repro.stats.fastfit`) within 1e-9
     relative tolerance of the per-fold refits; Huber folds and any fold
     the solver declines take the exact path.
@@ -236,21 +272,45 @@ def cv_out_of_fold_predictions(
             parallel, max_workers, n_items=len(splits),
             min_items_per_worker=8,
         )
-        outcomes = executor.map(
-            _cv_fold_worker,
-            [
-                (
-                    dataset,
-                    tuple(counters),
-                    cov_type,
-                    estimator,
-                    train,
-                    test,
-                    on_zero,
+        if isinstance(executor, ProcessExecutor) and arena_enabled():
+            # Zero-copy dispatch: publish the dataset once, ship
+            # handles plus contiguous fold batches; flatten in batch
+            # order = fold order.  REPRO_ARENA=0 restores the pickled
+            # per-fold dispatch.
+            with SharedArena() as arena:
+                handle = dataset.share(arena)
+                batches = split_batches(splits, executor.max_workers)
+                nested = executor.map(
+                    _cv_fold_batch_worker,
+                    [
+                        (
+                            handle,
+                            tuple(counters),
+                            cov_type,
+                            estimator,
+                            tuple(batch),
+                            on_zero,
+                        )
+                        for batch in batches
+                    ],
                 )
-                for train, test in splits
-            ],
-        )
+            outcomes = [outcome for sub in nested for outcome in sub]
+        else:
+            outcomes = executor.map(
+                _cv_fold_worker,
+                [
+                    (
+                        dataset,
+                        tuple(counters),
+                        cov_type,
+                        estimator,
+                        train,
+                        test,
+                        on_zero,
+                    )
+                    for train, test in splits
+                ],
+            )
     preds = np.full(dataset.n_samples, np.nan)
     fold_mapes: List[float] = []
     fold_fits: List[Dict[str, float]] = []

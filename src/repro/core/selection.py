@@ -25,12 +25,19 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.acquisition.dataset import PowerDataset
+from repro.acquisition.dataset import DatasetHandle, PowerDataset
 from repro.core.features import design_matrix
 from repro.core.model import ESTIMATORS, PowerModel
-from repro.parallel import resolve_executor
+from repro.parallel import (
+    BaseExecutor,
+    ProcessExecutor,
+    SharedArena,
+    arena_enabled,
+    resolve_executor,
+    split_batches,
+)
 from repro.stats.errors import EstimationError
-from repro.stats.fastfit import GramCache, fastfit_enabled
+from repro.stats.fastfit import GramCache, GramCacheHandle, fastfit_enabled
 from repro.stats.selection_criteria import CRITERIA
 from repro.stats.vif import VIF_PROBLEM_THRESHOLD, mean_vif
 
@@ -136,6 +143,52 @@ def _evaluate_candidate(
     return ("ok", event, score, fitted.rsquared, fitted.rsquared_adj)
 
 
+def _evaluate_candidate_batch(
+    args: Tuple[
+        DatasetHandle,
+        Tuple[str, ...],
+        Tuple[str, ...],
+        Optional[float],
+        str,
+        str,
+        str,
+    ],
+) -> List[Tuple[object, ...]]:
+    """Score one batch of candidates against a shared dataset.
+
+    The zero-copy variant of :func:`_evaluate_candidate`: the work item
+    carries a :class:`~repro.acquisition.dataset.DatasetHandle` and a
+    slice of the candidate pool instead of the pickled dataset, and one
+    dispatch covers a whole worker's share.  Each candidate runs the
+    exact per-candidate evaluation, so the flattened batch results are
+    bitwise-identical to per-item dispatch.
+    """
+    handle, selected, events, max_vif, cov_type, estimator, criterion = args
+    dataset = handle.resolve()
+    return [
+        _evaluate_candidate(
+            (dataset, selected, event, max_vif, cov_type, estimator,
+             criterion)
+        )
+        for event in events
+    ]
+
+
+def _score_candidates_shared(
+    args: Tuple[GramCacheHandle, Tuple[int, ...], Tuple[int, ...], str],
+) -> List[Optional[Tuple[float, float, float]]]:
+    """Score one chunk of fast-path candidates from the shared cache.
+
+    Workers reconstruct the :class:`~repro.stats.fastfit.GramCache`
+    from shared buffers (memoized per process) and run the same
+    column-separable scoring kernel the parent would; chunk results
+    concatenate to the parent's single batched call bitwise.
+    """
+    handle, sel_pos, cand_pos, criterion = args
+    cache = GramCache.from_handle(handle)
+    return cache.score_candidates(list(sel_pos), list(cand_pos), criterion)
+
+
 def _fast_step_evaluations(
     dataset: PowerDataset,
     cache: GramCache,
@@ -145,6 +198,8 @@ def _fast_step_evaluations(
     max_vif: Optional[float],
     cov_type: str,
     criterion: str,
+    executor: Optional[BaseExecutor] = None,
+    cache_handle: Optional[GramCacheHandle] = None,
 ) -> List[Tuple[object, ...]]:
     """One greedy step through the Gram cache.
 
@@ -156,6 +211,13 @@ def _fast_step_evaluations(
     (degraded or ill-conditioned trial design) is re-evaluated through
     the exact slow path so its score, skip warning or error message is
     reproduced verbatim.
+
+    With a process ``executor`` and a published ``cache_handle`` the
+    batched scoring is chunked across workers — one contiguous slice
+    per worker slot against the shared buffers.  Column-separability
+    of the kernel makes the concatenated chunks bitwise-identical to
+    the single batched call, so the reduce downstream cannot tell the
+    difference.
     """
     sel_pos = [pool_pos[e] for e in selected]
     evaluations: List[Optional[Tuple[object, ...]]] = [None] * len(remaining)
@@ -167,9 +229,29 @@ def _fast_step_evaluations(
                 evaluations[i] = ("vif", event)
                 continue
         admissible.append(i)
-    scores = cache.score_candidates(
-        sel_pos, [pool_pos[remaining[i]] for i in admissible], criterion
-    )
+    admissible_pos = [pool_pos[remaining[i]] for i in admissible]
+    # Chunks must carry >= 2 candidates each: BLAS routes a one-column
+    # matmul through gemv, whose accumulation order differs from gemm's
+    # by ~1 ulp — a size-1 chunk would break bitwise equality with the
+    # parent's batched call (guarded by the fastfit chunking tests).
+    if (
+        cache_handle is not None
+        and executor is not None
+        and len(admissible) >= 4
+    ):
+        chunks = split_batches(
+            admissible_pos, min(executor.max_workers, len(admissible) // 2)
+        )
+        nested = executor.map(
+            _score_candidates_shared,
+            [
+                (cache_handle, tuple(sel_pos), tuple(chunk), criterion)
+                for chunk in chunks
+            ],
+        )
+        scores = [score for chunk_scores in nested for score in chunk_scores]
+    else:
+        scores = cache.score_candidates(sel_pos, admissible_pos, criterion)
     for i, entry in zip(admissible, scores):
         event = remaining[i]
         if entry is None:
@@ -230,7 +312,11 @@ def select_events(
         Backend for each step's candidate fan-out (see
         :mod:`repro.parallel`).  Candidate fits are independent, and
         the reduction below walks results in pool order, so every
-        backend selects bit-identically.
+        backend selects bit-identically.  The process backend
+        dispatches through a zero-copy shared-memory arena (dataset
+        columns or Gram-cache buffers published once, work items
+        carrying handles and contiguous candidate batches);
+        ``REPRO_ARENA=0`` restores the pickled-payload dispatch.
     fast:
         Score candidates through the Gram-cache fast-fit kernel
         (:mod:`repro.stats.fastfit`) instead of one full OLS refit per
@@ -305,91 +391,135 @@ def select_events(
             dataset.counter_matrix(pool),
         )
         pool_pos = {event: i for i, event in enumerate(pool)}
+    # Zero-copy dispatch for the process backend: publish the shared
+    # state (Gram-cache buffers on the fast path, the dataset columns
+    # on the slow one) once, then fan out ~100-byte handles per step.
+    # REPRO_ARENA=0 keeps the historical pickled-payload dispatch.
+    arena: Optional[SharedArena] = None
+    dataset_handle: Optional[DatasetHandle] = None
+    cache_handle: Optional[GramCacheHandle] = None
+    if isinstance(executor, ProcessExecutor) and arena_enabled():
+        arena = SharedArena()
+        if cache is not None:
+            cache_handle = cache.share(arena)
+        else:
+            dataset_handle = dataset.share(arena)
     selected: List[str] = []
     steps: List[SelectionStep] = []
     remaining = list(pool)
 
-    while len(selected) < n_events:
-        best: Optional[Tuple[str, float, float, float]] = None
-        step_warnings: List[str] = []
-        scores: List[Tuple[str, float]] = []
-        if cache is not None:
-            evaluations = _fast_step_evaluations(
-                dataset, cache, pool_pos, selected, remaining,
-                max_vif, cov_type, criterion,
-            )
-        else:
-            evaluations = executor.map(
-                _evaluate_candidate,
-                [
-                    (
-                        dataset,
-                        tuple(selected),
-                        event,
-                        max_vif,
-                        cov_type,
-                        estimator,
-                        criterion,
+    try:
+        while len(selected) < n_events:
+            best: Optional[Tuple[str, float, float, float]] = None
+            step_warnings: List[str] = []
+            scores: List[Tuple[str, float]] = []
+            if cache is not None:
+                evaluations = _fast_step_evaluations(
+                    dataset, cache, pool_pos, selected, remaining,
+                    max_vif, cov_type, criterion,
+                    executor=executor if cache_handle is not None else None,
+                    cache_handle=cache_handle,
+                )
+            elif dataset_handle is not None:
+                # Batched zero-copy dispatch: one contiguous candidate
+                # slice per worker; flattening in batch order restores
+                # pool order for the reduce below.
+                batches = split_batches(remaining, executor.max_workers)
+                nested = executor.map(
+                    _evaluate_candidate_batch,
+                    [
+                        (
+                            dataset_handle,
+                            tuple(selected),
+                            tuple(batch),
+                            max_vif,
+                            cov_type,
+                            estimator,
+                            criterion,
+                        )
+                        for batch in batches
+                    ],
+                )
+                evaluations = [ev for sub in nested for ev in sub]
+            else:
+                evaluations = executor.map(
+                    _evaluate_candidate,
+                    [
+                        (
+                            dataset,
+                            tuple(selected),
+                            event,
+                            max_vif,
+                            cov_type,
+                            estimator,
+                            criterion,
+                        )
+                        for event in remaining
+                    ],
+                )
+            # Reduce in pool order — identical to the historical serial
+            # loop, whichever backend produced the evaluations.
+            for evaluation in evaluations:
+                tag = evaluation[0]
+                if tag == "vif":
+                    continue
+                if tag == "error":
+                    _, event, message = evaluation
+                    step_warnings.append(
+                        f"candidate {event!r} skipped: {message}"
                     )
-                    for event in remaining
-                ],
+                    continue
+                _, event, score, r2, adj = evaluation
+                scores.append((event, score))
+                if best is None or score > best[1]:
+                    best = (event, score, r2, adj)
+            if best is None:
+                # Every remaining candidate violates the VIF constraint
+                # or failed to fit on the degraded data.
+                if step_warnings:
+                    run_warnings.extend(step_warnings)
+                run_warnings.append(
+                    f"selection stopped early at {len(selected)} of "
+                    f"{n_events} events: no admissible candidate remains"
+                )
+                break
+            event, score, r2, adj = best
+            ties = [
+                e
+                for e, s in scores
+                if e != event and s == score  # replint: ignore[RL004] -- exact tie detection is intentional
+            ]
+            if ties:
+                step_warnings.append(
+                    f"criterion tie with {', '.join(sorted(ties))}; kept "
+                    f"{event!r} (earliest in pool order)"
+                )
+            selected.append(event)
+            remaining.remove(event)
+            if cache is not None:
+                vif = cache.mean_vif([pool_pos[e] for e in selected])
+            else:
+                vif = mean_vif(dataset.counter_matrix(selected))
+            if np.isinf(vif):
+                step_warnings.append(
+                    "mean VIF is infinite: selected set contains perfectly "
+                    "collinear columns"
+                )
+            steps.append(
+                SelectionStep(
+                    counter=event,
+                    rsquared=r2,
+                    rsquared_adj=adj,
+                    mean_vif=vif,
+                    criterion_value=score,
+                    warnings=tuple(step_warnings),
+                )
             )
-        # Reduce in pool order — identical to the historical serial
-        # loop, whichever backend produced the evaluations.
-        for evaluation in evaluations:
-            tag = evaluation[0]
-            if tag == "vif":
-                continue
-            if tag == "error":
-                _, event, message = evaluation
-                step_warnings.append(f"candidate {event!r} skipped: {message}")
-                continue
-            _, event, score, r2, adj = evaluation
-            scores.append((event, score))
-            if best is None or score > best[1]:
-                best = (event, score, r2, adj)
-        if best is None:
-            # Every remaining candidate violates the VIF constraint or
-            # failed to fit on the degraded data.
-            if step_warnings:
-                run_warnings.extend(step_warnings)
-            run_warnings.append(
-                f"selection stopped early at {len(selected)} of "
-                f"{n_events} events: no admissible candidate remains"
-            )
-            break
-        event, score, r2, adj = best
-        ties = [
-            e
-            for e, s in scores
-            if e != event and s == score  # replint: ignore[RL004] -- exact tie detection is intentional
-        ]
-        if ties:
-            step_warnings.append(
-                f"criterion tie with {', '.join(sorted(ties))}; kept "
-                f"{event!r} (earliest in pool order)"
-            )
-        selected.append(event)
-        remaining.remove(event)
-        if cache is not None:
-            vif = cache.mean_vif([pool_pos[e] for e in selected])
-        else:
-            vif = mean_vif(dataset.counter_matrix(selected))
-        if np.isinf(vif):
-            step_warnings.append(
-                "mean VIF is infinite: selected set contains perfectly "
-                "collinear columns"
-            )
-        steps.append(
-            SelectionStep(
-                counter=event,
-                rsquared=r2,
-                rsquared_adj=adj,
-                mean_vif=vif,
-                criterion_value=score,
-                warnings=tuple(step_warnings),
-            )
-        )
+    finally:
+        # Leak-proof lifecycle: segments are unlinked on normal exit,
+        # worker crash and injected faults alike.
+        if arena is not None:
+            arena.close()
     return SelectionResult(
         steps=tuple(steps),
         criterion=criterion,

@@ -142,7 +142,13 @@ def run_workflow(
         Execution backend for the acquisition, selection and validation
         stages (see :mod:`repro.parallel`); the result is bit-identical
         whichever backend runs, and per-stage wall time lands in
-        ``result.timing``.
+        ``result.timing``.  Under the process backend the selection and
+        validation stages dispatch through the zero-copy shared-memory
+        arena (each stage publishes its arrays once, closes — and
+        thereby unlinks — its segments on the way out, success or
+        failure, so a completed workflow leaves nothing in
+        ``/dev/shm``); ``REPRO_ARENA=0`` restores the historical
+        pickled-payload dispatch.
     fast:
         Run selection and cross validation through the Gram-cache
         fast-fit kernels (:mod:`repro.stats.fastfit`).  Default

@@ -18,6 +18,7 @@ from repro.lint.rules.rl010_hot_loop_fit import NoHotLoopRefit
 from repro.lint.rules.rl011_unaudited_report import NoUnauditedReport
 from repro.lint.rules.rl012_raw_sleep_retry import NoRawSleepRetry
 from repro.lint.rules.rl013_unbounded_queue import NoUnboundedQueue
+from repro.lint.rules.rl014_raw_shm import NoRawSharedMemory
 
 __all__ = [
     "all_rules",
@@ -34,6 +35,7 @@ __all__ = [
     "NoUnauditedReport",
     "NoRawSleepRetry",
     "NoUnboundedQueue",
+    "NoRawSharedMemory",
 ]
 
 
@@ -53,4 +55,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NoUnauditedReport(),
         NoRawSleepRetry(),
         NoUnboundedQueue(),
+        NoRawSharedMemory(),
     ]

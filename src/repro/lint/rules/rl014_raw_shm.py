@@ -1,0 +1,111 @@
+"""RL014 — shared-memory segments only inside ``repro.parallel``.
+
+The arena's leak-proof lifecycle (DESIGN.md §16) holds because every
+``multiprocessing.shared_memory`` segment in the repository is owned by
+a :class:`~repro.parallel.arena.SharedArena`: created there, tracked in
+the live-arena registry, and unlinked by ``close()`` /
+``release_arenas()`` / ``shutdown_pools()`` / ``atexit`` — so a normal
+exit, a worker crash or an injected fault all leave ``/dev/shm`` clean.
+A raw ``SharedMemory(...)`` at a random call site escapes all of that:
+nothing unlinks it on the error paths, the leak test cannot attribute
+it, and a crashed process can strand the segment until reboot.  This
+rule flags any import or attribute use of
+``multiprocessing.shared_memory`` outside the configured
+``parallel-modules``; publish arrays through
+``SharedArena.publish()``/``ArrayHandle.resolve()`` instead.
+
+RL009 already fences off ``multiprocessing`` as a whole; RL014 exists
+so a suppression of the broad rule (e.g. a ``cpu_count`` probe) cannot
+quietly smuggle in raw segment ownership — the narrow rule still fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.framework import FileContext, FileRule, Finding
+
+__all__ = ["NoRawSharedMemory"]
+
+_ADVICE = (
+    "own segments through repro.parallel (SharedArena.publish() / "
+    "ArrayHandle.resolve()) so unlink is guaranteed on close, "
+    "shutdown_pools(), atexit and worker crash"
+)
+
+
+class NoRawSharedMemory(FileRule):
+    id = "RL014"
+    name = "no-raw-shm"
+    description = (
+        "multiprocessing.shared_memory belongs in repro.parallel; use "
+        "SharedArena/ArrayHandle elsewhere so segments cannot leak"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.path_matches_any(
+            ctx.posix_path, ctx.config.parallel_modules
+        ):
+            return []
+        findings: List[Finding] = []
+        mp_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("multiprocessing.shared_memory"):
+                        findings.append(
+                            ctx.finding(
+                                self,
+                                node,
+                                f"import of {alias.name!r} outside "
+                                f"repro.parallel; {_ADVICE}",
+                            )
+                        )
+                        break
+                    if alias.name.split(".", 1)[0] == "multiprocessing":
+                        mp_aliases.add(alias.asname or "multiprocessing")
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay inside the package
+                if node.module.startswith("multiprocessing.shared_memory"):
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"import from {node.module!r} outside "
+                            f"repro.parallel; {_ADVICE}",
+                        )
+                    )
+                elif node.module == "multiprocessing" and any(
+                    a.name == "shared_memory" for a in node.names
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            "import of 'multiprocessing.shared_memory' "
+                            f"outside repro.parallel; {_ADVICE}",
+                        )
+                    )
+        if mp_aliases:
+            # `import multiprocessing as mp` dodges the import checks
+            # (and may carry an RL009 suppression for a cpu_count
+            # probe); attribute use of mp.shared_memory still counts.
+            for node in ast.walk(ctx.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "shared_memory"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in mp_aliases
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            "use of 'multiprocessing.shared_memory' "
+                            f"outside repro.parallel; {_ADVICE}",
+                        )
+                    )
+        findings.sort(key=lambda f: (f.line, f.col))
+        return findings

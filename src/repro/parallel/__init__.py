@@ -11,6 +11,12 @@ package centralises how that fan-out happens:
   selected by name via :func:`resolve_executor` (``parallel="serial" |
   "thread" | "process"``, ``max_workers=N``) or the ``REPRO_PARALLEL``
   / ``REPRO_MAX_WORKERS`` environment variables;
+* :class:`SharedArena` / :class:`ArrayHandle` — zero-copy
+  shared-memory dispatch for the process backend: large arrays are
+  published once and work items carry ~100-byte handles instead of
+  pickled matrices, with :func:`split_batches` amortizing per-dispatch
+  overhead (one batch per worker, flattened in pool order).
+  ``REPRO_ARENA=0`` falls back to pickled payloads;
 * :class:`TimingReport` / :class:`StageTimer` — per-stage wall-time
   accounting on a single monotonic clock, surfaced on
   ``CampaignReport`` and ``WorkflowResult``.
@@ -23,6 +29,14 @@ Lint rule RL009 forbids direct ``concurrent.futures``/
 ``multiprocessing`` use anywhere else in the repository.
 """
 
+from repro.parallel.arena import (
+    ARENA_ENV,
+    ArrayHandle,
+    SharedArena,
+    arena_enabled,
+    release_arenas,
+    split_batches,
+)
 from repro.parallel.executor import (
     MAX_WORKERS_ENV,
     PARALLEL_ENV,
@@ -46,6 +60,12 @@ __all__ = [
     "PARALLEL_KINDS",
     "PARALLEL_ENV",
     "MAX_WORKERS_ENV",
+    "ARENA_ENV",
+    "ArrayHandle",
+    "SharedArena",
+    "arena_enabled",
+    "release_arenas",
+    "split_batches",
     "BaseExecutor",
     "SerialExecutor",
     "ThreadExecutor",

@@ -32,6 +32,8 @@ from concurrent.futures.process import BrokenProcessPool
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.parallel.arena import release_arenas
+
 __all__ = [
     "PARALLEL_KINDS",
     "PARALLEL_ENV",
@@ -127,6 +129,26 @@ class SerialExecutor(BaseExecutor):
 
 _POOL_CACHE: Dict[Tuple[str, int], _FuturesExecutor] = {}
 
+#: True in any process forked from this one (i.e. in pool workers).
+_FORKED_WORKER = False
+
+
+def _forget_inherited_pools() -> None:
+    """A forked child inherits the parent's cached pool *objects* but
+    not the manager threads and queue feeders behind them — a nested
+    ``map`` submitted to an inherited pool deadlocks forever (the
+    latent bug behind the hung nested experiment runner).  Forget the
+    cache without shutting anything down (the pools, their queues and
+    their workers belong to the parent) and remember that we are a
+    worker so :func:`resolve_executor` degrades nested process
+    backends to serial instead of forking grandchildren."""
+    global _FORKED_WORKER
+    _FORKED_WORKER = True
+    _POOL_CACHE.clear()
+
+
+os.register_at_fork(after_in_child=_forget_inherited_pools)
+
 
 def _pool(kind: str, max_workers: int) -> _FuturesExecutor:
     key = (kind, max_workers)
@@ -149,7 +171,8 @@ def shutdown_pools(*, join_timeout_s: float = 10.0) -> None:
     short tasks).  Process pools get a *bounded* join: a worker wedged
     in an uninterruptible call would otherwise hang interpreter exit
     forever, so after ``join_timeout_s`` stragglers are terminated,
-    then killed.
+    then killed.  Any live shared-memory arenas are released last —
+    pool teardown must never strand a ``/dev/shm`` segment.
     """
     if join_timeout_s < 0:
         raise ValueError("join_timeout_s must be non-negative")
@@ -171,6 +194,7 @@ def shutdown_pools(*, join_timeout_s: float = 10.0) -> None:
                     proc.join(0.5)
         else:
             pool.shutdown(wait=True)
+    release_arenas()
 
 
 atexit.register(shutdown_pools)
@@ -192,13 +216,27 @@ class _PoolExecutor(BaseExecutor):
         try:
             return self._map(fn, items, on_result)
         except BrokenProcessPool:
-            # A worker died (OOM kill, hard crash).  Evict the broken
-            # pool so the next fan-out gets a fresh one, then let the
-            # caller see the failure — never retry silently.
-            broken = _POOL_CACHE.pop((self.kind, self.max_workers), None)
-            if broken is not None:
-                broken.shutdown(wait=False)
-            raise
+            # A worker died (OOM kill, hard crash, a chaos-killed
+            # os._exit).  The pool object is permanently poisoned — and
+            # it may have been poisoned *between* fan-outs, in which
+            # case this fan-out's items never ran at all.  Evict it and
+            # retry the whole batch once on a fresh pool: items are
+            # pure functions of their inputs (the determinism
+            # contract), so re-running them is safe, and ``on_result``
+            # effects are order-independent by the same contract.  A
+            # second failure means the workload itself kills workers —
+            # evict again and surface it.
+            self._evict_pool()
+            try:
+                return self._map(fn, items, on_result)
+            except BrokenProcessPool:
+                self._evict_pool()
+                raise
+
+    def _evict_pool(self) -> None:
+        broken = _POOL_CACHE.pop((self.kind, self.max_workers), None)
+        if broken is not None:
+            broken.shutdown(wait=False)
 
     def _map(
         self,
@@ -278,6 +316,15 @@ def resolve_executor(
     ``BENCH_parallel.json`` before this guard existed).  Every backend
     is bit-identical, so the degradation never changes results — only
     wall time.
+
+    Nested resolution: inside a pool worker (any forked child of this
+    process), ``process`` resolves to the serial backend.  A worker
+    that forked grandchildren would oversubscribe the cores its
+    parent's pool already owns and leak the grandchildren when the
+    worker is torn down mid-task — and before this rule existed, the
+    nested ``map`` deadlocked outright on the fork-inherited pool
+    cache.  ``thread`` stays available in workers (fresh pools are
+    created after the inherited cache is dropped at fork).
     """
     kind = parallel if parallel is not None else os.environ.get(PARALLEL_ENV)
     kind = (kind or "serial").strip().lower()
@@ -293,7 +340,24 @@ def resolve_executor(
         return SerialExecutor()
     if max_workers is None:
         env = os.environ.get(MAX_WORKERS_ENV)
-        max_workers = int(env) if env else default_max_workers()
+        if env is None or not env.strip():
+            max_workers = default_max_workers()
+        else:
+            # Validate here, by name: a bad value must not surface as a
+            # cryptic int() traceback or a pool-construction crash far
+            # from the variable that caused it.
+            try:
+                max_workers = int(env.strip())
+            except ValueError:
+                raise ValueError(
+                    f"{MAX_WORKERS_ENV} must be a positive integer, "
+                    f"got {env!r}"
+                ) from None
+            if max_workers < 1:
+                raise ValueError(
+                    f"{MAX_WORKERS_ENV} must be a positive integer, "
+                    f"got {env!r}"
+                )
     if n_items is not None:
         worker_cap = n_items // min_items_per_worker
         if worker_cap < 2:
@@ -301,4 +365,11 @@ def resolve_executor(
         max_workers = min(max_workers, worker_cap)
     if kind == "thread":
         return ThreadExecutor(max_workers)
+    if _FORKED_WORKER:
+        # Nested fan-out: this process *is* a pool worker.  Forking
+        # grandchildren oversubscribes the same cores and leaks them
+        # when the worker is torn down mid-task, so the process backend
+        # degrades to serial here — bit-identical by contract, and the
+        # parent's fan-out already owns the parallelism budget.
+        return SerialExecutor()
     return ProcessExecutor(max_workers)

@@ -14,7 +14,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.parallel import resolve_executor
+from repro.parallel import (
+    ProcessExecutor,
+    SharedArena,
+    arena_enabled,
+    resolve_executor,
+    split_batches,
+)
+from repro.parallel.arena import ArrayHandle
 from repro.stats.fastfit import FoldGramSolver, fastfit_enabled
 from repro.stats.linalg import add_constant
 from repro.stats.metrics import mape, r2_score
@@ -171,6 +178,32 @@ def _score_fold(
     )
 
 
+def _score_fold_batch(
+    args: Tuple[
+        FitFn,
+        ArrayHandle,
+        ArrayHandle,
+        Tuple[Tuple[np.ndarray, np.ndarray], ...],
+        str,
+    ],
+) -> List[FoldScore]:
+    """Fit and score one batch of folds against shared ``y``/``x``.
+
+    The zero-copy variant of :func:`_score_fold`: the work item carries
+    arena handles for the full ``y``/``x`` plus this worker's fold
+    index slices; each fold slices the shared arrays exactly as the
+    parent would (fancy indexing copies the same values), so the
+    flattened batch scores are bitwise-identical to per-fold dispatch.
+    """
+    fit_fn, y_handle, x_handle, folds, on_zero = args
+    y = y_handle.resolve()
+    x = x_handle.resolve()
+    return [
+        _score_fold((fit_fn, y[train], x[train], y[test], x[test], on_zero))
+        for train, test in folds
+    ]
+
+
 def _fast_fold_scores(
     y: np.ndarray,
     x: np.ndarray,
@@ -235,8 +268,10 @@ def cross_validate(
     pipelines).  ``parallel`` / ``max_workers`` select the fold-fitting
     backend (see :mod:`repro.parallel`); splits are materialised first
     and scores assembled in fold order, so every backend is
-    bit-identical to serial.  A custom ``fit_fn`` must be picklable for
-    ``parallel="process"``.
+    bit-identical to serial.  The process backend publishes ``y``/``x``
+    into a zero-copy shared-memory arena and dispatches fold batches as
+    handles (``REPRO_ARENA=0`` restores pickled slices).  A custom
+    ``fit_fn`` must be picklable for ``parallel="process"``.
 
     ``fast`` routes the default OLS folds through the Gram downdate
     solver of :mod:`repro.stats.fastfit` (each fold's train Gram is the
@@ -266,11 +301,28 @@ def cross_validate(
     executor = resolve_executor(
         parallel, max_workers, n_items=len(splits), min_items_per_worker=8
     )
-    scores: List[FoldScore] = executor.map(
-        _score_fold,
-        [
-            (fit_fn, y[train], x[train], y[test], x[test], on_zero)
-            for train, test in splits
-        ],
-    )
+    if isinstance(executor, ProcessExecutor) and arena_enabled():
+        # Zero-copy dispatch: publish y/x once, ship handles plus each
+        # worker's contiguous fold batch; flatten in batch order = fold
+        # order.  REPRO_ARENA=0 restores the pickled-slice dispatch.
+        with SharedArena() as arena:
+            y_handle = arena.publish(y)
+            x_handle = arena.publish(x)
+            batches = split_batches(splits, executor.max_workers)
+            nested = executor.map(
+                _score_fold_batch,
+                [
+                    (fit_fn, y_handle, x_handle, tuple(batch), on_zero)
+                    for batch in batches
+                ],
+            )
+        scores: List[FoldScore] = [s for sub in nested for s in sub]
+    else:
+        scores = executor.map(
+            _score_fold,
+            [
+                (fit_fn, y[train], x[train], y[test], x[test], on_zero)
+                for train, test in splits
+            ],
+        )
     return CrossValidationResult(folds=tuple(scores))

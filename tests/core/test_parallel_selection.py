@@ -81,3 +81,54 @@ class TestSelectionBitIdentity:
         )
         assert threaded.selected == legacy.selected
         assert results_equal(threaded, legacy)
+
+
+class TestArenaSelection:
+    """Zero-copy shared-memory dispatch is invisible in the results.
+
+    The full candidate pool clears the small-task guard, so these runs
+    exercise the real process fan-out: shared Gram buffers on the fast
+    path, a shared dataset with batched candidates on the slow path,
+    and the pickled fallback when ``REPRO_ARENA=0``.
+    """
+
+    def shm_segments(self):
+        import glob
+
+        return glob.glob("/dev/shm/repro-arena-*")
+
+    def test_fast_path_bit_identical_and_leak_free(self, selection_dataset):
+        reference = select_events(
+            selection_dataset, 2, fast=True, parallel="serial"
+        )
+        result = select_events(
+            selection_dataset, 2, fast=True,
+            parallel="process", max_workers=2,
+        )
+        assert results_equal(result, reference)
+        assert self.shm_segments() == []
+
+    def test_slow_path_bit_identical_and_leak_free(self, selection_dataset):
+        reference = select_events(
+            selection_dataset, 2, fast=False, parallel="serial"
+        )
+        result = select_events(
+            selection_dataset, 2, fast=False,
+            parallel="process", max_workers=2,
+        )
+        assert results_equal(result, reference)
+        assert self.shm_segments() == []
+
+    def test_pickled_fallback_bit_identical(
+        self, selection_dataset, monkeypatch
+    ):
+        reference = select_events(
+            selection_dataset, 2, fast=False, parallel="serial"
+        )
+        monkeypatch.setenv("REPRO_ARENA", "0")
+        result = select_events(
+            selection_dataset, 2, fast=False,
+            parallel="process", max_workers=2,
+        )
+        assert results_equal(result, reference)
+        assert self.shm_segments() == []

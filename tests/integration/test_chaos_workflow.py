@@ -14,8 +14,10 @@ import pytest
 from repro.acquisition import run_resilient_campaign
 from repro.core import (
     PowerEnvelope,
+    cv_out_of_fold_predictions,
     estimate_run_degraded,
     run_workflow,
+    select_events,
 )
 from repro.faults import CounterLossPlan, FaultPlan
 from repro.hardware import COUNTER_NAMES, FIXED_COUNTERS
@@ -245,3 +247,66 @@ class TestFastFitChaos:
                 slow[1].validation.mape, fast_res[1].validation.mape,
                 rtol=1e-9,
             )
+
+
+class TestArenaChaos:
+    """ISSUE-9 gate on the chaos path: shared-memory process dispatch
+    must be invisible on degraded data for every CI fault seed — the
+    same selection, folds and predictions as serial, and zero leaked
+    ``/dev/shm`` segments."""
+
+    def shm_segments(self):
+        import glob
+
+        return glob.glob("/dev/shm/repro-arena-*")
+
+    def dense_campaign(self, fault_seed):
+        # More thread counts than the module default: enough surviving
+        # rows (30+) for a 16-fold CV, which is what clears the
+        # small-task guard and puts real fold batches on the pool.
+        return run_resilient_campaign(
+            Platform(seed=20170529),
+            [get_workload(w) for w in WORKLOADS],
+            FREQUENCIES,
+            events=EVENTS,
+            thread_counts=(1, 2, 4, 6, 8, 12, 16, 20, 24),
+            faults=FaultPlan.chaos(0.25, fault_seed=fault_seed),
+        )
+
+    @pytest.mark.parametrize("chaos_seed", [0, 1, 2])
+    def test_selection_bit_identical_under_chaos(self, chaos_seed):
+        ds = self.dense_campaign(chaos_seed).dataset
+        assert ds is not None
+        kwargs = dict(on_missing="skip", fast=False)
+        serial = select_events(ds, 2, parallel="serial", **kwargs)
+        process = select_events(
+            ds, 2, parallel="process", max_workers=2, **kwargs
+        )
+        assert process.selected == serial.selected
+        assert process.warnings == serial.warnings
+        assert [s.criterion_value for s in process.steps] == [
+            s.criterion_value for s in serial.steps
+        ]
+        assert self.shm_segments() == []
+
+    @pytest.mark.parametrize("chaos_seed", [0, 1, 2])
+    def test_cv_bit_identical_under_chaos(self, chaos_seed, monkeypatch):
+        ds = self.dense_campaign(chaos_seed).dataset
+        assert ds is not None
+        counters = ds.counter_names[:2]
+        kwargs = dict(n_splits=16, on_zero="skip", fast=False)
+        serial = cv_out_of_fold_predictions(
+            ds, counters, parallel="serial", **kwargs
+        )
+        arena = cv_out_of_fold_predictions(
+            ds, counters, parallel="process", max_workers=2, **kwargs
+        )
+        monkeypatch.setenv("REPRO_ARENA", "0")
+        pickled = cv_out_of_fold_predictions(
+            ds, counters, parallel="process", max_workers=2, **kwargs
+        )
+        for other in (arena, pickled):
+            assert np.array_equal(serial[0], other[0], equal_nan=True)
+            assert serial[1] == other[1]
+            assert serial[2] == other[2]
+        assert self.shm_segments() == []

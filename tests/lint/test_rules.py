@@ -20,6 +20,7 @@ from repro.lint.rules import (
     NoRawLinalgSolvers,
     NoUnauditedReport,
     NoRawParallelPrimitives,
+    NoRawSharedMemory,
     NoRawSleepRetry,
     NoUnboundedQueue,
     SilentBroadExcept,
@@ -841,3 +842,75 @@ class TestRL013UnboundedQueue:
         custom = Path("src/custom/buffer.py")
         assert run_rule(NoUnboundedQueue(), code, path=custom, config=config) == []
         assert ids(run_rule(NoUnboundedQueue(), code, config=config)) == ["RL013"]
+
+
+# ---------------------------------------------------------------------------
+class TestRL014RawSharedMemory:
+    def test_flags_submodule_import(self):
+        bad = """
+            import multiprocessing.shared_memory
+
+            seg = multiprocessing.shared_memory.SharedMemory(create=True, size=8)
+        """
+        assert ids(run_rule(NoRawSharedMemory(), bad)) == ["RL014"]
+
+    def test_flags_from_multiprocessing_import(self):
+        bad = """
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=8)
+        """
+        assert ids(run_rule(NoRawSharedMemory(), bad)) == ["RL014"]
+
+    def test_flags_from_submodule_import(self):
+        bad = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            seg = SharedMemory(create=True, size=8)
+        """
+        assert ids(run_rule(NoRawSharedMemory(), bad)) == ["RL014"]
+
+    def test_flags_attribute_use_through_alias(self):
+        # `import multiprocessing as mp` may carry an RL009 suppression
+        # (cpu_count probe); raw segment ownership through the alias
+        # must still trip the narrow rule.
+        bad = """
+            import multiprocessing as mp
+
+            seg = mp.shared_memory.SharedMemory(create=True, size=8)
+        """
+        assert ids(run_rule(NoRawSharedMemory(), bad)) == ["RL014"]
+
+    def test_passes_arena_layer_use(self):
+        good = """
+            from repro.parallel import SharedArena
+
+            def publish(arrays):
+                with SharedArena() as arena:
+                    return [arena.publish(a) for a in arrays]
+        """
+        assert run_rule(NoRawSharedMemory(), good) == []
+
+    def test_passes_plain_multiprocessing_import(self):
+        # The broad fence is RL009's job; RL014 only owns segments.
+        code = """
+            import multiprocessing
+
+            n = multiprocessing.cpu_count()
+        """
+        assert run_rule(NoRawSharedMemory(), code) == []
+
+    def test_exempt_inside_parallel_layer(self):
+        code = """
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=8)
+        """
+        exempt = Path("src/repro/parallel/arena.py")
+        assert run_rule(NoRawSharedMemory(), code, path=exempt) == []
+
+    def test_inline_suppression_honoured(self):
+        code = """
+            from multiprocessing import shared_memory  # replint: ignore[RL014] -- attach-only probe in a diagnostic script
+        """
+        assert run_rule(NoRawSharedMemory(), code) == []

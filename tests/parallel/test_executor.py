@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures.process import BrokenProcessPool  # replint: ignore[RL009] -- asserting the exception type, no fan-out
 
 import pytest
 
@@ -234,3 +236,113 @@ class TestSmallTaskGuard:
     def test_invalid_min_items_rejected(self):
         with pytest.raises(ValueError, match="min_items_per_worker"):
             resolve_executor("thread", 4, n_items=8, min_items_per_worker=0)
+
+
+class TestMaxWorkersEnvValidation:
+    """Invalid REPRO_MAX_WORKERS fails loudly, naming the variable."""
+
+    @pytest.mark.parametrize("value", ["four", "2.5", "1e2", "2 workers"])
+    def test_non_integer_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(MAX_WORKERS_ENV, value)
+        with pytest.raises(ValueError, match=MAX_WORKERS_ENV):
+            resolve_executor("thread")
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-8"])
+    def test_non_positive_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(MAX_WORKERS_ENV, value)
+        with pytest.raises(ValueError, match=MAX_WORKERS_ENV):
+            resolve_executor("thread")
+
+    def test_error_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "lots")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_executor("process")
+        assert MAX_WORKERS_ENV in str(excinfo.value)
+        assert "'lots'" in str(excinfo.value)
+
+    def test_blank_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "  ")
+        assert resolve_executor("thread").max_workers == default_max_workers()
+
+    def test_whitespace_padded_integer_accepted(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, " 3 ")
+        assert resolve_executor("thread", None).max_workers == 3
+
+    def test_explicit_argument_bypasses_env(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "junk")
+        assert resolve_executor("thread", 2).max_workers == 2
+
+
+def crash(i):
+    """Kill the worker process outright — no exception, no cleanup."""
+    os._exit(1)
+
+
+class TestBrokenPoolRecovery:
+    """A cached pool whose workers died is evicted and retried once."""
+
+    def test_poisoned_cached_pool_recovers_transparently(self):
+        shutdown_pools()
+        ex = ProcessExecutor(2)
+        assert ex.map(square, range(3)) == [0, 1, 4]
+        first = _POOL_CACHE[("process", 2)]
+        # Kill the pool's workers between fan-outs: the cached pool is
+        # now broken, exactly the staleness the retry path exists for.
+        first.submit(os._exit, 1)
+        time.sleep(0.3)
+        assert ex.map(square, range(4)) == [0, 1, 4, 9]
+        assert _POOL_CACHE[("process", 2)] is not first
+        shutdown_pools()
+
+    def test_crash_during_map_raises_after_one_retry(self):
+        shutdown_pools()
+        ex = ProcessExecutor(2)
+        with pytest.raises(BrokenProcessPool):
+            ex.map(crash, range(4))
+        # The broken pool did not stay cached...
+        assert ("process", 2) not in _POOL_CACHE
+        # ...and the executor still works on the next call.
+        assert ex.map(square, range(3)) == [0, 1, 4]
+        shutdown_pools()
+
+
+def nested_resolution(i):
+    """What a pool worker sees when it resolves a process backend."""
+    inner = resolve_executor("process", 4)
+    return type(inner).__name__
+
+
+def nested_map(i):
+    """A worker whose own task fans out — the experiment-runner shape.
+
+    Before the fork-hygiene rules this deadlocked: the worker inherited
+    the parent's cached pool object (minus its manager threads) and a
+    nested ``map`` submitted into it never returned.
+    """
+    inner = resolve_executor("process", 2, n_items=64, min_items_per_worker=16)
+    return inner.map(square, range(8))
+
+
+class TestNestedFanOut:
+    """Fork hygiene: pool workers never submit to inherited pools.
+
+    ``os.register_at_fork`` drops the inherited ``_POOL_CACHE`` in
+    every forked child and flags it as a worker, so a nested process
+    backend resolves to serial — bit-identical by contract — instead
+    of deadlocking on the parent's pool or forking grandchildren.
+    """
+
+    def test_process_degrades_to_serial_inside_workers(self):
+        ex = ProcessExecutor(2)
+        assert ex.map(nested_resolution, range(2)) == [
+            "SerialExecutor",
+            "SerialExecutor",
+        ]
+        # The parent is not a forked child: same resolution stays a
+        # process backend here.
+        assert type(resolve_executor("process", 4)).__name__ == "ProcessExecutor"
+
+    def test_nested_map_completes_and_is_bit_identical(self):
+        ex = ProcessExecutor(2)
+        expected = [square(i) for i in range(8)]
+        assert ex.map(nested_map, range(3)) == [expected] * 3
