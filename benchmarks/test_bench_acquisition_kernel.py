@@ -1,0 +1,134 @@
+"""Batched acquisition kernel benchmark → ``BENCH_acquisition.json``.
+
+Records the scalar-reference vs fastsim wall time of a Table-I-shaped
+campaign (every registered workload, one frequency, default thread
+counts, the full counter list multiplexed across event-set runs) and
+asserts the ISSUE-10 acceptance gate: the batched kernel + phase-state
+memo + shared-grid tracer must clear ≥3× campaign throughput over the
+scalar path, while producing a byte-identical dataset.
+
+The scalar leg (``REPRO_FASTSIM=0``) replays the pre-vectorization
+acquisition loop — one ``evaluate``/``compute_power`` call per phase
+per run, one sampled grid per metric stream — so the ``before_*`` /
+``after_*`` rows keep the optimization's trajectory measurable in CI,
+the same before/after contract ``BENCH_parallel.json`` records for the
+arena.
+
+Plain pytest is enough (no pytest-benchmark fixture): CI runs this
+file directly and uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.acquisition import Campaign, CampaignPlan
+from repro.hardware import Platform
+from repro.hardware.fastsim import FASTSIM_ENV
+from repro.io.atomic import atomic_write_json
+from repro.workloads.registry import all_workloads
+
+from .conftest import report
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_acquisition.json"
+
+#: The acceptance gate: fast-path campaign throughput over scalar.
+MIN_SPEEDUP = 3.0
+
+#: Repetitions per leg; min-of-N with a CPU-time clock keeps the gate
+#: stable on hosts whose wall clock wobbles under frequency scaling.
+REPS = 3
+
+
+def table1_plan() -> CampaignPlan:
+    """The Table-I acquisition shape: all workloads at one frequency,
+    default thread counts, full counter list (multi-run mode)."""
+    return CampaignPlan(
+        workloads=tuple(all_workloads()),
+        frequencies_mhz=(2400,),
+    )
+
+
+def run_table1(platform: Platform):
+    return Campaign(platform, table1_plan()).run()
+
+
+def best_of(reps: int):
+    """Minimum CPU time over ``reps`` fresh-platform campaign runs.
+
+    ``time.process_time`` ignores scheduler preemption and sleeps;
+    min-of-N discards reps that caught a GC pause or a thermal dip.
+    Every rep builds its own ``Platform`` so caches never leak across
+    repetitions — each measurement is a cold campaign.
+    """
+    best_s = float("inf")
+    dataset = platform = None
+    for _ in range(reps):
+        platform = Platform()
+        t0 = time.process_time()
+        dataset = run_table1(platform)
+        elapsed = time.process_time() - t0
+        best_s = min(best_s, elapsed)
+    return best_s, dataset, platform
+
+
+def test_bench_acquisition_kernel():
+    n_cells = len(Campaign(Platform(), table1_plan()).cells())
+
+    # -- before: the scalar reference path (REPRO_FASTSIM=0) ------------
+    os.environ[FASTSIM_ENV] = "0"
+    try:
+        scalar_s, scalar_ds, _ = best_of(REPS)
+    finally:
+        del os.environ[FASTSIM_ENV]
+
+    # -- after: batched kernel + phase-state memo + shared-grid tracer --
+    fast_s, fast_ds, fast_platform = best_of(REPS)
+
+    # Determinism first, speed second: the datasets must be byte-equal.
+    assert fast_ds.counter_names == scalar_ds.counter_names
+    assert fast_ds.workloads == scalar_ds.workloads
+    assert np.array_equal(fast_ds.counters, scalar_ds.counters, equal_nan=True)
+    assert np.array_equal(fast_ds.power_w, scalar_ds.power_w)
+    assert np.array_equal(fast_ds.voltage_v, scalar_ds.voltage_v)
+
+    speedup = scalar_s / fast_s
+    memo = fast_platform._phase_memo
+    results = {
+        "clock": f"process_time min of {REPS}",
+        "campaign": {
+            "shape": "table1: all workloads x (2400 MHz) x default threads",
+            "n_cells": n_cells,
+            "n_samples": fast_ds.n_samples,
+            "scalar_s": round(scalar_s, 4),
+            "fastsim_s": round(fast_s, 4),
+            "before_cells_per_s": round(n_cells / scalar_s, 1),
+            "after_cells_per_s": round(n_cells / fast_s, 1),
+            "speedup": round(speedup, 2),
+            "memo_hits": memo.hits,
+            "memo_misses": memo.misses,
+        },
+        "trajectory": {
+            "note": (
+                "scalar_s replays the pre-vectorization loop "
+                "(REPRO_FASTSIM=0, per-phase evaluate/compute_power, "
+                "per-stream sampling grids); fastsim_s is the same "
+                "campaign through the batched kernel, the cross-run "
+                "phase-state memo and the shared-grid tracer"
+            ),
+            "before_cells_per_s": round(n_cells / scalar_s, 1),
+            "after_cells_per_s": round(n_cells / fast_s, 1),
+            "speedup_x": round(speedup, 2),
+        },
+    }
+
+    atomic_write_json(OUT_PATH, results)
+    report("BENCH_acquisition", json.dumps(results, indent=2))
+
+    # Acceptance gate: the batched kernel clears 3x campaign throughput.
+    assert speedup >= MIN_SPEEDUP, results["campaign"]

@@ -29,6 +29,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
     Dict,
     List,
@@ -57,11 +58,18 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import validate_profiles, validate_trace
 from repro.hardware.counters import COUNTER_NAMES
+from repro.hardware.fastsim import fastsim_enabled
 from repro.hardware.platform import Platform
 from repro.hardware.pmu import EventSet, schedule_events
 from repro.parallel import StageTimer, TimingReport, resolve_executor
 from repro.tracing.phases import PhaseProfile, haecsim_profiles, postprocess_profiles
-from repro.tracing.scorep import trace_multiplexed_run, trace_run
+from repro.tracing.plugins import (
+    ApapiPlugin,
+    MultiplexedApapiPlugin,
+    PowerPlugin,
+    VoltagePlugin,
+)
+from repro.tracing.scorep import ScorePTracer
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -167,6 +175,75 @@ class Campaign:
         )
         #: Observer-hook exceptions survived (see :func:`_call_progress`).
         self._hook_errors: List[str] = []
+        #: Tracers cached per event set: stateless across traces, so a
+        #: campaign builds one per counter group instead of one per
+        #: cell.  Never pickled — workers rebuild their own.
+        self._tracer_cache: Dict[Optional[int], ScorePTracer] = {}
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_tracer_cache"] = {}
+        return state
+
+    def _cell_tracer(self, cell: "CampaignCell") -> ScorePTracer:
+        """The tracer for a cell's counter group, cached per event set.
+
+        Caching rides the fastsim switch: under ``REPRO_FASTSIM=0``
+        every cell rebuilds its tracer and plugins, as the original
+        per-cell acquisition loop did.
+        """
+        key = None if cell.event_set is None else cell.run_index
+        use_cache = fastsim_enabled(None)
+        if use_cache:
+            tracer = self._tracer_cache.get(key)
+            if tracer is not None:
+                return tracer
+        if cell.event_set is None:
+            counter_plugin: Any = MultiplexedApapiPlugin(
+                self.platform, self.plan.events
+            )
+        else:
+            counter_plugin = ApapiPlugin(self.platform, cell.event_set)
+        tracer = ScorePTracer(
+            self.platform,
+            [
+                PowerPlugin(self.platform),
+                VoltagePlugin(self.platform),
+                counter_plugin,
+            ],
+            sampling_interval_s=self.plan.sampling_interval_s,
+            fault_injector=getattr(self, "injector", None),
+            # A cached tracer only ever serves the fast path (the cache
+            # is bypassed under REPRO_FASTSIM=0), so pin the mode and
+            # spare every trace an environment lookup.
+            fast=True if use_cache else None,
+        )
+        if use_cache:
+            self._tracer_cache[key] = tracer
+        return tracer
+
+    def _prime_fast_path(self, cells: List["CampaignCell"]) -> None:
+        """Warm the batched kernel's caches for the whole campaign.
+
+        Pure cache warm-ups — phase-state skeletons and pre-expanded
+        RNG state words — so primed and unprimed acquisition produce
+        byte-identical datasets.  Callers gate this on
+        :func:`fastsim_enabled`: under ``REPRO_FASTSIM=0`` the scalar
+        loop replays per-cell builds and per-stream constructions.
+        """
+        self.platform.prime_run_skeletons(self.plan.experiments())
+        counter_plugin_name = (
+            "MultiplexedApapiPlugin"
+            if self.plan.multiplexing == "time-division"
+            else "ApapiPlugin"
+        )
+        self.platform.prime_rng_words(
+            (
+                (cell.workload, cell.frequency_mhz, cell.threads, cell.run_index)
+                for cell in cells
+            ),
+            ("PowerPlugin", "VoltagePlugin", counter_plugin_name),
+        )
 
     @property
     def runs_per_experiment(self) -> int:
@@ -198,33 +275,23 @@ class Campaign:
         return out
 
     def execute_cell(
-        self, cell: "CampaignCell", *, attempt: int = 0
+        self, cell: "CampaignCell", *, attempt: int = 0, phases=None
     ) -> List[PhaseProfile]:
         """Execute one cell: run, trace, extract phase profiles.
 
         roco2 traces go through the HAEC-SIM module, benchmark traces
         through the custom OTF2 post-processing tool (Section III-A).
+        ``phases`` forwards a pre-derived phase list to
+        :meth:`Platform.execute` (retry loops derive it once).
         """
         run = self.platform.execute(
             cell.workload,
             cell.frequency_mhz,
             cell.threads,
             run_index=cell.run_index,
+            phases=phases,
         )
-        if cell.event_set is None:
-            trace = trace_multiplexed_run(
-                self.platform,
-                run,
-                self.plan.events,
-                sampling_interval_s=self.plan.sampling_interval_s,
-            )
-        else:
-            trace = trace_run(
-                self.platform,
-                run,
-                cell.event_set,
-                sampling_interval_s=self.plan.sampling_interval_s,
-            )
+        trace = self._cell_tracer(cell).trace(run, attempt=attempt)
         if run.suite in ("roco2", "synthetic"):
             return haecsim_profiles(trace)
         return postprocess_profiles(trace)
@@ -238,6 +305,11 @@ class Campaign:
         so serial and parallel campaigns build identical datasets.
         """
         cells = self.cells()
+        # One batched warm-up covers every cell's skeleton and RNG
+        # streams up front (pure cache warm-ups — outputs unchanged).
+        # Gated so REPRO_FASTSIM=0 replays the per-cell builds.
+        if fastsim_enabled(None):
+            self._prime_fast_path(cells)
         if self.executor.kind == "serial":
             profiles: List[PhaseProfile] = []
             last_announced = None
@@ -570,7 +642,7 @@ class ResilientCampaign(Campaign):
 
     # ------------------------------------------------------------------
     def execute_cell(
-        self, cell: CampaignCell, *, attempt: int = 0
+        self, cell: CampaignCell, *, attempt: int = 0, phases=None
     ) -> List[PhaseProfile]:
         """One attempt at one cell, with fault injection + validation."""
         self.injector.check_run(*cell.key, attempt=attempt)
@@ -579,25 +651,9 @@ class ResilientCampaign(Campaign):
             cell.frequency_mhz,
             cell.threads,
             run_index=cell.run_index,
+            phases=phases,
         )
-        if cell.event_set is None:
-            trace = trace_multiplexed_run(
-                self.platform,
-                run,
-                self.plan.events,
-                sampling_interval_s=self.plan.sampling_interval_s,
-                fault_injector=self.injector,
-                attempt=attempt,
-            )
-        else:
-            trace = trace_run(
-                self.platform,
-                run,
-                cell.event_set,
-                sampling_interval_s=self.plan.sampling_interval_s,
-                fault_injector=self.injector,
-                attempt=attempt,
-            )
+        trace = self._cell_tracer(cell).trace(run, attempt=attempt)
         if self.validate:
             validate_trace(trace)
         if run.suite in ("roco2", "synthetic"):
@@ -616,10 +672,15 @@ class ResilientCampaign(Campaign):
         makes interrupted campaigns resumable bit-for-bit.
         """
         outcome = _CellOutcome(profiles=None, attempts=0)
+        # The phase list is a pure function of (workload, threads):
+        # derive it once, not once per attempt.
+        phases = tuple(cell.workload.phases(cell.threads))
         for attempt in range(self.retry.max_attempts):
             outcome.attempts = attempt + 1
             try:
-                outcome.profiles = self.execute_cell(cell, attempt=attempt)
+                outcome.profiles = self.execute_cell(
+                    cell, attempt=attempt, phases=phases
+                )
                 return outcome
             except (RunFailure, AcquisitionError) as exc:
                 outcome.faults.append(exc.kind)
@@ -726,6 +787,10 @@ class ResilientCampaign(Campaign):
         backoff_s = 0.0
         self._hook_errors = []
         cells = self.cells()
+        # The resilient path bypasses collect_profiles, so it warms the
+        # batched kernel's caches itself (same gate, same warm-ups).
+        if fastsim_enabled(None):
+            self._prime_fast_path(cells)
         timer = StageTimer()
         with timer.stage(
             "acquisition", n_items=len(cells), executor=self.executor

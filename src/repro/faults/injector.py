@@ -317,12 +317,27 @@ class FaultyPlatform(Platform):
         self.fault_plan = plan
         self.injector = FaultInjector(plan, base.seed)
 
-    def execute(self, workload, frequency_mhz, threads, *, run_index=0, attempt=0):
+    def execute(
+        self,
+        workload,
+        frequency_mhz,
+        threads,
+        *,
+        run_index=0,
+        attempt=0,
+        fast=None,
+        phases=None,
+    ):
         """Execute with fault checks; raises :class:`RunFailure` when
         the plan crashes this (cell, attempt)."""
         self.injector.check_run(
             workload.name, frequency_mhz, threads, run_index, attempt=attempt
         )
         return super().execute(
-            workload, frequency_mhz, threads, run_index=run_index
+            workload,
+            frequency_mhz,
+            threads,
+            run_index=run_index,
+            fast=fast,
+            phases=phases,
         )

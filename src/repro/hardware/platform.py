@@ -16,13 +16,14 @@ system under test and the measurement infrastructure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hardware.config import HASWELL_EP_CONFIG, PlatformConfig
 from repro.hardware.counters import COUNTER_NAMES, counter_index
 from repro.hardware.dvfs import OperatingPoint
+from repro.hardware.fastsim import PhaseStateMemo, fastsim_enabled, simulate_phases
 from repro.hardware.microarch import MicroarchState, evaluate
 from repro.hardware.pmu import PMU
 from repro.hardware.power import (
@@ -33,7 +34,13 @@ from repro.hardware.power import (
 )
 from repro.hardware.sensors import SensorArray
 from repro.hardware.voltage import VoltageTelemetry
-from repro.seeding import DEFAULT_SEED, derive_rng
+from repro.seeding import (
+    DEFAULT_SEED,
+    SeedHasher,
+    derive_rng,
+    rng_from_state_words,
+    seedseq_state_words,
+)
 from repro.workloads.base import PhaseSpec, Workload
 
 __all__ = ["PhaseExecution", "RunExecution", "Platform"]
@@ -41,6 +48,47 @@ __all__ = ["PhaseExecution", "RunExecution", "Platform"]
 #: Counters exempt from run-to-run execution jitter: cycle counts are
 #: pinned by the fixed frequency and wall time.
 _JITTER_EXEMPT = ("TOT_CYC", "REF_CYC")
+
+
+def _jitter_mask() -> np.ndarray:
+    """Boolean mask selecting the jitter-affected counters (cached)."""
+    mask = np.ones(len(COUNTER_NAMES), dtype=bool)
+    for name in _JITTER_EXEMPT:
+        mask[counter_index(name)] = False
+    mask.setflags(write=False)
+    return mask
+
+
+_JITTER_MASK = _jitter_mask()
+
+#: Integer column indices of the exempt counters (batch applicator).
+_EXEMPT_IDX = np.array(
+    [counter_index(name) for name in _JITTER_EXEMPT], dtype=np.intp
+)
+
+
+@dataclass(frozen=True)
+class _RunSkeleton:
+    """Everything about a run that does not depend on ``run_index``.
+
+    The pre-jitter phase stack of one (workload, frequency, threads)
+    experiment: specs, operating point, stacked pre-jitter counter
+    rates, hidden activities, base power breakdowns, true voltages and
+    phase timings.  A campaign re-executes each experiment once per
+    event set; only the three run-level jitter draws differ, so the
+    skeleton is computed once and replayed (fast path only).
+    """
+
+    specs: Tuple[PhaseSpec, ...]
+    op: OperatingPoint
+    rates: np.ndarray
+    hidden: Tuple
+    breakdowns: Tuple[PowerBreakdown, ...]
+    voltages: Tuple[float, ...]
+    bounds: Tuple[Tuple[float, float], ...]
+    derived: bool
+    """True when ``specs`` came from ``workload.phases(threads)`` (the
+    memo may then serve ``phases=None`` callers)."""
 
 
 @dataclass(frozen=True)
@@ -102,6 +150,43 @@ class Platform:
         )
         self.voltage = VoltageTelemetry(cfg)
         self.pmu = PMU(cfg)
+        # Pre-jitter phase states, shared across the event-set runs of a
+        # campaign (see repro.hardware.fastsim).  Never pickled: worker
+        # processes rebuild their own memo on first use.
+        self._phase_memo = PhaseStateMemo()
+        # Whole-run skeletons keyed (workload, frequency, threads) — the
+        # run_index-independent part of execute().  Same lifecycle as
+        # the phase memo.
+        self._run_memo: dict = {}
+        # Pre-hashed head of the per-run jitter RNG key (fast path
+        # only; holds a hash object, so it is rebuilt after pickling).
+        self._run_hasher = SeedHasher(seed, "run")
+        # Pre-expanded RNG state words, filled by campaigns via
+        # prime_rng_words and keyed (workload, frequency, threads,
+        # run_index) -> {stream name -> words}.  A pure derivation
+        # cache: a hit yields the same generator stream a cold
+        # default_rng construction would.  Same lifecycle as the memos.
+        self._rng_words: dict = {}
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_phase_memo"] = None
+        state["_run_memo"] = None
+        state["_run_hasher"] = None
+        state["_rng_words"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.__dict__.get("_phase_memo") is None:
+            self._phase_memo = PhaseStateMemo()
+        if self.__dict__.get("_run_memo") is None:
+            self._run_memo = {}
+        if self.__dict__.get("_run_hasher") is None:
+            self._run_hasher = SeedHasher(self.seed, "run")
+        if self.__dict__.get("_rng_words") is None:
+            self._rng_words = {}
 
     # ------------------------------------------------------------------
     def execute(
@@ -111,6 +196,8 @@ class Platform:
         threads: int,
         *,
         run_index: int = 0,
+        fast: Optional[bool] = None,
+        phases: Optional[Sequence[PhaseSpec]] = None,
     ) -> RunExecution:
         """Execute a workload at a pinned frequency and thread count.
 
@@ -118,55 +205,150 @@ class Platform:
         value during one particular execution" (Section III-A).
         Run-to-run variation is modelled as a coherent multiplicative
         jitter on activity rates with a correlated power jitter.
+
+        ``fast`` selects the batched+memoized kernel (default: the
+        ``REPRO_FASTSIM`` resolution of
+        :func:`~repro.hardware.fastsim.fastsim_enabled`); both paths
+        are bit-identical.  ``phases`` lets callers that re-execute the
+        same cell (retry loops) pass a pre-derived phase list instead
+        of re-deriving it from the workload every attempt.
         """
-        workload.validate_threads(threads, self.cfg.total_cores)
-        op = self.cfg.curve.operating_point(frequency_mhz)
-        rng = derive_rng(
-            self.seed, "run", workload.name, frequency_mhz, threads, run_index
-        )
-        jitter = 1.0 + float(rng.normal(0.0, self.run_jitter_sigma))
-        power_jitter = (
-            1.0
-            + 0.6 * (jitter - 1.0)
-            + float(rng.normal(0.0, self.power_jitter_sigma))
-        )
+        use_fast = fastsim_enabled(fast)
+        if use_fast:
+            skeleton = self._run_skeleton(workload, frequency_mhz, threads, phases)
+            specs = skeleton.specs
+            op = skeleton.op
+        else:
+            workload.validate_threads(threads, self.cfg.total_cores)
+            op = self.cfg.curve.operating_point(frequency_mhz)
+            specs = (
+                tuple(phases)
+                if phases is not None
+                else tuple(workload.phases(threads))
+            )
+        if use_fast:
+            # Same key path as the scalar derive_rng below, with the
+            # constant ("run",) head pre-hashed (SeedHasher contract)
+            # and, under a primed campaign, the seed's PCG64 state
+            # words already expanded (rng_from_state_words contract).
+            entry = self._rng_words.get(
+                (workload.name, frequency_mhz, threads, run_index)
+            )
+            words = entry.get("run") if entry is not None else None
+            if words is not None:
+                rng = rng_from_state_words(words)
+            else:
+                rng = self._run_hasher.rng(
+                    workload.name, frequency_mhz, threads, run_index
+                )
+        else:
+            rng = derive_rng(
+                self.seed, "run", workload.name, frequency_mhz, threads, run_index
+            )
+        if use_fast:
+            # One block draw; scalar ``normal(0, s)`` is ``0.0 + s*z``
+            # on the same ziggurat stream, so the values are identical.
+            z = rng.standard_normal(3)
+            jitter = 1.0 + float(0.0 + self.run_jitter_sigma * z[0])
+            power_jitter = (
+                1.0
+                + 0.6 * (jitter - 1.0)
+                + float(0.0 + self.power_jitter_sigma * z[1])
+            )
+            power_offset = float(0.0 + self.power_offset_sigma_w * z[2])
+        else:
+            jitter = 1.0 + float(rng.normal(0.0, self.run_jitter_sigma))
+            power_jitter = (
+                1.0
+                + 0.6 * (jitter - 1.0)
+                + float(rng.normal(0.0, self.power_jitter_sigma))
+            )
+            power_offset = float(rng.normal(0.0, self.power_offset_sigma_w))
         # Run-level absolute power offset: OS housekeeping, fan state,
         # VR operating-point differences.  Dominates *relative* error at
         # the low end of the power range.
-        power_offset = float(rng.normal(0.0, self.power_offset_sigma_w))
+        per_socket_offset = power_offset / self.cfg.sockets
 
         executions: List[PhaseExecution] = []
-        t = 0.0
-        for phase in workload.phases(threads):
-            state = evaluate(
-                phase.characterization, op, phase.active_threads, self.cfg
-            )
-            state = self._apply_jitter(state, jitter)
-            breakdown = compute_power(state.hidden, op, self.cfg, self.power_params)
-            per_socket_offset = power_offset / self.cfg.sockets
-            breakdown = PowerBreakdown(
-                per_socket_w=tuple(
-                    max(p * power_jitter + per_socket_offset, 0.0)
-                    for p in breakdown.per_socket_w
-                ),
-                dynamic_core_w=breakdown.dynamic_core_w,
-                uncore_w=breakdown.uncore_w,
-                static_w=breakdown.static_w,
-                board_w=breakdown.board_w,
-                temperature_c=breakdown.temperature_c,
-            )
-            true_v = self.voltage.true_voltage(op, phase.active_threads)
-            executions.append(
-                PhaseExecution(
-                    phase=phase,
-                    start_s=t,
-                    end_s=t + phase.duration_s,
-                    state=state,
-                    power_breakdown=breakdown,
-                    true_voltage_v=true_v,
+        if use_fast:
+            # Replay the skeleton: one jitter multiply over the stacked
+            # pre-jitter rates (exempt columns restored from the stack,
+            # same values as the masked per-phase multiply), then only
+            # the per-run breakdown scaling runs per phase.
+            jittered = skeleton.rates * jitter
+            if jittered.size:
+                jittered[:, _EXEMPT_IDX] = skeleton.rates[:, _EXEMPT_IDX]
+            hidden = skeleton.hidden
+            voltages = skeleton.voltages
+            bounds = skeleton.bounds
+            append = executions.append
+            for i, spec in enumerate(specs):
+                base = skeleton.breakdowns[i]
+                breakdown = PowerBreakdown(
+                    per_socket_w=tuple(
+                        [
+                            max(p * power_jitter + per_socket_offset, 0.0)
+                            for p in base.per_socket_w
+                        ]
+                    ),
+                    dynamic_core_w=base.dynamic_core_w,
+                    uncore_w=base.uncore_w,
+                    static_w=base.static_w,
+                    board_w=base.board_w,
+                    temperature_c=base.temperature_c,
                 )
-            )
-            t += phase.duration_s
+                start_s, end_s = bounds[i]
+                append(
+                    PhaseExecution(
+                        phase=spec,
+                        start_s=start_s,
+                        end_s=end_s,
+                        state=MicroarchState(
+                            counter_rates=jittered[i],
+                            hidden=hidden[i],
+                        ),
+                        power_breakdown=breakdown,
+                        true_voltage_v=voltages[i],
+                    )
+                )
+        else:
+            states = [
+                self._apply_jitter(
+                    evaluate(
+                        spec.characterization, op, spec.active_threads, self.cfg
+                    ),
+                    jitter,
+                )
+                for spec in specs
+            ]
+            t = 0.0
+            for spec, state in zip(specs, states):
+                breakdown = compute_power(
+                    state.hidden, op, self.cfg, self.power_params
+                )
+                breakdown = PowerBreakdown(
+                    per_socket_w=tuple(
+                        max(p * power_jitter + per_socket_offset, 0.0)
+                        for p in breakdown.per_socket_w
+                    ),
+                    dynamic_core_w=breakdown.dynamic_core_w,
+                    uncore_w=breakdown.uncore_w,
+                    static_w=breakdown.static_w,
+                    board_w=breakdown.board_w,
+                    temperature_c=breakdown.temperature_c,
+                )
+                true_v = self.voltage.true_voltage(op, spec.active_threads)
+                executions.append(
+                    PhaseExecution(
+                        phase=spec,
+                        start_s=t,
+                        end_s=t + spec.duration_s,
+                        state=state,
+                        power_breakdown=breakdown,
+                        true_voltage_v=true_v,
+                    )
+                )
+                t += spec.duration_s
 
         return RunExecution(
             workload_name=workload.name,
@@ -179,13 +361,228 @@ class Platform:
         )
 
     # ------------------------------------------------------------------
+    def _run_skeleton(
+        self,
+        workload: Workload,
+        frequency_mhz: int,
+        threads: int,
+        phases: Optional[Sequence[PhaseSpec]],
+    ) -> _RunSkeleton:
+        """The run_index-independent phase stack, memoized.
+
+        Keyed ``(workload, frequency, threads)``; a memo entry built
+        from the workload's own phase list also serves ``phases=None``
+        callers, while explicit phase lists must match the cached specs
+        exactly (otherwise the skeleton is rebuilt uncached).
+        """
+        key = (workload.name, frequency_mhz, threads)
+        cached = self._run_memo.get(key)
+        if cached is not None:
+            if phases is None:
+                if cached.derived:
+                    return cached
+            elif tuple(phases) == cached.specs:
+                return cached
+        workload.validate_threads(threads, self.cfg.total_cores)
+        op = self.cfg.curve.operating_point(frequency_mhz)
+        derived = phases is None
+        specs = tuple(workload.phases(threads)) if derived else tuple(phases)
+        pairs = self._phase_states_fast(specs, op)
+        if pairs:
+            rates = np.stack([state.counter_rates for state, _ in pairs])
+        else:
+            rates = np.empty((0, len(COUNTER_NAMES)))
+        rates.setflags(write=False)
+        bounds = []
+        t = 0.0
+        for spec in specs:
+            bounds.append((t, t + spec.duration_s))
+            t += spec.duration_s
+        skeleton = _RunSkeleton(
+            specs=specs,
+            op=op,
+            rates=rates,
+            hidden=tuple(state.hidden for state, _ in pairs),
+            breakdowns=tuple(breakdown for _, breakdown in pairs),
+            voltages=tuple(
+                self.voltage.true_voltage(op, spec.active_threads)
+                for spec in specs
+            ),
+            bounds=tuple(bounds),
+            derived=derived,
+        )
+        if derived or cached is None:
+            if len(self._run_memo) >= 4096:
+                self._run_memo.pop(next(iter(self._run_memo)))
+            self._run_memo[key] = skeleton
+        return skeleton
+
+    # ------------------------------------------------------------------
+    def prime_run_skeletons(
+        self, experiments: Iterable[Tuple[Workload, int, int]]
+    ) -> None:
+        """Warm the run/phase memos for a batch of experiments at once.
+
+        A campaign visits every experiment's phases once per PMU event
+        set; built one experiment at a time, each skeleton pays a
+        separate :func:`~repro.hardware.fastsim.simulate_phases` call
+        on a handful of phases — mostly fixed kernel-dispatch overhead.
+        Priming groups every uncached phase state by operating point
+        and evaluates each group through ONE batched call; elementwise
+        float64 kernels are batch-size invariant, so the states equal
+        the per-experiment builds bit for bit (the identity the fastsim
+        test suite pins).  Purely a cache warm-up: :meth:`execute`
+        output is unchanged whether or not this ran.
+        """
+        memo = self._phase_memo
+        pending: List[Tuple[Workload, int, int]] = []
+        by_op: Dict[int, Tuple[OperatingPoint, dict]] = {}
+        for workload, frequency_mhz, threads in experiments:
+            cached = self._run_memo.get((workload.name, frequency_mhz, threads))
+            if cached is not None and cached.derived:
+                continue
+            workload.validate_threads(threads, self.cfg.total_cores)
+            op = self.cfg.curve.operating_point(frequency_mhz)
+            pending.append((workload, frequency_mhz, threads))
+            group = by_op.setdefault(frequency_mhz, (op, {}))[1]
+            for spec in workload.phases(threads):
+                key = (spec.characterization, frequency_mhz, spec.active_threads)
+                if memo.get(key) is None:
+                    group[key] = None
+        for op, group in by_op.values():
+            if not group:
+                continue
+            uniq = list(group)
+            results = simulate_phases(
+                [key[0] for key in uniq],
+                [key[2] for key in uniq],
+                op,
+                self.cfg,
+                self.power_params,
+            )
+            for key, result in zip(uniq, results):
+                memo.put(key, result)
+        for workload, frequency_mhz, threads in pending:
+            self._run_skeleton(workload, frequency_mhz, threads, None)
+
+    # ------------------------------------------------------------------
+    def prime_rng_words(
+        self,
+        runs: Iterable[Tuple[Workload, int, int, int]],
+        plugin_names: Sequence[str],
+    ) -> None:
+        """Expand every run's RNG seeds to PCG64 state words, batched.
+
+        A campaign constructs one generator per run-level jitter draw
+        plus one per (plugin, phase) metric stream; built one at a
+        time, each pays ``default_rng``'s ``SeedSequence`` expansion.
+        The seeds are all known up front, so this derives them with the
+        incremental hasher and runs one vectorized
+        :func:`~repro.seeding.seedseq_state_words` pass over the lot.
+        :meth:`execute` and the tracer then construct each generator
+        from its precomputed words — the same stream a cold
+        ``default_rng(seed)`` construction yields, so primed and
+        unprimed acquisition are bit-identical.
+
+        ``runs`` holds (workload, frequency_mhz, threads, run_index);
+        ``plugin_names`` the plugin *type* names of the tracer (their
+        RNG key heads).  Phase names come from the memoized run
+        skeleton — prime skeletons first to keep that build batched.
+        """
+        cache = self._rng_words
+        if len(cache) >= 8192:
+            cache.clear()
+        bases = {
+            name: SeedHasher(self.seed, "plugin", name)
+            for name in plugin_names
+        }
+        name_blobs: Dict[str, bytes] = {}
+        experiment_names: Dict[Tuple[str, int, int], Tuple[str, ...]] = {}
+        seeds: List[int] = []
+        layout: List[Tuple[Tuple[str, int, int, int], int, Tuple[str, ...]]] = []
+        for workload, frequency_mhz, threads, run_index in runs:
+            run_key = (workload.name, frequency_mhz, threads, run_index)
+            if run_key in cache:
+                continue
+            phase_names = experiment_names.get(run_key[:3])
+            if phase_names is None:
+                skeleton = self._run_skeleton(
+                    workload, frequency_mhz, threads, None
+                )
+                phase_names = tuple(spec.name for spec in skeleton.specs)
+                experiment_names[run_key[:3]] = phase_names
+            run_blob = SeedHasher.encode(
+                workload.name, frequency_mhz, threads, run_index
+            )
+            layout.append((run_key, len(seeds), phase_names))
+            seeds.append(self._run_hasher.seed_encoded(run_blob))
+            for base in bases.values():
+                child = base.child_encoded(run_blob)
+                for phase_name in phase_names:
+                    blob = name_blobs.get(phase_name)
+                    if blob is None:
+                        name_blobs[phase_name] = blob = SeedHasher.encode(
+                            phase_name
+                        )
+                    seeds.append(child.seed_encoded(blob))
+        if not seeds:
+            return
+        words = seedseq_state_words(seeds)
+        for run_key, start, phase_names in layout:
+            entry: Dict[str, object] = {
+                # Guards consumers against phase-list drift: words are
+                # replayed positionally, so the names must match.
+                "phases": phase_names,
+                "run": words[start],
+            }
+            pos = start + 1
+            n_phases = len(phase_names)
+            for name in bases:
+                entry[name] = words[pos : pos + n_phases]
+                pos += n_phases
+            cache[run_key] = entry
+
+    # ------------------------------------------------------------------
+    def _phase_states_fast(
+        self, specs: Sequence[PhaseSpec], op: OperatingPoint
+    ) -> List[Tuple[MicroarchState, PowerBreakdown]]:
+        """Pre-jitter (state, base power) per phase via the memo.
+
+        Misses are batched through one :func:`simulate_phases` call;
+        hits replay the campaign's earlier event-set runs for free.
+        """
+        memo = self._phase_memo
+        keys = [
+            (spec.characterization, op.frequency_mhz, spec.active_threads)
+            for spec in specs
+        ]
+        out: List[Optional[Tuple[MicroarchState, PowerBreakdown]]] = [
+            memo.get(key) for key in keys
+        ]
+        if any(entry is None for entry in out):
+            missing: dict = {}
+            for i, entry in enumerate(out):
+                if entry is None:
+                    missing.setdefault(keys[i], []).append(i)
+            uniq = list(missing)
+            results = simulate_phases(
+                [key[0] for key in uniq],
+                [key[2] for key in uniq],
+                op,
+                self.cfg,
+                self.power_params,
+            )
+            for key, result in zip(uniq, results):
+                memo.put(key, result)
+                for i in missing[key]:
+                    out[i] = result
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     def _apply_jitter(self, state: MicroarchState, jitter: float) -> MicroarchState:
         """Coherent run-to-run activity jitter (cycle counters exempt)."""
         rates = state.counter_rates.copy()
-        mask = np.ones_like(rates, dtype=bool)
-        for name in _JITTER_EXEMPT:
-            mask[counter_index(name)] = False
-        rates[mask] *= jitter
+        rates[_JITTER_MASK] *= jitter
         return MicroarchState(counter_rates=rates, hidden=state.hidden)
 
     # ------------------------------------------------------------------

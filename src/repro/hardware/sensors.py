@@ -191,6 +191,13 @@ class SensorArray:
         if not sensors:
             raise ValueError("need at least one sensor channel")
         self.sensors = sensors
+        # Per-interval window-mean noise scales sigma_c / sqrt(n_c):
+        # derived from fixed channel properties, so cached across the
+        # thousands of identical-duration phases a campaign samples.
+        self._scale_cache: dict = {}
+        # Calibration vectors for the batched sampling entry points.
+        self._gains = np.array([s.calibration.gain for s in sensors])
+        self._offsets = np.array([s.calibration.offset_w for s in sensors])
 
     @staticmethod
     def build(
@@ -214,21 +221,86 @@ class SensorArray:
         )
         return SensorArray(sensors)
 
+    def _window_scales(self, duration_s: float) -> np.ndarray:
+        """Noise sigma of the window mean, per channel (cached)."""
+        scales = self._scale_cache.get(duration_s)
+        if scales is None:
+            if len(self._scale_cache) >= 4096:
+                self._scale_cache.clear()
+            scales = np.array(
+                [
+                    s.noise_sigma_w / np.sqrt(s.n_samples(duration_s))
+                    for s in self.sensors
+                ]
+            )
+            self._scale_cache[duration_s] = scales
+        return scales
+
     def measure_node_average(
         self,
         per_socket_true_w: Tuple[float, ...],
         duration_s: float,
         rng: np.random.Generator,
     ) -> float:
-        """Average node power over a phase: sum of per-socket channels."""
+        """Average node power over a phase: sum of per-socket channels.
+
+        One ``standard_normal`` draw covers all channels; each channel's
+        reading is assembled exactly as
+        :meth:`PowerSensor.measure_average` would (``normal(loc, scale)``
+        is ``loc + scale * z`` per element), so the result is
+        bit-identical to summing per-channel calls.
+        """
         if len(per_socket_true_w) != len(self.sensors):
             raise ValueError(
                 f"{len(per_socket_true_w)} socket powers for "
                 f"{len(self.sensors)} sensor channels"
             )
-        return float(
-            sum(
-                s.measure_average(p, duration_s, rng)
-                for s, p in zip(self.sensors, per_socket_true_w)
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if any(p < 0 for p in per_socket_true_w):
+            raise ValueError("true power cannot be negative")
+        scales = self._window_scales(duration_s)
+        z = rng.standard_normal(len(self.sensors))
+        total = 0.0
+        for c, (sensor, true_w) in enumerate(zip(self.sensors, per_socket_true_w)):
+            mean = (
+                true_w * sensor.calibration.gain + sensor.calibration.offset_w
             )
-        )
+            total += mean + (0.0 + scales[c] * z[c])
+        return float(total)
+
+    def sample_node_total(
+        self,
+        per_socket_true_w: Tuple[float, ...],
+        n: int,
+        interval_s: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Summed node-power plugin samples for one phase.
+
+        Each of the ``n`` plugin samples is the mean of one raw-sensor
+        interval; all channels' noise comes from a single
+        ``standard_normal((channels, n))`` block whose C-order fill
+        matches the per-channel ``normal(0, scale, size=n)`` draws of
+        the one-channel-at-a-time path bit for bit.
+        """
+        if len(per_socket_true_w) != len(self.sensors):
+            raise ValueError(
+                f"{len(per_socket_true_w)} socket powers for "
+                f"{len(self.sensors)} sensor channels"
+            )
+        scales = self._window_scales(interval_s)
+        z = rng.standard_normal((len(self.sensors), n))
+        # One block of elementwise ufunc calls replaces the per-channel
+        # temporaries; every element sees the exact operation sequence
+        # of the channel loop (``mean + (0.0 + scale * z)``), and the
+        # channel accumulation below keeps its sequential order, so the
+        # result is bit-identical.
+        readings = scales[:, None] * z
+        np.add(0.0, readings, out=readings)
+        means = np.multiply(per_socket_true_w, self._gains) + self._offsets
+        np.add(means[:, None], readings, out=readings)
+        total = np.zeros(n)
+        for row in readings:
+            np.add(total, row, out=total)
+        return total

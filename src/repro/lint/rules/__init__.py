@@ -19,6 +19,7 @@ from repro.lint.rules.rl011_unaudited_report import NoUnauditedReport
 from repro.lint.rules.rl012_raw_sleep_retry import NoRawSleepRetry
 from repro.lint.rules.rl013_unbounded_queue import NoUnboundedQueue
 from repro.lint.rules.rl014_raw_shm import NoRawSharedMemory
+from repro.lint.rules.rl015_no_scalar_hot_sim import NoScalarHotSim
 
 __all__ = [
     "all_rules",
@@ -36,6 +37,7 @@ __all__ = [
     "NoRawSleepRetry",
     "NoUnboundedQueue",
     "NoRawSharedMemory",
+    "NoScalarHotSim",
 ]
 
 
@@ -56,4 +58,5 @@ def all_rules(*, diff_base: str = "HEAD") -> List[Rule]:
         NoRawSleepRetry(),
         NoUnboundedQueue(),
         NoRawSharedMemory(),
+        NoScalarHotSim(),
     ]

@@ -76,6 +76,24 @@ class MetricStream:
                 f"metric {self.definition.name!r}: samples not chronological"
             )
 
+    @staticmethod
+    def trusted(
+        definition: MetricDef, times_s: np.ndarray, values: np.ndarray
+    ) -> "MetricStream":
+        """Construct without ``__post_init__`` validation.
+
+        For internal producers whose arrays are float64, 1-D, equal
+        length and chronological *by construction* (the tracer fast
+        path, which also shares one times array across all streams of
+        a trace).  External data must go through the normal
+        constructor.
+        """
+        stream = MetricStream.__new__(MetricStream)
+        stream.definition = definition
+        stream.times_s = times_s
+        stream.values = values
+        return stream
+
     def window_mean(self, start_s: float, end_s: float) -> float:
         """Average of the samples inside ``[start_s, end_s)``.
 
@@ -105,12 +123,16 @@ class Trace:
         self.metrics: Dict[str, MetricStream] = {}
         self._open_regions: List[str] = []
         self._last_time = 0.0
+        self._intervals_cache: Optional[
+            List[Tuple[str, float, float, int]]
+        ] = None
 
     # ------------------------------------------------------------------
     def record_enter(self, region: str, time_s: float, active_threads: int) -> None:
         self._check_time(time_s)
         self.events.append(RegionEvent("enter", region, time_s, active_threads))
         self._open_regions.append(region)
+        self._intervals_cache = None
 
     def record_leave(self, region: str, time_s: float, active_threads: int) -> None:
         self._check_time(time_s)
@@ -121,6 +143,7 @@ class Trace:
             )
         self.events.append(RegionEvent("leave", region, time_s, active_threads))
         self._open_regions.pop()
+        self._intervals_cache = None
 
     def _check_time(self, time_s: float) -> None:
         if time_s < self._last_time - 1e-12:
@@ -138,10 +161,17 @@ class Trace:
 
     # ------------------------------------------------------------------
     def phase_intervals(self) -> List[Tuple[str, float, float, int]]:
-        """(region, start, end, active_threads) per completed region."""
+        """(region, start, end, active_threads) per completed region.
+
+        Memoized until the next recorded event: profile extraction and
+        trace validation both walk the intervals, and the event list is
+        final once tracing ends.
+        """
         if self._open_regions:
             raise ValueError(f"trace has unclosed regions: {self._open_regions}")
-        intervals = []
+        if self._intervals_cache is not None:
+            return self._intervals_cache
+        intervals: List[Tuple[str, float, float, int]] = []
         stack: List[RegionEvent] = []
         for ev in self.events:
             if ev.kind == "enter":
@@ -151,6 +181,7 @@ class Trace:
                 intervals.append(
                     (ev.region, enter.time_s, ev.time_s, enter.active_threads)
                 )
+        self._intervals_cache = intervals
         return intervals
 
     @property

@@ -14,6 +14,21 @@ execution.  The three plugins of the paper are modelled:
   counter sampling for the currently programmed event set; each sample
   is the counter increment over the sampling interval, normalized to
   events/second (the post-processing converts to events per cycle).
+
+Each plugin offers three bit-identical sampling entry points:
+
+* ``sample_phase_reference`` — the original event-at-a-time loops,
+  kept verbatim as the auditable reference (the ``REPRO_FASTSIM=0``
+  recording path).
+* ``sample_phase`` — one phase, vectorized: a single standard-normal
+  block replaces the per-event/per-channel ``normal()`` calls.  The
+  C-order fill consumes the ziggurat stream in the same order, and
+  ``loc + (0.0 + sigma*z)`` is exactly how ``Generator.normal``
+  assembles each draw, so values match the loops bit for bit.
+* ``sample_run`` — a whole run, batched: per-phase RNG draws (the
+  seeding contract) followed by one arithmetic pass over the stacked
+  ``(events, total_samples)`` matrix.  Elementwise ufuncs are
+  batch-size invariant, so this equals ``sample_phase`` per segment.
 """
 
 from __future__ import annotations
@@ -47,6 +62,55 @@ class MetricPlugin:
         """Values for each metric at the given absolute sample times."""
         raise NotImplementedError
 
+    def sample_phase_reference(
+        self,
+        run: RunExecution,
+        phase: PhaseExecution,
+        sample_times: np.ndarray,
+        interval_s: float,
+        rng: np.random.Generator,
+    ) -> Dict[str, np.ndarray]:
+        """Scalar reference sampling (``REPRO_FASTSIM=0`` path).
+
+        Defaults to :meth:`sample_phase`; the paper's plugins override
+        it with their original loops, kept verbatim.
+        """
+        return self.sample_phase(run, phase, sample_times, interval_s, rng)
+
+    def sample_run(
+        self,
+        run: RunExecution,
+        phases: Sequence[PhaseExecution],
+        grids: Sequence[np.ndarray],
+        interval_s: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> Dict[str, np.ndarray]:
+        """All phases of a run in one call (fast recording path).
+
+        ``rngs`` holds one per-phase generator, seeded exactly as the
+        scalar path seeds them.  The default implementation falls back
+        to per-phase :meth:`sample_phase` calls and concatenates.
+        """
+        acc: Dict[str, List[np.ndarray]] = {}
+        for phase, grid, rng in zip(phases, grids, rngs):
+            sampled = self.sample_phase(run, phase, grid, interval_s, rng)
+            for name, vals in sampled.items():
+                acc.setdefault(name, []).append(
+                    np.asarray(vals, dtype=np.float64)
+                )
+        return {name: np.concatenate(parts) for name, parts in acc.items()}
+
+
+def _fill_segments(
+    out: np.ndarray, grids: Sequence[np.ndarray], per_phase: Sequence
+) -> np.ndarray:
+    """Write one value (or column) per phase across its grid segment."""
+    pos = 0
+    for grid, value in zip(grids, per_phase):
+        out[..., pos : pos + grid.size] = value
+        pos += grid.size
+    return out
+
 
 class PowerPlugin(MetricPlugin):
     """Node power sampled from the platform's sensor array."""
@@ -59,7 +123,7 @@ class PowerPlugin(MetricPlugin):
     def metric_defs(self) -> List[MetricDef]:
         return [MetricDef(self.METRIC, "W")]
 
-    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+    def sample_phase_reference(self, run, phase, sample_times, interval_s, rng):
         # Each plugin sample is the mean of the raw sensor stream over
         # one sampling interval: one draw per socket channel per sample.
         n = sample_times.size
@@ -76,6 +140,32 @@ class PowerPlugin(MetricPlugin):
             )
         return {self.METRIC: total}
 
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        # The sensor array draws every channel's noise in one block
+        # (bit-identical to the per-channel reference loop).
+        total = self.platform.sensors.sample_node_total(
+            phase.power_breakdown.per_socket_w,
+            sample_times.size,
+            interval_s,
+            rng,
+        )
+        return {self.METRIC: total}
+
+    def sample_run(self, run, phases, grids, interval_s, rngs):
+        total = np.empty(sum(grid.size for grid in grids))
+        pos = 0
+        for phase, grid, rng in zip(phases, grids, rngs):
+            total[pos : pos + grid.size] = (
+                self.platform.sensors.sample_node_total(
+                    phase.power_breakdown.per_socket_w,
+                    grid.size,
+                    interval_s,
+                    rng,
+                )
+            )
+            pos += grid.size
+        return {self.METRIC: total}
+
 
 class VoltagePlugin(MetricPlugin):
     """Average active-core voltage from the x86_adapt telemetry."""
@@ -88,11 +178,35 @@ class VoltagePlugin(MetricPlugin):
     def metric_defs(self) -> List[MetricDef]:
         return [MetricDef(self.METRIC, "V")]
 
-    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+    def sample_phase_reference(self, run, phase, sample_times, interval_s, rng):
         telemetry = self.platform.voltage
         n = sample_times.size
         true = phase.true_voltage_v
         readings = true + rng.normal(0.0, telemetry.read_noise_v, size=n)
+        step = telemetry.VID_STEP
+        return {self.METRIC: np.round(readings / step) * step}
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        telemetry = self.platform.voltage
+        z = rng.standard_normal(sample_times.size)
+        readings = phase.true_voltage_v + (0.0 + telemetry.read_noise_v * z)
+        step = telemetry.VID_STEP
+        return {self.METRIC: np.round(readings / step) * step}
+
+    def sample_run(self, run, phases, grids, interval_s, rngs):
+        telemetry = self.platform.voltage
+        blocks = [
+            rng.standard_normal(grid.size) for grid, rng in zip(grids, rngs)
+        ]
+        if len(blocks) == 1:
+            z = blocks[0]
+            true = phases[0].true_voltage_v
+        else:
+            z = np.concatenate(blocks)
+            true = _fill_segments(
+                np.empty(z.size), grids, [p.true_voltage_v for p in phases]
+            )
+        readings = true + (0.0 + telemetry.read_noise_v * z)
         step = telemetry.VID_STEP
         return {self.METRIC: np.round(readings / step) * step}
 
@@ -105,6 +219,12 @@ class ApapiPlugin(MetricPlugin):
     def __init__(self, platform: Platform, event_set: EventSet) -> None:
         self.platform = platform
         self.event_set = event_set
+        self._indices = np.array(
+            [_counter_index(name) for name in event_set.events], dtype=np.intp
+        )
+        self._names = tuple(
+            f"{self.PREFIX}{name}" for name in event_set.events
+        )
 
     def metric_defs(self) -> List[MetricDef]:
         return [
@@ -112,7 +232,7 @@ class ApapiPlugin(MetricPlugin):
             for name in self.event_set.events
         ]
 
-    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+    def sample_phase_reference(self, run, phase, sample_times, interval_s, rng):
         pmu = self.platform.pmu
         out: Dict[str, np.ndarray] = {}
         n = sample_times.size
@@ -125,6 +245,52 @@ class ApapiPlugin(MetricPlugin):
             counts = np.maximum(true_per_s * interval_s * noise, 0.0)
             out[f"{self.PREFIX}{name}"] = np.floor(counts) / interval_s
         return out
+
+    def _values(self, true_per_s, z, sigmas, interval_s):
+        """The shared rate arithmetic of both vectorized entry points."""
+        noise = 1.0 + (0.0 + sigmas * z)
+        counts = np.maximum(true_per_s * interval_s * noise, 0.0)
+        return np.floor(counts) / interval_s
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        n = sample_times.size
+        true_per_s = (
+            phase.state.counter_rates[self._indices] * run.op.frequency_hz
+        )
+        z = rng.standard_normal((len(self._names), n))
+        values = self._values(
+            true_per_s[:, None], z, self.platform.pmu.read_noise_sigma, interval_s
+        )
+        return {name: values[i] for i, name in enumerate(self._names)}
+
+    def sample_run(self, run, phases, grids, interval_s, rngs):
+        n_events = len(self._names)
+        f_hz = run.op.frequency_hz
+        blocks = [
+            rng.standard_normal((n_events, grid.size))
+            for grid, rng in zip(grids, rngs)
+        ]
+        if len(blocks) == 1:
+            # Single-phase run: broadcasting the rate column is the
+            # same elementwise arithmetic as filling a matrix.
+            z = blocks[0]
+            true_per_s = (
+                phases[0].state.counter_rates[self._indices] * f_hz
+            )[:, None]
+        else:
+            z = np.concatenate(blocks, axis=1)
+            true_per_s = _fill_segments(
+                np.empty(z.shape),
+                grids,
+                [
+                    (p.state.counter_rates[self._indices] * f_hz)[:, None]
+                    for p in phases
+                ],
+            )
+        values = self._values(
+            true_per_s, z, self.platform.pmu.read_noise_sigma, interval_s
+        )
+        return {name: values[i] for i, name in enumerate(self._names)}
 
 
 def _counter_index(name: str) -> int:
@@ -147,6 +313,27 @@ class MultiplexedApapiPlugin(MetricPlugin):
     def __init__(self, platform: Platform, events: Sequence[str]) -> None:
         self.platform = platform
         self.events = tuple(events)
+        from repro.hardware.counters import FIXED_COUNTERS, counter_index
+
+        pmu = platform.pmu
+        self._indices = np.array(
+            [counter_index(name) for name in self.events], dtype=np.intp
+        )
+        self._names = tuple(f"{self.PREFIX}{name}" for name in self.events)
+        prog = [e for e in self.events if e not in FIXED_COUNTERS]
+        n_groups = max(-(-len(prog) // platform.cfg.programmable_slots), 1)
+        mux_sigma = float(
+            np.hypot(
+                pmu.read_noise_sigma,
+                pmu.multiplex_noise_sigma * np.sqrt(max(n_groups - 1, 0)),
+            )
+        )
+        self._sigmas = np.array(
+            [
+                pmu.read_noise_sigma if name in FIXED_COUNTERS else mux_sigma
+                for name in self.events
+            ]
+        )
 
     def metric_defs(self) -> List[MetricDef]:
         return [
@@ -154,7 +341,7 @@ class MultiplexedApapiPlugin(MetricPlugin):
             for name in self.events
         ]
 
-    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+    def sample_phase_reference(self, run, phase, sample_times, interval_s, rng):
         pmu = self.platform.pmu
         n = sample_times.size
         out: Dict[str, np.ndarray] = {}
@@ -181,3 +368,41 @@ class MultiplexedApapiPlugin(MetricPlugin):
             counts = np.maximum(true_per_s * interval_s * noise, 0.0)
             out[f"{self.PREFIX}{name}"] = np.floor(counts) / interval_s
         return out
+
+    def sample_phase(self, run, phase, sample_times, interval_s, rng):
+        n = sample_times.size
+        true_per_s = (
+            phase.state.counter_rates[self._indices] * run.op.frequency_hz
+        )
+        z = rng.standard_normal((len(self._names), n))
+        noise = 1.0 + (0.0 + self._sigmas[:, None] * z)
+        counts = np.maximum(true_per_s[:, None] * interval_s * noise, 0.0)
+        values = np.floor(counts) / interval_s
+        return {name: values[i] for i, name in enumerate(self._names)}
+
+    def sample_run(self, run, phases, grids, interval_s, rngs):
+        n_events = len(self._names)
+        f_hz = run.op.frequency_hz
+        blocks = [
+            rng.standard_normal((n_events, grid.size))
+            for grid, rng in zip(grids, rngs)
+        ]
+        if len(blocks) == 1:
+            z = blocks[0]
+            true_per_s = (
+                phases[0].state.counter_rates[self._indices] * f_hz
+            )[:, None]
+        else:
+            z = np.concatenate(blocks, axis=1)
+            true_per_s = _fill_segments(
+                np.empty(z.shape),
+                grids,
+                [
+                    (p.state.counter_rates[self._indices] * f_hz)[:, None]
+                    for p in phases
+                ],
+            )
+        noise = 1.0 + (0.0 + self._sigmas[:, None] * z)
+        counts = np.maximum(true_per_s * interval_s * noise, 0.0)
+        values = np.floor(counts) / interval_s
+        return {name: values[i] for i, name in enumerate(self._names)}

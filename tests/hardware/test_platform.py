@@ -76,6 +76,32 @@ class TestDeterminismAndJitter:
             "TOT_INS"
         )
 
+    def test_jitter_exempt_regression_batch_and_scalar(self, platform):
+        """Pin _JITTER_EXEMPT across both jitter applicators: the
+        batched fast path and the per-phase scalar path must rescale
+        exactly the same counters — everything except the cycle
+        counters, which are fixed by frequency and wall time."""
+        from repro.hardware.counters import COUNTER_NAMES
+        from repro.hardware.microarch import evaluate
+
+        wl = get_workload("md")
+        exempt = {"TOT_CYC", "REF_CYC"}
+        for fast in (True, False):
+            run = platform.execute(wl, 2400, 24, run_index=1, fast=fast)
+            op = platform.cfg.curve.operating_point(2400)
+            for phase in run.phases:
+                base = evaluate(
+                    phase.phase.characterization,
+                    op,
+                    phase.phase.active_threads,
+                    platform.cfg,
+                )
+                for name in COUNTER_NAMES:
+                    if name in exempt:
+                        assert phase.state.rate(name) == base.rate(name)
+                    elif base.rate(name) != 0.0:
+                        assert phase.state.rate(name) != base.rate(name)
+
     def test_seed_changes_everything(self):
         p1 = Platform(seed=1)
         p2 = Platform(seed=2)

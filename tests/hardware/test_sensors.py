@@ -99,3 +99,67 @@ class TestSensorArray:
     def test_empty_array_rejected(self):
         with pytest.raises(ValueError):
             SensorArray(())
+
+
+class TestVectorizedSampling:
+    """ISSUE-10 satellite: the array-level window sampling must equal
+    the per-channel Generator call sequence bit for bit."""
+
+    def _array(self, rng):
+        return SensorArray.build(2, rng, noise_sigma_w=0.7)
+
+    def test_node_average_matches_per_channel_draws(self):
+        array = self._array(np.random.default_rng(7))
+        truth = (88.0, 96.5)
+        for duration_s in (0.25, 1.0, 10.0):
+            for seed in range(5):
+                vec = array.measure_node_average(
+                    truth, duration_s, np.random.default_rng(seed)
+                )
+                rng = np.random.default_rng(seed)
+                ref = float(
+                    sum(
+                        s.measure_average(p, duration_s, rng)
+                        for s, p in zip(array.sensors, truth)
+                    )
+                )
+                assert vec == ref
+
+    def test_sample_node_total_matches_per_channel_draws(self):
+        array = self._array(np.random.default_rng(11))
+        truth = (60.0, 75.0)
+        interval_s = 0.1
+        for n in (1, 7, 64):
+            for seed in range(5):
+                vec = array.sample_node_total(
+                    truth, n, interval_s, np.random.default_rng(seed)
+                )
+                rng = np.random.default_rng(seed)
+                ref = np.zeros(n)
+                for s, p in zip(array.sensors, truth):
+                    raw = max(int(round(interval_s * s.sample_rate_hz)), 1)
+                    mean = p * s.calibration.gain + s.calibration.offset_w
+                    ref += mean + rng.normal(
+                        0.0, s.noise_sigma_w / np.sqrt(raw), size=n
+                    )
+                assert np.array_equal(vec, ref)
+
+    def test_scale_cache_reused_across_calls(self):
+        array = self._array(np.random.default_rng(3))
+        array.sample_node_total((50.0, 50.0), 4, 0.1, np.random.default_rng(0))
+        first = array._scale_cache[0.1]
+        array.sample_node_total((51.0, 52.0), 4, 0.1, np.random.default_rng(1))
+        assert array._scale_cache[0.1] is first
+        assert len(array._scale_cache) == 1
+
+    def test_node_average_validation(self):
+        array = self._array(np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            array.measure_node_average((50.0, 50.0), 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            array.measure_node_average((-1.0, 50.0), 1.0, np.random.default_rng(0))
+
+    def test_sample_node_total_channel_mismatch(self):
+        array = self._array(np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            array.sample_node_total((50.0,), 4, 0.1, np.random.default_rng(0))

@@ -249,6 +249,41 @@ class TestFastFitChaos:
             )
 
 
+class TestFastsimChaos:
+    """ISSUE-10 gate on the chaos path: the batched acquisition kernel
+    (phase-state memo, shared-grid tracer, vectorized plugins) must be
+    invisible on degraded data for every CI fault seed — serial scalar
+    (``REPRO_FASTSIM=0``), fastsim and the process/arena backend all
+    produce identical datasets and reports (timing excluded)."""
+
+    @pytest.mark.parametrize("chaos_seed", [0, 1, 2])
+    def test_fastsim_bit_identical_under_chaos(self, chaos_seed, monkeypatch):
+        import dataclasses
+
+        fast = degraded_campaign(chaos_seed)
+        arena = degraded_campaign(
+            chaos_seed, parallel="process", max_workers=2
+        )
+        monkeypatch.setenv("REPRO_FASTSIM", "0")
+        scalar = degraded_campaign(chaos_seed)
+        assert scalar.dataset is not None
+        for other in (fast, arena):
+            assert other.dataset is not None
+            assert np.array_equal(
+                scalar.dataset.counters, other.dataset.counters,
+                equal_nan=True,
+            )
+            assert np.array_equal(
+                scalar.dataset.power_w, other.dataset.power_w
+            )
+            assert (
+                scalar.dataset.counter_names == other.dataset.counter_names
+            )
+            assert dataclasses.replace(
+                scalar.report, timing=None
+            ) == dataclasses.replace(other.report, timing=None)
+
+
 class TestArenaChaos:
     """ISSUE-9 gate on the chaos path: shared-memory process dispatch
     must be invisible on degraded data for every CI fault seed — the

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.seeding import DEFAULT_SEED, derive_rng, derive_seed
+from repro.seeding import (
+    DEFAULT_SEED,
+    SeedHasher,
+    derive_rng,
+    derive_seed,
+    rng_from_state_words,
+    seedseq_state_words,
+)
 
 
 class TestDeriveSeed:
@@ -56,3 +63,118 @@ class TestDeriveRng:
         a = derive_rng(5, "s", 1).normal(size=5000)
         b = derive_rng(5, "s", 2).normal(size=5000)
         assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+
+class TestSeedHasher:
+    """The incremental hasher must reproduce derive_seed exactly for
+    every split of the key into prefix and suffix."""
+
+    KEY = ("plugin", "PowerPlugin", "md", 2400, 24, 1, "phase-3")
+
+    def test_every_prefix_split_matches_derive_seed(self):
+        expected = derive_seed(DEFAULT_SEED, *self.KEY)
+        for cut in range(len(self.KEY) + 1):
+            hasher = SeedHasher(DEFAULT_SEED, *self.KEY[:cut])
+            assert hasher.seed(*self.KEY[cut:]) == expected
+
+    def test_hasher_is_reusable_across_suffixes(self):
+        hasher = SeedHasher(7, "plugin", "ApapiPlugin")
+        for suffix in ("a", "b", "a"):
+            assert hasher.seed(suffix) == derive_seed(
+                7, "plugin", "ApapiPlugin", suffix
+            )
+
+    def test_rng_matches_derive_rng(self):
+        a = SeedHasher(5, "x").rng("y").normal(size=8)
+        b = derive_rng(5, "x", "y").normal(size=8)
+        assert np.array_equal(a, b)
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            SeedHasher(1, ["list"])
+        with pytest.raises(TypeError):
+            SeedHasher(1).seed(["list"])
+
+    def test_child_extends_the_prefix_exactly(self):
+        expected = derive_seed(DEFAULT_SEED, *self.KEY)
+        for cut in range(len(self.KEY) + 1):
+            for cut2 in range(cut, len(self.KEY) + 1):
+                hasher = SeedHasher(DEFAULT_SEED, *self.KEY[:cut]).child(
+                    *self.KEY[cut:cut2]
+                )
+                assert hasher.seed(*self.KEY[cut2:]) == expected
+
+    def test_child_leaves_parent_untouched(self):
+        parent = SeedHasher(3, "a")
+        before = parent.seed("z")
+        parent.child("b", 4)
+        assert parent.seed("z") == before
+
+    def test_encoded_paths_match_positional_paths(self):
+        blob = SeedHasher.encode("md", 2400, 24, 1)
+        tail = SeedHasher.encode("phase-3")
+        base = SeedHasher(DEFAULT_SEED, "plugin", "PowerPlugin")
+        expected = derive_seed(DEFAULT_SEED, *self.KEY)
+        assert base.seed_encoded(blob + tail) == expected
+        assert base.child_encoded(blob).seed("phase-3") == expected
+        assert base.child_encoded(blob).seed_encoded(tail) == expected
+        a = base.child_encoded(blob).rng_encoded(tail).normal(size=8)
+        b = derive_rng(DEFAULT_SEED, *self.KEY).normal(size=8)
+        assert np.array_equal(a, b)
+
+    def test_encode_is_length_prefixed(self):
+        # ("ab", "c") and ("a", "bc") must stay distinguishable.
+        assert SeedHasher.encode("ab", "c") != SeedHasher.encode("a", "bc")
+
+
+class TestSeedseqStateWords:
+    """The batched SeedSequence expansion must match numpy bit for bit:
+    the fast acquisition path seeds every PCG64 from these words."""
+
+    EDGE_SEEDS = (0, 1, 2**31, 2**32 - 1, 2**32, 2**64 - 1)
+
+    def test_matches_numpy_on_edge_seeds(self):
+        words = seedseq_state_words(self.EDGE_SEEDS)
+        for seed, row in zip(self.EDGE_SEEDS, words):
+            expected = np.random.SeedSequence(seed).generate_state(
+                4, np.uint64
+            )
+            assert np.array_equal(row, expected), seed
+
+    def test_matches_numpy_on_derived_seeds(self):
+        seeds = [
+            derive_seed(DEFAULT_SEED, "plugin", name, i)
+            for name in ("PowerPlugin", "ApapiPlugin")
+            for i in range(64)
+        ]
+        words = seedseq_state_words(seeds)
+        assert words.shape == (len(seeds), 4)
+        assert words.dtype == np.uint64
+        for seed, row in zip(seeds, words):
+            expected = np.random.SeedSequence(seed).generate_state(
+                4, np.uint64
+            )
+            assert np.array_equal(row, expected), seed
+
+    def test_empty_batch(self):
+        assert seedseq_state_words([]).shape == (0, 4)
+
+    def test_rng_from_state_words_replays_default_rng(self):
+        seeds = [0, 1, derive_seed(3, "x"), 2**64 - 1]
+        words = seedseq_state_words(seeds)
+        for seed, row in zip(seeds, words):
+            fast = rng_from_state_words(row)
+            ref = np.random.default_rng(seed)
+            assert np.array_equal(fast.normal(size=16), ref.normal(size=16))
+            assert np.array_equal(
+                fast.integers(0, 1000, size=16), ref.integers(0, 1000, size=16)
+            )
+
+    def test_shim_rejects_foreign_state_requests(self):
+        words = seedseq_state_words([42])
+        bitgen = rng_from_state_words(words[0]).bit_generator
+        seed_seq = bitgen.seed_seq
+        with pytest.raises(ValueError, match="4, uint64"):
+            seed_seq.generate_state(2, np.uint64)
+        with pytest.raises(ValueError, match="4, uint64"):
+            seed_seq.generate_state(4, np.uint32)

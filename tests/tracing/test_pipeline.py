@@ -77,12 +77,10 @@ class TestTracer:
             ScorePTracer(platform, [PowerPlugin(platform)], sampling_interval_s=0.0)
 
     def test_duplicate_metric_plugins_rejected(self, platform):
-        run = platform.execute(get_workload("compute"), 2400, 2)
-        tracer = ScorePTracer(
-            platform, [PowerPlugin(platform), PowerPlugin(platform)]
-        )
         with pytest.raises(ValueError, match="twice"):
-            tracer.trace(run)
+            ScorePTracer(
+                platform, [PowerPlugin(platform), PowerPlugin(platform)]
+            )
 
 
 class TestPhaseProfiles:
